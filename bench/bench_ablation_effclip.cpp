@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: EffCLiP packing (DESIGN.md §7) - dispatch-memory footprint
+ * and fill ratio of coupled linear packing vs naive per-state tables,
+ * and the effect of majority-threshold folding, across automaton sizes.
+ */
+#include "support.hpp"
+
+#include "automata/compile.hpp"
+#include "workloads/generators.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    print_header("EffCLiP vs naive tables (NIDS DFAs)",
+                 {"patterns", "DFA states", "naive KB", "EffCLiP KB",
+                  "ratio", "fill %"});
+
+    for (const unsigned npat : {4u, 8u, 16u, 24u}) {
+        const auto pats = workloads::nids_patterns(npat, false);
+        std::vector<std::unique_ptr<RegexNode>> st;
+        std::vector<const RegexNode *> asts;
+        for (const auto &p : pats) {
+            st.push_back(parse_regex(p));
+            asts.push_back(st.back().get());
+        }
+        const Dfa dfa = minimize(determinize(build_multi_nfa(asts)));
+
+        DfaCompileOptions packed;
+        DfaCompileOptions naive;
+        naive.layout.naive_tables = true;
+        naive.layout.max_windows = 64;
+        naive.majority_threshold = 0;
+        const Program p1 = compile_dfa(dfa, packed);
+        const Program p2 = compile_dfa(dfa, naive);
+        print_row({std::to_string(npat), std::to_string(dfa.size()),
+                   fmt(double(p2.layout.code_bytes()) / 1024.0, 1),
+                   fmt(double(p1.layout.code_bytes()) / 1024.0, 1),
+                   fmt(double(p2.layout.code_bytes()) /
+                           double(p1.layout.code_bytes()),
+                       1),
+                   fmt(100 * p1.layout.fill_ratio(), 0)});
+    }
+
+    print_header("Majority-threshold sweep (8-pattern DFA)",
+                 {"threshold", "code KB", "lane MB/s"});
+    const auto pats = workloads::nids_patterns(8, false);
+    const Bytes payload = workloads::packet_payloads(96 * 1024, pats);
+    std::vector<std::unique_ptr<RegexNode>> st;
+    std::vector<const RegexNode *> asts;
+    for (const auto &p : pats) {
+        st.push_back(parse_regex(p));
+        asts.push_back(st.back().get());
+    }
+    const Dfa dfa = minimize(determinize(build_multi_nfa(asts)));
+    for (const unsigned thr : {0u, 2u, 32u, 128u}) {
+        DfaCompileOptions opts;
+        opts.majority_threshold = thr;
+        if (thr == 0) {
+            opts.layout.max_windows = 16; // full tables need room
+        }
+        const Program p = compile_dfa(dfa, opts);
+        LocalMemory mem(AddressingMode::Restricted);
+        Lane lane(0, mem);
+        lane.load(p);
+        lane.set_input(payload);
+        lane.run();
+        print_row({std::to_string(thr),
+                   fmt(double(p.layout.code_bytes()) / 1024.0, 1),
+                   fmt(lane.stats().rate_mbps())});
+    }
+    std::printf("\ntakeaway: majority folding trades a signature-miss "
+                "cycle on cold symbols for an order-of-magnitude code "
+                "reduction - the enabler of 64-lane parallelism\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 9: dispatch-source ablation. Stream-buffer-only dispatch (the
+ * UAP model) covers the streaming kernels; adding scalar-register
+ * (flagged) dispatch unlocks dictionary/dict-RLE/compression, raising
+ * the geomean speedup across the workload suite.
+ */
+#include "support.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    const auto all = measure_all();
+    // Kernels whose UDP programs require scalar-register dispatch.
+    const auto needs_scalar = [](const WorkloadPerf &p) {
+        return p.name == "Dictionary-RLE" ||
+               p.name == "Compression (Snappy)";
+    };
+
+    std::vector<double> stream_only, with_scalar;
+    print_header("Figure 9: dispatch sources",
+                 {"workload", "speedup vs 8T", "needs scalar?"});
+    for (const auto &p : all) {
+        const double s = p.speedup_vs_8t();
+        with_scalar.push_back(s);
+        // Stream-only UDP cannot run scalar-dispatch kernels at all:
+        // those fall back to the CPU (speedup 1x candidates).
+        stream_only.push_back(needs_scalar(p) ? 1.0 : s);
+        print_row({p.name, fmt(s, 2), needs_scalar(p) ? "yes" : "no"});
+    }
+
+    std::printf("\ngeomean speedup, stream buffer only : %.1fx\n",
+                geomean(stream_only));
+    std::printf("geomean speedup, stream + scalar reg: %.1fx\n",
+                geomean(with_scalar));
+    std::printf("\npaper shape: adding the scalar dispatch source "
+                "dramatically improves the geomean by covering the "
+                "memory/hash-based kernels\n");
+    return 0;
+}

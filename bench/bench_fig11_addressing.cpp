@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 11: the three addressing models.
+ *   11a - Snappy compression rate vs block size (bigger windows = more
+ *         match history = better ratio; only flexible addressing can
+ *         trade lanes for block size);
+ *   11b - net benefit (rate x compression ratio);
+ *   11c - memory reference energy per model (CACTI-calibrated).
+ */
+#include "support.hpp"
+
+#include "baselines/snappy.hpp"
+#include "kernels/snappy.hpp"
+#include "workloads/generators.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+    using namespace udp::kernels;
+
+    static const Program prog = snappy_compress_program();
+    const Bytes text = workloads::text_corpus(16 * 1024, 0.45, 31);
+
+    print_header("Figure 11a/11b: Snappy compression vs block size",
+                 {"block KB", "lane MB/s", "comp ratio", "rate x ratio",
+                  "lanes possible"});
+
+    for (const std::size_t kb : {1, 2, 4, 8, 16}) {
+        const std::size_t n = std::min(kb * 1024 - 8, text.size());
+        const Bytes block(text.begin(), text.begin() + n);
+        Machine m(AddressingMode::Restricted);
+        const auto res = run_snappy_compress(m, 0, prog, block, 0);
+        const double rate = res.stats.rate_mbps();
+        const double ratio =
+            baselines::compression_ratio(block.size(), res.data.size());
+        // A lane needs input + hash-table banks: ceil((block+4K)/16K)+1.
+        const unsigned banks = static_cast<unsigned>(
+            1 + ceil_div(block.size() + 4096, kBankBytes));
+        print_row({std::to_string(kb), fmt(rate), fmt(ratio, 3),
+                   fmt(rate * ratio), std::to_string(64 / banks)});
+    }
+
+    print_header("Figure 11c: memory reference energy (1MB, 64 banks)",
+                 {"model", "pJ/ref"});
+    for (const auto mode :
+         {AddressingMode::Local, AddressingMode::Restricted,
+          AddressingMode::Global}) {
+        print_row({std::string(addressing_mode_name(mode)),
+                   fmt(memory_ref_energy_pj(mode), 1)});
+    }
+    std::printf("\npaper shape: ratio rises with block size (net "
+                "benefit can differ ~50%%); local/restricted 4.3 pJ/ref "
+                "vs global 8.8\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 14: Huffman encoding across corpus files.
+ */
+#include "support.hpp"
+
+#include "baselines/huffman.hpp"
+#include "kernels/huffman.hpp"
+#include "workloads/generators.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    const UdpCostModel cost;
+    print_header("Figure 14: Huffman Encoding",
+                 {"file", "CPU MB/s", "UDP lane MB/s", "lane/thread",
+                  "UDP64 MB/s", "TPut/W ratio"});
+
+    std::vector<double> ratios;
+    for (const auto &f : workloads::corpus_suite(64 * 1024)) {
+        const auto code = baselines::build_huffman(f.data);
+        WorkloadPerf p;
+        p.cpu_mbps = time_cpu_mbps(
+            [&] { baselines::huffman_encode(f.data, code); },
+            f.data.size());
+
+        const Program prog = kernels::huffman_encoder(code);
+        Machine m(AddressingMode::Restricted);
+        Lane &lane = m.lane(0);
+        lane.load(prog);
+        lane.set_input(f.data);
+        lane.run();
+        p.udp_lane_mbps = lane.stats().rate_mbps();
+
+        ratios.push_back(p.perf_watt_ratio(cost));
+        print_row({f.name, fmt(p.cpu_mbps), fmt(p.udp_lane_mbps),
+                   fmt(p.udp_lane_mbps / p.cpu_mbps, 2),
+                   fmt(p.udp64_mbps()),
+                   fmt(p.perf_watt_ratio(cost), 0)});
+    }
+    std::printf("\ngeomean TPut/W ratio: %.0fx (paper: ~6000x at 112 "
+                "MB/s/lane, 11x one thread)\n",
+                geomean(ratios));
+    return 0;
+}

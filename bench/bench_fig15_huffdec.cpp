@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 15: Huffman decoding across corpus files (SsRef design).
+ * Includes the paper's "craw" effect: large trees need two banks per
+ * lane, halving parallelism.
+ */
+#include "support.hpp"
+
+#include "baselines/huffman.hpp"
+#include "kernels/huffman.hpp"
+#include "workloads/generators.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    const UdpCostModel cost;
+    print_header("Figure 15: Huffman Decoding (SsRef)",
+                 {"file", "CPU MB/s", "UDP lane MB/s", "lanes",
+                  "UDPfull MB/s", "TPut/W ratio"});
+
+    std::vector<double> ratios;
+    for (const auto &f : workloads::corpus_suite(64 * 1024)) {
+        const auto code = baselines::build_huffman(f.data);
+        Bytes enc = baselines::huffman_encode(f.data, code);
+
+        WorkloadPerf p;
+        p.cpu_mbps = time_cpu_mbps(
+            [&] { baselines::huffman_decode(enc, f.data.size(), code); },
+            enc.size());
+
+        enc.push_back(0);
+        enc.push_back(0);
+        const auto k =
+            kernels::huffman_decoder(code, kernels::VarSymDesign::SsRef);
+        Machine m(AddressingMode::Restricted);
+        Lane &lane = m.lane(0);
+        lane.load(k.program);
+        lane.set_input(enc);
+        lane.run();
+        p.udp_lane_mbps = lane.stats().rate_mbps();
+        p.parallelism = std::min(
+            64u, kernels::achievable_parallelism(k.code_bytes));
+
+        ratios.push_back(p.perf_watt_ratio(cost));
+        print_row({f.name, fmt(p.cpu_mbps), fmt(p.udp_lane_mbps),
+                   std::to_string(p.parallelism), fmt(p.udp64_mbps()),
+                   fmt(p.perf_watt_ratio(cost), 0)});
+    }
+    std::printf("\ngeomean TPut/W ratio: %.0fx (paper: ~18300x at 366 "
+                "MB/s/lane, 24x one thread)\n",
+                geomean(ratios));
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 16: pattern matching on NIDS-like sets - "simple" (string
+ * matching, aDFA) and "complex" (regexes, NFA) - plus an FA-model
+ * ablation (program size and rate for DFA / aDFA / NFA).
+ */
+#include "support.hpp"
+
+#include "kernels/pattern.hpp"
+#include "workloads/generators.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+    using namespace udp::kernels;
+
+    const UdpCostModel cost;
+    print_header("Figure 16: Pattern Matching",
+                 {"set", "CPU MB/s", "UDP lane MB/s", "lane/thread",
+                  "UDP64 MB/s", "TPut/W ratio"});
+
+    for (const bool complex_set : {false, true}) {
+        const WorkloadPerf p = measure_pattern_matching(complex_set);
+        print_row({complex_set ? "complex (NFA)" : "simple (aDFA)",
+                   fmt(p.cpu_mbps), fmt(p.udp_lane_mbps),
+                   fmt(p.udp_lane_mbps / p.cpu_mbps, 2),
+                   fmt(p.udp64_mbps()),
+                   fmt(p.perf_watt_ratio(cost), 0)});
+    }
+
+    // FA-model ablation: size/rate of one 16-pattern group per model.
+    const auto pats = workloads::nids_patterns(8, false);
+    const Bytes payload = workloads::packet_payloads(128 * 1024, pats);
+    print_header("FA model ablation (8 patterns, one lane)",
+                 {"model", "code bytes", "UDP lane MB/s", "matches"});
+    for (const auto model : {FaModel::Dfa, FaModel::Adfa, FaModel::Nfa}) {
+        const auto groups = pattern_groups(pats, model, 1);
+        Machine m(AddressingMode::Restricted);
+        Lane &lane = m.lane(0);
+        lane.load(groups[0].program);
+        lane.set_input(payload);
+        if (groups[0].nfa_mode)
+            lane.run_nfa();
+        else
+            lane.run();
+        print_row({std::string(fa_model_name(model)),
+                   std::to_string(groups[0].program.layout.code_bytes()),
+                   fmt(lane.stats().rate_mbps()),
+                   std::to_string(lane.accept_count())});
+    }
+    std::printf("\npaper shape: 1 lane ~7x one thread, 800-350 MB/s; "
+                "~1780x TPut/W; aDFA small+fast, NFA smallest, DFA "
+                "largest\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 18: histogram on Crimes.Latitude / Crimes.Longitude (10
+ * uniform bins) and Taxi.Fare (4 bins), plus percentile-bin variants.
+ */
+#include "support.hpp"
+
+#include "baselines/histogram.hpp"
+#include "kernels/histogram.hpp"
+#include "workloads/generators.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+    using namespace udp::kernels;
+
+    const UdpCostModel cost;
+    print_header("Figure 18: Histogram",
+                 {"column", "bins", "CPU MB/s", "UDP lane MB/s",
+                  "lane/thread", "TPut/W ratio"});
+
+    struct Col {
+        const char *name;
+        unsigned kind;
+        unsigned bins;
+    };
+    const Col cols[] = {
+        {"Crimes.Latitude", 0, 10},
+        {"Crimes.Longitude", 1, 10},
+        {"Taxi.Fare", 2, 4},
+    };
+
+    for (const auto &c : cols) {
+        const auto xs = workloads::fp_values(120'000, c.kind);
+        for (const bool percentile : {false, true}) {
+            baselines::Histogram h = [&] {
+                if (percentile)
+                    return baselines::Histogram::percentile(c.bins, xs);
+                const double lo = *std::min_element(xs.begin(), xs.end());
+                const double hi =
+                    *std::max_element(xs.begin(), xs.end()) + 1e-9;
+                return baselines::Histogram::uniform(c.bins, lo, hi);
+            }();
+
+            const double cpu = time_cpu_mbps(
+                [&] {
+                    auto hh = h;
+                    hh.add_all(xs);
+                },
+                xs.size() * 8);
+
+            const Program prog = histogram_program(h.edges());
+            const Bytes packed = pack_fp_stream(xs);
+            Machine m(AddressingMode::Restricted);
+            const auto res =
+                run_histogram_kernel(m, 0, prog, packed, c.bins, 0);
+
+            WorkloadPerf p;
+            p.cpu_mbps = cpu;
+            p.udp_lane_mbps = res.stats.rate_mbps();
+            print_row({std::string(c.name) +
+                           (percentile ? " (pct)" : " (uni)"),
+                       std::to_string(c.bins), fmt(cpu),
+                       fmt(p.udp_lane_mbps),
+                       fmt(p.udp_lane_mbps / cpu, 2),
+                       fmt(p.perf_watt_ratio(cost), 0)});
+        }
+    }
+    std::printf("\npaper shape: one lane ~400 MB/s, parity with one "
+                "thread; 876x TPut/W\n");
+    return 0;
+}

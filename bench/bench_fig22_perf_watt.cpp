@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 22: overall UDP throughput/watt vs the CPU across workloads
+ * (UDP at 0.864 W system power, CPU at 80 W TDP).
+ */
+#include "support.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    const UdpCostModel cost;
+    const auto all = measure_all();
+
+    print_header("Figure 22: throughput per watt vs CPU",
+                 {"workload", "UDP MB/s/W", "CPU MB/s/W", "ratio"});
+    std::vector<double> ratios;
+    for (const auto &p : all) {
+        const double udp = p.udp64_mbps() / cost.system_power_w();
+        const double cpu = 8 * p.cpu_mbps / cost.cpu_tdp_w;
+        ratios.push_back(p.perf_watt_ratio(cost));
+        print_row({p.name, fmt(udp, 0), fmt(cpu, 1),
+                   fmt(p.perf_watt_ratio(cost), 0)});
+    }
+    std::printf("\ngeomean TPut/W ratio: %.0fx (paper: 1900x, range "
+                "276x-18300x)\n",
+                geomean(ratios));
+    return 0;
+}

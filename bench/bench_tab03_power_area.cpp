@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 3: UDP power and area breakdown (the analytical model
+ * calibrated to the paper's 28nm synthesis + CACTI results), with the
+ * derived comparisons of Section 6.
+ */
+#include "support.hpp"
+
+int
+main()
+{
+    using namespace udp;
+    using namespace udp::bench;
+
+    const UdpCostModel m;
+    print_header("Table 3: UDP lane breakdown",
+                 {"component", "power mW", "frac %", "area mm2",
+                  "frac %"});
+    const auto lane_rows = m.lane_breakdown();
+    for (const auto &r : lane_rows) {
+        print_row({r.name, fmt(r.power_mw, 2),
+                   fmt(100 * r.power_mw / m.lane_total_mw),
+                   fmt(r.area_mm2, 3),
+                   fmt(100 * r.area_mm2 / m.lane_total_mm2)});
+    }
+
+    print_header("Table 3: UDP system breakdown",
+                 {"component", "power mW", "frac %", "area mm2",
+                  "frac %"});
+    for (const auto &r : m.system_breakdown()) {
+        print_row({r.name, fmt(r.power_mw, 2),
+                   fmt(100 * r.power_mw / m.system_mw),
+                   fmt(r.area_mm2, 3),
+                   fmt(100 * r.area_mm2 / m.system_mm2)});
+    }
+
+    print_header("Section 6 derived claims", {"claim", "value"});
+    print_row({"clock", fmt(m.clock_ghz, 2) + " GHz"});
+    print_row({"system power",
+               fmt(m.system_mw, 1) + " mW (memory " +
+                   fmt(100 * m.local_mem_mw / m.system_mw, 1) + "%)"});
+    print_row({"vs x86 core+L1 power",
+               fmt(m.cpu_core_l1_mw / m.system_mw, 1) + "x lower"});
+    print_row({"vs x86 core+L1 area",
+               fmt(m.cpu_core_l1_mm2 / m.system_mm2, 2) + "x smaller"});
+    print_row({"64-lane logic",
+               fmt(m.lanes64_mw, 1) + " mW / " + fmt(m.lanes64_mm2, 2) +
+                   " mm2"});
+    return 0;
+}

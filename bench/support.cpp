@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Benchmark support implementation.
+ */
+#include "support.hpp"
+
+#include "baselines/csv.hpp"
+#include "baselines/dictionary.hpp"
+#include "baselines/histogram.hpp"
+#include "baselines/huffman.hpp"
+#include "baselines/snappy.hpp"
+#include "baselines/trigger.hpp"
+#include "kernels/csv.hpp"
+#include "kernels/dictionary.hpp"
+#include "kernels/histogram.hpp"
+#include "kernels/huffman.hpp"
+#include "kernels/pattern.hpp"
+#include "kernels/snappy.hpp"
+#include "kernels/trigger.hpp"
+#include "workloads/generators.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace udp::bench {
+
+using Clock = std::chrono::steady_clock;
+using namespace kernels;
+
+double
+time_cpu_mbps(const std::function<void()> &fn, std::size_t bytes,
+              int min_reps, double min_seconds)
+{
+    // Warm-up.
+    fn();
+    int reps = 0;
+    const auto t0 = Clock::now();
+    double elapsed = 0;
+    do {
+        fn();
+        ++reps;
+        elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (reps < min_reps || elapsed < min_seconds);
+    return double(bytes) * reps / elapsed / 1e6;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    double acc = 0;
+    std::size_t n = 0;
+    for (const double x : xs) {
+        if (x > 0) {
+            acc += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / double(n)) : 0.0;
+}
+
+void
+print_header(const std::string &title, const std::vector<std::string> &cols)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    for (const auto &c : cols)
+        std::printf("%-18s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        std::printf("%-18s", "----------------");
+    std::printf("\n");
+}
+
+void
+print_row(const std::vector<std::string> &cells)
+{
+    for (const auto &c : cells)
+        std::printf("%-18s", c.c_str());
+    std::printf("\n");
+}
+
+std::string
+fmt(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Workload measurements.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Simulated single-lane rate of a generic run (bytes over cycles).
+double
+lane_rate_mbps(const LaneStats &stats)
+{
+    return stats.rate_mbps();
+}
+
+} // namespace
+
+WorkloadPerf
+measure_csv_parsing()
+{
+    WorkloadPerf p;
+    p.name = "CSV Parsing";
+    const Bytes data = [] {
+        const std::string text = workloads::crimes_csv(80);
+        return Bytes(text.begin(), text.end());
+    }();
+
+    p.cpu_mbps = time_cpu_mbps(
+        [&] {
+            const auto c = baselines::parse_csv(data);
+            if (c.rows == 0)
+                throw UdpError("csv bench: empty");
+        },
+        data.size());
+
+    Machine m(AddressingMode::Restricted);
+    const auto res = run_csv_kernel(m, 0, data, 0);
+    p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    p.parallelism = 32; // two-bank windows (input + field output)
+    return p;
+}
+
+WorkloadPerf
+measure_huffman_encode()
+{
+    WorkloadPerf p;
+    p.name = "Huffman Encoding";
+    const Bytes data = workloads::text_corpus(192 * 1024, 0.5, 14);
+    const auto code = baselines::build_huffman(data);
+
+    p.cpu_mbps = time_cpu_mbps(
+        [&] { baselines::huffman_encode(data, code); }, data.size());
+
+    const Program prog = huffman_encoder(code);
+    Machine m(AddressingMode::Restricted);
+    Lane &lane = m.lane(0);
+    lane.load(prog);
+    lane.set_input(data);
+    lane.run();
+    p.udp_lane_mbps = lane_rate_mbps(lane.stats());
+    return p;
+}
+
+WorkloadPerf
+measure_huffman_decode()
+{
+    WorkloadPerf p;
+    p.name = "Huffman Decoding";
+    const Bytes data = workloads::text_corpus(192 * 1024, 0.5, 15);
+    const auto code = baselines::build_huffman(data);
+    Bytes enc = baselines::huffman_encode(data, code);
+
+    p.cpu_mbps = time_cpu_mbps(
+        [&] { baselines::huffman_decode(enc, data.size(), code); },
+        enc.size());
+
+    enc.push_back(0);
+    enc.push_back(0);
+    const auto k = huffman_decoder(code, VarSymDesign::SsRef);
+    Machine m(AddressingMode::Restricted);
+    Lane &lane = m.lane(0);
+    lane.load(k.program);
+    lane.set_input(enc);
+    lane.run();
+    p.udp_lane_mbps = lane_rate_mbps(lane.stats());
+    p.parallelism = std::min(64u, achievable_parallelism(k.code_bytes));
+    return p;
+}
+
+WorkloadPerf
+measure_pattern_matching(bool complex_set)
+{
+    WorkloadPerf p;
+    p.name = complex_set ? "Pattern Match (complex)"
+                         : "Pattern Match (simple)";
+    const auto pats = workloads::nids_patterns(48, complex_set);
+    const Bytes payload = workloads::packet_payloads(256 * 1024, pats);
+
+    // CPU: combined-pattern DFA table walk (the paper used Boost with a
+    // single merged pattern; a table DFA is the stronger baseline).
+    std::vector<std::unique_ptr<RegexNode>> storage;
+    std::vector<const RegexNode *> asts;
+    for (const auto &pat : pats) {
+        storage.push_back(parse_regex(pat));
+        asts.push_back(storage.back().get());
+    }
+    const Dfa dfa = minimize(determinize(build_multi_nfa(asts)));
+    p.cpu_mbps = time_cpu_mbps([&] { dfa.count_matches(payload); },
+                               payload.size());
+
+    // UDP: patterns partitioned over 8 groups, aDFA model (Section 5.3).
+    const auto groups =
+        pattern_groups(pats,
+        complex_set ? FaModel::Nfa : FaModel::Adfa,
+        complex_set ? 16 : 8);
+    Machine m(AddressingMode::Restricted);
+    Cycles max_cycles = 0;
+    std::uint64_t bytes = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        Lane &lane = m.lane(static_cast<unsigned>(g));
+        lane.load(groups[g].program);
+        lane.set_input(payload);
+        if (groups[g].nfa_mode)
+            lane.run_nfa();
+        else
+            lane.run();
+        max_cycles = std::max(max_cycles, lane.stats().cycles);
+        bytes += payload.size();
+    }
+    // Each group scans the whole stream; the partitioned set behaves as
+    // one lane handling the stream at the slowest group's rate.
+    p.udp_lane_mbps =
+        double(payload.size()) / (double(max_cycles) / kClockHz) / 1e6;
+    return p;
+}
+
+WorkloadPerf
+measure_dictionary(bool rle)
+{
+    WorkloadPerf p;
+    p.name = rle ? "Dictionary-RLE" : "Dictionary";
+    const auto rows = rle ? workloads::runny_attribute(60000, 48, 6.0)
+                          : workloads::zipf_attribute(60000, 48);
+    const Bytes input = dict_input(rows);
+
+    if (rle) {
+        p.cpu_mbps = time_cpu_mbps(
+            [&] { baselines::dictionary_rle_encode(rows); }, input.size());
+    } else {
+        p.cpu_mbps = time_cpu_mbps(
+            [&] { baselines::dictionary_encode(rows); }, input.size());
+    }
+
+    const auto base = baselines::dictionary_encode(rows);
+    const Program prog = rle ? dictionary_rle_program(base.dict)
+                             : dictionary_program(base.dict);
+    Machine m(AddressingMode::Restricted);
+    const auto res = run_dict_kernel(m, 0, prog, input, rle);
+    p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    return p;
+}
+
+WorkloadPerf
+measure_histogram()
+{
+    WorkloadPerf p;
+    p.name = "Histogram";
+    const auto xs = workloads::fp_values(100'000, 0);
+    auto h = baselines::Histogram::uniform(10, 41.2, 42.5);
+
+    p.cpu_mbps = time_cpu_mbps(
+        [&] {
+            auto hh = h;
+            hh.add_all(xs);
+        },
+        xs.size() * 8);
+
+    const Program prog = histogram_program(h.edges());
+    const Bytes packed = pack_fp_stream(xs);
+    Machine m(AddressingMode::Restricted);
+    const auto res = run_histogram_kernel(m, 0, prog, packed, 10, 0);
+    p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    return p;
+}
+
+WorkloadPerf
+measure_snappy_compress()
+{
+    WorkloadPerf p;
+    p.name = "Compression (Snappy)";
+    const Bytes big = workloads::text_corpus(512 * 1024, 0.5, 16);
+    p.cpu_mbps = time_cpu_mbps([&] { baselines::snappy_compress(big); },
+                               big.size());
+
+    static const Program prog = snappy_compress_program();
+    const Bytes block = workloads::text_corpus(kSnapMaxInput, 0.5, 16);
+    Machine m(AddressingMode::Restricted);
+    const auto res = run_snappy_compress(m, 0, prog, block, 0);
+    p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    p.parallelism = 32; // two-bank windows (input + hash table)
+    return p;
+}
+
+WorkloadPerf
+measure_snappy_decompress()
+{
+    WorkloadPerf p;
+    p.name = "Decompression (Snappy)";
+    const Bytes big = workloads::text_corpus(512 * 1024, 0.5, 17);
+    const Bytes comp_big = baselines::snappy_compress(big);
+    p.cpu_mbps = time_cpu_mbps(
+        [&] { baselines::snappy_decompress(comp_big); }, comp_big.size());
+
+    static const Program prog = snappy_decompress_program();
+    const Bytes block = workloads::text_corpus(12 * 1024, 0.5, 17);
+    const Bytes comp = baselines::snappy_compress(block);
+    std::size_t pos = 0;
+    while (comp[pos] & 0x80)
+        ++pos;
+    ++pos;
+    Machine m(AddressingMode::Restricted);
+    const auto res = run_snappy_decompress(
+        m, 0, prog, BytesView(comp).subspan(pos, comp.size() - pos), 0);
+    p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    p.parallelism = 32; // two-bank windows (input + output)
+    return p;
+}
+
+WorkloadPerf
+measure_trigger()
+{
+    WorkloadPerf p;
+    p.name = "Signal Triggering";
+    const Bytes packed = workloads::waveform(400'000, 13);
+    const Bytes samples = samples_from_bits(packed);
+
+    const baselines::PulseTrigger trig(6);
+    p.cpu_mbps = time_cpu_mbps(
+        [&] { trig.count_triggers_lut4(packed); }, samples.size());
+
+    const Program prog = trigger_program(6);
+    Machine m(AddressingMode::Restricted);
+    Lane &lane = m.lane(0);
+    lane.load(prog);
+    lane.set_input(samples);
+    lane.run();
+    p.udp_lane_mbps = lane_rate_mbps(lane.stats());
+    return p;
+}
+
+std::vector<WorkloadPerf>
+measure_all()
+{
+    return {
+        measure_csv_parsing(),      measure_huffman_encode(),
+        measure_huffman_decode(),   measure_pattern_matching(false),
+        measure_dictionary(false),  measure_dictionary(true),
+        measure_histogram(),        measure_snappy_compress(),
+        measure_snappy_decompress(), measure_trigger(),
+    };
+}
+
+} // namespace udp::bench

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared benchmark support: CPU wall-clock measurement, UDP simulation
+ * harnesses per workload, and table printing.
+ *
+ * Methodology mirrors the paper's Section 4.4:
+ *  - "CPU thread" numbers are measured wall-clock on the host (a laptop-
+ *    class core, not the paper's Xeon E5620 - absolute rates shift).
+ *  - "8-thread CPU" is single-thread x8, the paper's own optimistic
+ *    scaling assumption.
+ *  - UDP rates come from the cycle-accurate simulation at 1 GHz; 64-lane
+ *    throughput is lane rate x achievable parallelism (code-size bound).
+ *  - Power: UDP system 0.864 W, CPU TDP 80 W (Table 3).
+ */
+#pragma once
+
+#include "core/energy.hpp"
+#include "core/machine.hpp"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace udp::bench {
+
+/// Measured performance of one workload.
+struct WorkloadPerf {
+    std::string name;
+    double cpu_mbps = 0;       ///< one CPU thread, measured
+    double udp_lane_mbps = 0;  ///< one UDP lane, simulated
+    unsigned parallelism = 64; ///< lanes the program footprint allows
+
+    double udp64_mbps() const { return udp_lane_mbps * parallelism; }
+    double speedup_vs_8t() const {
+        return cpu_mbps > 0 ? udp64_mbps() / (8 * cpu_mbps) : 0;
+    }
+    double perf_watt_ratio(const UdpCostModel &m) const {
+        const double udp = udp64_mbps() / m.system_power_w();
+        const double cpu = 8 * cpu_mbps / m.cpu_tdp_w;
+        return cpu > 0 ? udp / cpu : 0;
+    }
+};
+
+/// Wall-clock MB/s of `fn` over `bytes` of input (repeats for stability).
+double time_cpu_mbps(const std::function<void()> &fn, std::size_t bytes,
+                     int min_reps = 3, double min_seconds = 0.05);
+
+/// Geometric mean of positive values.
+double geomean(const std::vector<double> &xs);
+
+/// Simple fixed-width table printer.
+void print_header(const std::string &title,
+                  const std::vector<std::string> &cols);
+void print_row(const std::vector<std::string> &cells);
+std::string fmt(double v, int prec = 1);
+
+// --- Per-workload measurement (used by Figs 13-22 and Table 4) ------------
+// Each runs the CPU baseline (measured) and the UDP kernel (simulated)
+// on the same synthetic dataset and returns both rates.
+
+WorkloadPerf measure_csv_parsing();
+WorkloadPerf measure_huffman_encode();
+WorkloadPerf measure_huffman_decode();
+WorkloadPerf measure_pattern_matching(bool complex_set);
+WorkloadPerf measure_dictionary(bool rle);
+WorkloadPerf measure_histogram();
+WorkloadPerf measure_snappy_compress();
+WorkloadPerf measure_snappy_decompress();
+WorkloadPerf measure_trigger();
+
+/// All nine headline workloads (Fig 21/22 order).
+std::vector<WorkloadPerf> measure_all();
+
+} // namespace udp::bench

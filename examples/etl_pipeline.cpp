@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ETL pipeline example: load a compressed TPC-H-like lineitem CSV into
+ * the mini columnar store twice - CPU-only and with the UDP offloading
+ * decompression + parsing - and compare the stage breakdowns
+ * (the Figure 1 -> Figure 21 story in one program).
+ */
+#include "etl/loader.hpp"
+
+#include <cstdio>
+
+using namespace udp;
+using namespace udp::etl;
+
+int
+main()
+{
+    const double sf = 2.0;
+    std::printf("generating lineitem at SF %.1f (%zu rows)...\n", sf,
+                static_cast<std::size_t>(sf * kRowsPerScale));
+    const std::string csv = lineitem_csv(sf);
+    const Bytes comp = compress_for_load(csv);
+    std::printf("csv %.2f MB -> compressed %.2f MB\n\n",
+                double(csv.size()) / 1e6, double(comp.size()) / 1e6);
+
+    Table cpu_table("lineitem", lineitem_schema());
+    const LoadBreakdown cpu = load_cpu(comp, cpu_table);
+
+    Machine m(AddressingMode::Restricted);
+    Table udp_table("lineitem", lineitem_schema());
+    const LoadBreakdown udp = load_udp_offload(m, comp, udp_table, 32);
+
+    auto show = [](const char *name, const LoadBreakdown &bd) {
+        std::printf("%-12s io %.4fs | decompress %.4fs | parse %.4fs | "
+                    "deserialize %.4fs | total %.4fs\n",
+                    name, bd.io, bd.decompress, bd.parse, bd.deserialize,
+                    bd.total_seconds());
+    };
+    show("CPU only", cpu);
+    show("UDP offload", udp);
+
+    std::printf("\nrows loaded  : %zu (identical: %s)\n",
+                cpu_table.num_rows(),
+                cpu_table.num_rows() == udp_table.num_rows() ? "yes"
+                                                             : "NO");
+    std::printf("table memory : %.2f MB (dictionary-encoded text)\n",
+                double(cpu_table.bytes()) / 1e6);
+    std::printf("CPU fraction of wall-clock (CPU-only run): %.1f%%\n",
+                100 * cpu.cpu_seconds() / cpu.total_seconds());
+    std::printf("accelerable work offloaded: %.4fs -> %.4fs (%.1fx)\n",
+                cpu.decompress + cpu.parse, udp.decompress + udp.parse,
+                (cpu.decompress + cpu.parse) /
+                    (udp.decompress + udp.parse));
+    return 0;
+}

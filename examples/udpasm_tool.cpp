@@ -1,0 +1,125 @@
+/**
+ * @file
+ * `udpasm_tool` - the command-line face of the UDP software stack:
+ * assemble .udpasm sources to .udpbin images, disassemble images, and
+ * run them on a simulated lane.
+ *
+ *   udpasm_tool asm  <in.udpasm> <out.udpbin>
+ *   udpasm_tool dis  <in.udpbin>
+ *   udpasm_tool run  <in.udpbin|in.udpasm> <input-file> [--nfa]
+ */
+#include "assembler/disasm.hpp"
+#include "assembler/textasm.hpp"
+#include "core/image.hpp"
+#include "core/lane.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace udp;
+
+namespace {
+
+std::string
+read_file(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw UdpError("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+Program
+load_any(const std::string &path)
+{
+    if (path.size() > 7 &&
+        path.compare(path.size() - 7, 7, ".udpbin") == 0)
+        return load_program_file(path);
+    return assemble(read_file(path));
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  udpasm_tool asm <in.udpasm> <out.udpbin>\n"
+                 "  udpasm_tool dis <in.udpbin|in.udpasm>\n"
+                 "  udpasm_tool run <program> <input-file> [--nfa]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 3)
+            return usage();
+        const std::string cmd = argv[1];
+
+        if (cmd == "asm" && argc == 4) {
+            const Program prog = assemble(read_file(argv[2]));
+            save_program_file(prog, argv[3]);
+            std::printf("%s: %zu states, %zu dispatch words (%.0f%% "
+                        "fill), %zu action words -> %s\n",
+                        argv[2], prog.states.size(),
+                        prog.layout.dispatch_words,
+                        100 * prog.layout.fill_ratio(),
+                        prog.actions.size(), argv[3]);
+            return 0;
+        }
+        if (cmd == "dis" && argc == 3) {
+            std::printf("%s", disassemble(load_any(argv[2])).c_str());
+            return 0;
+        }
+        if (cmd == "run" && (argc == 4 || argc == 5)) {
+            const Program prog = load_any(argv[2]);
+            const std::string text = read_file(argv[3]);
+            const Bytes input(text.begin(), text.end());
+            const bool nfa = argc == 5 && std::string(argv[4]) == "--nfa";
+
+            LocalMemory mem(prog.addressing);
+            Lane lane(0, mem);
+            lane.load(prog);
+            lane.set_input(input);
+            const LaneStatus st = nfa ? lane.run_nfa() : lane.run();
+            lane.finish_output();
+
+            std::printf("status   : %s\n",
+                        st == LaneStatus::Done ? "done" : "reject");
+            std::printf("cycles   : %llu (%.0f MB/s at 1 GHz)\n",
+                        static_cast<unsigned long long>(
+                            lane.stats().cycles),
+                        lane.stats().rate_mbps());
+            std::printf("accepts  : %llu\n",
+                        static_cast<unsigned long long>(
+                            lane.accept_count()));
+            std::printf("regs     :");
+            for (unsigned r = 0; r < 8; ++r)
+                std::printf(" r%u=%u", r, lane.reg(r));
+            std::printf("\n");
+            if (!lane.output().empty()) {
+                std::printf("output   : %zu bytes: ",
+                            lane.output().size());
+                for (std::size_t i = 0;
+                     i < std::min<std::size_t>(32, lane.output().size());
+                     ++i) {
+                    const std::uint8_t b = lane.output()[i];
+                    std::printf(b >= 0x20 && b < 0x7F ? "%c" : "\\x%02x",
+                                b);
+                }
+                std::printf("\n");
+            }
+            return 0;
+        }
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "udpasm_tool: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,439 @@
+/**
+ * @file
+ * ProgramBuilder backend: IR construction, action-block sharing, EffCLiP
+ * placement, window-switch insertion, and machine-code emission.
+ */
+#include "builder.hpp"
+
+#include "effclip.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace udp {
+
+namespace {
+
+/// Bit width needed to cover symbol values 0..max_symbol.
+unsigned
+bit_width(Word max_symbol)
+{
+    unsigned w = 1;
+    while ((Word{1} << w) <= max_symbol && w < 32)
+        ++w;
+    return w;
+}
+
+/// Encoded form of an action block, used as the dedup key.
+std::vector<Word>
+encode_block(const std::vector<Action> &actions)
+{
+    std::vector<Word> words;
+    words.reserve(actions.size());
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+        Action a = actions[i];
+        a.last = (i + 1 == actions.size()) && a.op != Opcode::Gotoact;
+        words.push_back(encode_action(a));
+    }
+    return words;
+}
+
+struct BlockKey {
+    std::vector<Word> words;
+    bool operator==(const BlockKey &) const = default;
+};
+
+struct BlockKeyHash {
+    std::size_t operator()(const BlockKey &k) const {
+        std::size_t h = 0xcbf29ce484222325ull;
+        for (Word w : k.words)
+            h = (h ^ w) * 0x100000001b3ull;
+        return h;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// IR construction.
+// ---------------------------------------------------------------------------
+
+StateId
+ProgramBuilder::add_state(bool reg_source)
+{
+    states_.push_back(StateIR{});
+    states_.back().reg_source = reg_source;
+    return static_cast<StateId>(states_.size() - 1);
+}
+
+BlockId
+ProgramBuilder::add_block(std::vector<Action> actions)
+{
+    if (actions.empty())
+        throw UdpError("ProgramBuilder: empty action block");
+    blocks_.push_back(std::move(actions));
+    return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+void
+ProgramBuilder::check_state(StateId s) const
+{
+    if (s >= states_.size())
+        throw UdpError("ProgramBuilder: unknown state id");
+}
+
+ProgramBuilder::StateIR &
+ProgramBuilder::state(StateId s)
+{
+    check_state(s);
+    return states_[s];
+}
+
+void
+ProgramBuilder::on_symbol(StateId from, Word symbol, StateId to,
+                          BlockId block)
+{
+    check_state(to);
+    StateIR &st = state(from);
+    if (st.common)
+        throw UdpError("ProgramBuilder: labeled arc on a common state");
+    for (const auto &a : st.labeled)
+        if (a.symbol == symbol)
+            throw UdpError("ProgramBuilder: duplicate labeled symbol");
+    Arc arc;
+    arc.type = st.reg_source ? TransitionType::Flagged
+                             : TransitionType::Labeled;
+    arc.symbol = symbol;
+    arc.to = to;
+    arc.block = block;
+    st.labeled.push_back(arc);
+}
+
+void
+ProgramBuilder::on_symbol_refill(StateId from, Word symbol, StateId to,
+                                 unsigned refill_bits, BlockId block)
+{
+    check_state(to);
+    if (refill_bits > 7)
+        throw UdpError("ProgramBuilder: refill count exceeds 3 bits; "
+                       "use the refill action instead");
+    StateIR &st = state(from);
+    for (const auto &a : st.labeled)
+        if (a.symbol == symbol)
+            throw UdpError("ProgramBuilder: duplicate labeled symbol");
+    Arc arc;
+    arc.type = TransitionType::Refill;
+    arc.symbol = symbol;
+    arc.to = to;
+    arc.block = block;
+    arc.refill_bits = static_cast<std::uint8_t>(refill_bits);
+    st.labeled.push_back(arc);
+}
+
+void
+ProgramBuilder::on_majority(StateId from, StateId to, BlockId block)
+{
+    check_state(to);
+    StateIR &st = state(from);
+    if (st.majority)
+        throw UdpError("ProgramBuilder: state already has a majority arc");
+    st.majority = Arc{TransitionType::Majority, 0, to, block, 0};
+}
+
+void
+ProgramBuilder::on_default(StateId from, StateId to, BlockId block)
+{
+    check_state(to);
+    StateIR &st = state(from);
+    if (st.deflt)
+        throw UdpError("ProgramBuilder: state already has a default arc");
+    st.deflt = Arc{TransitionType::Default, 0, to, block, 0};
+}
+
+void
+ProgramBuilder::on_any(StateId from, StateId to, BlockId block)
+{
+    check_state(to);
+    StateIR &st = state(from);
+    if (st.common)
+        throw UdpError("ProgramBuilder: state already has a common arc");
+    if (!st.labeled.empty())
+        throw UdpError("ProgramBuilder: common arc on a labeled state");
+    st.common = Arc{TransitionType::Common, 0, to, block, 0};
+}
+
+void
+ProgramBuilder::on_epsilon(StateId from, StateId to, BlockId block)
+{
+    check_state(to);
+    state(from).epsilons.push_back(
+        Arc{TransitionType::Epsilon, 0, to, block, 0});
+}
+
+void
+ProgramBuilder::set_initial_symbol_bits(unsigned bits)
+{
+    if (bits == 0 || bits > 32)
+        throw UdpError("ProgramBuilder: symbol size must be 1..32");
+    initial_symbol_bits_ = bits;
+}
+
+// ---------------------------------------------------------------------------
+// Backend.
+// ---------------------------------------------------------------------------
+
+Program
+ProgramBuilder::build(const LayoutOptions &opts) const
+{
+    if (entry_ == kNoState)
+        throw UdpError("ProgramBuilder: no entry state set");
+    check_state(entry_);
+    if (states_.empty())
+        throw UdpError("ProgramBuilder: no states");
+
+    // Dispatch width for layout-safety checks: widest probe any state can
+    // issue.  Stream states probe up to the configured symbol size; the
+    // builder conservatively uses the larger of the initial width and the
+    // widest labeled symbol anywhere.
+    Word max_sym = 0;
+    std::size_t num_transitions = 0;
+    for (const auto &st : states_) {
+        for (const auto &a : st.labeled)
+            max_sym = std::max(max_sym, a.symbol);
+        num_transitions += st.footprint();
+    }
+    const unsigned width =
+        std::max(initial_symbol_bits_, bit_width(max_sym));
+
+    // --- 1. EffCLiP placement -------------------------------------------
+    EffClip packer(*this, opts, width);
+    Placement placement = packer.place();
+
+    const std::size_t ww = opts.window_words;
+    auto window_of = [&](std::uint32_t base) { return base / ww; };
+
+    // --- 2. Effective action blocks (window switches + user blocks) -----
+    // Blocks are deduplicated ("action block sharing", Section 4.3).
+    std::vector<std::vector<Word>> final_blocks;
+    std::vector<bool> block_refillable;
+    std::unordered_map<BlockKey, std::size_t, BlockKeyHash> dedup;
+
+    auto intern = [&](const std::vector<Action> &acts,
+                      bool refill_ref) -> std::size_t {
+        BlockKey key{encode_block(acts)};
+        auto it = dedup.find(key);
+        if (it == dedup.end()) {
+            final_blocks.push_back(key.words);
+            block_refillable.push_back(false);
+            it = dedup.emplace(std::move(key), final_blocks.size() - 1)
+                     .first;
+        }
+        if (refill_ref)
+            block_refillable[it->second] = true;
+        return it->second;
+    };
+
+    // Window-switch prologue for an arc entering `to_window`.
+    auto switch_prologue = [&](std::size_t to_window) {
+        std::vector<Action> acts;
+        const std::uint64_t base_words = to_window * ww;
+        if (base_words <= 32767) {
+            acts.push_back(act_imm(Opcode::Movi, 13, 0,
+                                   static_cast<std::int32_t>(base_words)));
+        } else {
+            acts.push_back(act_imm(Opcode::Movi, 13, 0,
+                                   static_cast<std::int32_t>(to_window)));
+            acts.push_back(act_imm(Opcode::Shli, 13, 13, 12));
+        }
+        acts.push_back(act_imm(Opcode::Setbase, 1, 13, 0));
+        return acts;
+    };
+
+    // Resolve an arc to a block index (or SIZE_MAX for none).
+    constexpr std::size_t kNone = ~std::size_t{0};
+    auto arc_block = [&](const Arc &arc,
+                         std::size_t from_window) -> std::size_t {
+        const std::size_t to_window = window_of(placement.base[arc.to]);
+        std::vector<Action> acts;
+        if (to_window != from_window)
+            acts = switch_prologue(to_window);
+        if (arc.block != kNoBlock) {
+            const auto &user = blocks_[arc.block];
+            acts.insert(acts.end(), user.begin(), user.end());
+        }
+        if (acts.empty())
+            return kNone;
+        return intern(acts, arc.type == TransitionType::Refill);
+    };
+
+    // Walk every arc, collecting final blocks.
+    struct EncodedArc {
+        const Arc *arc;
+        std::size_t block = kNone;
+    };
+    std::vector<std::vector<EncodedArc>> enc_labeled(states_.size());
+    std::vector<std::vector<EncodedArc>> enc_aux(states_.size());
+
+    for (StateId s = 0; s < states_.size(); ++s) {
+        const auto &st = states_[s];
+        const std::size_t w = window_of(placement.base[s]);
+        for (const auto &a : st.labeled)
+            enc_labeled[s].push_back({&a, arc_block(a, w)});
+        // Auxiliary chain order: common, majority, default, epsilons.
+        if (st.common)
+            enc_aux[s].push_back({&*st.common, arc_block(*st.common, w)});
+        if (st.majority)
+            enc_aux[s].push_back(
+                {&*st.majority, arc_block(*st.majority, w)});
+        if (st.deflt)
+            enc_aux[s].push_back({&*st.deflt, arc_block(*st.deflt, w)});
+        for (const auto &e : st.epsilons)
+            enc_aux[s].push_back({&e, arc_block(e, w)});
+        if (enc_aux[s].size() > 255)
+            throw UdpError("ProgramBuilder: auxiliary chain exceeds 255");
+    }
+
+    // --- 3. Action-memory layout ----------------------------------------
+    // Refill-referenced blocks must start at word address <= 30 (5-bit
+    // direct refs); other blocks are direct while they fit below 255,
+    // then fall into the scaled-offset region (Section 3.2.1).
+    std::vector<std::size_t> block_order(final_blocks.size());
+    for (std::size_t i = 0; i < block_order.size(); ++i)
+        block_order[i] = i;
+    std::stable_sort(block_order.begin(), block_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return block_refillable[a] > block_refillable[b];
+                     });
+
+    std::vector<Word> action_image;
+    struct BlockRef {
+        AttachMode mode = AttachMode::Direct;
+        std::uint8_t ref = kNoActions;
+    };
+    std::vector<BlockRef> refs(final_blocks.size());
+
+    std::size_t scale = 0;
+    for (const auto &blk : final_blocks)
+        while ((std::size_t{1} << scale) < blk.size())
+            ++scale;
+
+    std::vector<std::size_t> scaled; // block ids deferred to scaled region
+    for (const std::size_t id : block_order) {
+        const auto &blk = final_blocks[id];
+        const std::size_t start = action_image.size();
+        const std::size_t limit = block_refillable[id] ? 30 : 254;
+        if (start <= limit) {
+            refs[id] = {AttachMode::Direct,
+                        static_cast<std::uint8_t>(start)};
+            action_image.insert(action_image.end(), blk.begin(), blk.end());
+        } else {
+            if (block_refillable[id])
+                throw UdpError("ProgramBuilder: refill action block does "
+                               "not fit the 5-bit direct region");
+            scaled.push_back(id);
+        }
+    }
+    const std::size_t scaled_base = action_image.size();
+    if (scaled.size() > 255)
+        throw UdpError("ProgramBuilder: action space exhausted (more than "
+                       "255 scaled blocks)");
+    for (std::size_t k = 0; k < scaled.size(); ++k) {
+        const std::size_t id = scaled[k];
+        refs[id] = {AttachMode::ScaledOffset, static_cast<std::uint8_t>(k)};
+        const std::size_t start = scaled_base + (k << scale);
+        action_image.resize(std::max(action_image.size(),
+                                     start + final_blocks[id].size()),
+                            encode_action(act_imm(Opcode::Nop, 0, 0, 0,
+                                                  true)));
+        std::copy(final_blocks[id].begin(), final_blocks[id].end(),
+                  action_image.begin() + start);
+    }
+    // Round up so the last scaled block slot exists fully.
+    if (!scaled.empty()) {
+        const std::size_t end =
+            scaled_base + ((scaled.size() - 1) << scale) +
+            (std::size_t{1} << scale);
+        action_image.resize(
+            std::max(action_image.size(), end),
+            encode_action(act_imm(Opcode::Nop, 0, 0, 0, true)));
+    }
+
+    // --- 4. Emit dispatch image -----------------------------------------
+    Program prog;
+    prog.dispatch.assign(
+        placement.extent_words,
+        encode_transition(Transition{0, 0, TransitionType::Epsilon,
+                                     AttachMode::Direct, kNoActions}));
+
+    auto emit = [&](std::uint32_t slot, const Arc &arc, std::uint8_t sig,
+                    std::size_t blk) {
+        Transition t;
+        t.signature = sig;
+        t.target =
+            static_cast<DispatchAddr>(placement.base[arc.to] % ww);
+        t.type = arc.type;
+        if (arc.type == TransitionType::Refill) {
+            std::uint8_t ref5 = 0x1F;
+            if (blk != kNone) {
+                const BlockRef &r = refs[blk];
+                if (r.ref > 30)
+                    throw UdpError("ProgramBuilder: refill block ref "
+                                   "exceeds 5 bits");
+                ref5 = r.ref;
+                t.attach_mode = r.mode;
+            }
+            t.attach = static_cast<std::uint8_t>(
+                (arc.refill_bits << 5) | ref5);
+        } else if (blk != kNone) {
+            t.attach_mode = refs[blk].mode;
+            t.attach = refs[blk].ref;
+        } else {
+            t.attach_mode = AttachMode::Direct;
+            t.attach = kNoActions;
+        }
+        prog.dispatch[slot] = encode_transition(t);
+    };
+
+    prog.states.reserve(states_.size());
+    for (StateId s = 0; s < states_.size(); ++s) {
+        const auto &st = states_[s];
+        const std::uint32_t base = placement.base[s];
+        const std::uint8_t sig = state_signature(base);
+
+        for (const auto &ea : enc_labeled[s])
+            emit(base + ea.arc->symbol, *ea.arc, sig, ea.block);
+        for (std::size_t k = 0; k < enc_aux[s].size(); ++k)
+            emit(base - 1 - static_cast<std::uint32_t>(k),
+                 *enc_aux[s][k].arc, sig, enc_aux[s][k].block);
+
+        StateMeta meta;
+        meta.base = base;
+        meta.reg_source = st.reg_source;
+        meta.aux_count = static_cast<std::uint8_t>(enc_aux[s].size());
+        meta.max_symbol = static_cast<std::uint16_t>(
+            st.labeled.empty() ? 0 : st.max_symbol());
+        prog.states.push_back(meta);
+    }
+
+    prog.actions = std::move(action_image);
+    prog.entry = placement.base[entry_];
+    prog.initial_symbol_bits = initial_symbol_bits_;
+    prog.addressing = addressing_;
+    prog.init_action_base = static_cast<std::uint32_t>(scaled_base);
+    prog.init_action_scale = static_cast<unsigned>(scale);
+    prog.init_dispatch_base =
+        static_cast<std::uint32_t>(window_of(prog.entry) * ww);
+
+    prog.layout.dispatch_words = placement.extent_words;
+    prog.layout.used_words = placement.used_words;
+    prog.layout.action_words = prog.actions.size();
+    prog.layout.num_states = states_.size();
+    prog.layout.num_transitions = num_transitions;
+
+    prog.index_states();
+    prog.validate();
+    return prog;
+}
+
+} // namespace udp

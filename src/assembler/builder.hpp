@@ -1,0 +1,134 @@
+/**
+ * @file
+ * ProgramBuilder: the programmatic interface of the UDP software stack
+ * (paper Section 4.3, Figure 12).
+ *
+ * Domain translators (CSV, Huffman, histogram, ... kernels) construct an
+ * automaton+action IR through this API; `build()` runs the shared backend:
+ * action-block deduplication/sharing, EffCLiP coupled-linear packing of
+ * the dispatch memory, transition-type back-propagation, and machine-code
+ * emission (Figure 6 formats).
+ */
+#pragma once
+
+#include "core/isa.hpp"
+#include "core/program.hpp"
+#include "core/types.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace udp {
+
+/// Identifier for a (dedup-shared) action block.
+using BlockId = std::int32_t;
+inline constexpr BlockId kNoBlock = -1;
+
+/// Options controlling layout (see EffCLiP, paper [55]).
+struct LayoutOptions {
+    /// Dispatch window size in words (one 16 KiB bank = 4096).
+    std::size_t window_words = kDispatchWords;
+    /// Maximum windows the program may span (banks of code).
+    unsigned max_windows = 1;
+    /// Pack states in descending slot-count order (first-fit decreasing).
+    bool sort_densest_first = true;
+    /**
+     * Naive table layout instead of EffCLiP packing: every state gets a
+     * full 2^width-slot private table (the BI-style dispatch-table layout
+     * of Figure 4b; used as the ablation baseline in Fig 5c).
+     */
+    bool naive_tables = false;
+};
+
+/**
+ * Builder for UDP programs.
+ *
+ * States are created with `add_state`; arcs with the `on_*` methods.
+ * A state marked `reg_source` dispatches on scalar register r0 (its
+ * outgoing arcs become `flagged` transitions; paper Section 3.2.3).
+ */
+class ProgramBuilder
+{
+  public:
+    /// Create a state; returns its id. `reg_source` selects r0 dispatch.
+    StateId add_state(bool reg_source = false);
+
+    /// Number of states added so far.
+    std::size_t num_states() const { return states_.size(); }
+
+    /// Register an action block (deduplicated); returns its id.
+    BlockId add_block(std::vector<Action> actions);
+
+    /// Labeled transition on `symbol` (a `flagged` one on r0-states).
+    void on_symbol(StateId from, Word symbol, StateId to,
+                   BlockId block = kNoBlock);
+
+    /// Labeled transition that also pushes back `refill_bits` (SsRef).
+    void on_symbol_refill(StateId from, Word symbol, StateId to,
+                          unsigned refill_bits, BlockId block = kNoBlock);
+
+    /// Majority fallback (destination shared by this state's other arcs).
+    void on_majority(StateId from, StateId to, BlockId block = kNoBlock);
+
+    /// Default fallback (shared across states; lowest priority).
+    void on_default(StateId from, StateId to, BlockId block = kNoBlock);
+
+    /// Common transition: always taken, replaces all labeled arcs.
+    void on_any(StateId from, StateId to, BlockId block = kNoBlock);
+
+    /// Epsilon transition (NFA multi-state activation).
+    void on_epsilon(StateId from, StateId to, BlockId block = kNoBlock);
+
+    void set_entry(StateId s) { entry_ = s; }
+    void set_initial_symbol_bits(unsigned bits);
+    void set_addressing(AddressingMode m) { addressing_ = m; }
+
+    /// Run the backend; throws UdpError on layout failure.
+    Program build(const LayoutOptions &opts = {}) const;
+
+  private:
+    friend class EffClip;
+
+    struct Arc {
+        TransitionType type;
+        Word symbol = 0;        ///< labeled/refill only
+        StateId to = kNoState;
+        BlockId block = kNoBlock;
+        std::uint8_t refill_bits = 0;
+    };
+
+    struct StateIR {
+        bool reg_source = false;
+        std::vector<Arc> labeled;          ///< labeled + refill arcs
+        std::optional<Arc> majority;
+        std::optional<Arc> deflt;
+        std::optional<Arc> common;
+        std::vector<Arc> epsilons;
+
+        std::size_t aux_size() const {
+            return (common ? 1u : 0u) + (majority ? 1u : 0u) +
+                   (deflt ? 1u : 0u) + epsilons.size();
+        }
+        /// Number of dispatch words this state occupies.
+        std::size_t footprint() const {
+            return labeled.size() + aux_size();
+        }
+        Word max_symbol() const {
+            Word m = 0;
+            for (const auto &a : labeled)
+                m = std::max(m, a.symbol);
+            return m;
+        }
+    };
+
+    StateIR &state(StateId s);
+    void check_state(StateId s) const;
+
+    std::vector<StateIR> states_;
+    std::vector<std::vector<Action>> blocks_;
+    StateId entry_ = kNoState;
+    unsigned initial_symbol_bits_ = 8;
+    AddressingMode addressing_ = AddressingMode::Restricted;
+};
+
+} // namespace udp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Disassembler implementation.
+ */
+#include "disasm.hpp"
+
+#include <sstream>
+
+namespace udp {
+
+std::string
+format_transition(const Transition &t)
+{
+    std::ostringstream os;
+    os << transition_type_name(t.type) << " sig=0x" << std::hex
+       << unsigned(t.signature) << " target=0x" << t.target << std::dec;
+    if (t.type == TransitionType::Refill) {
+        os << " refill=" << unsigned(t.attach >> 5) << " act="
+           << unsigned(t.attach & 0x1F);
+    } else if (t.attach == kNoActions &&
+               t.attach_mode == AttachMode::Direct) {
+        os << " act=-";
+    } else {
+        os << " act=" << unsigned(t.attach);
+    }
+    os << (t.attach_mode == AttachMode::ScaledOffset ? " (scaled)" : "");
+    return os.str();
+}
+
+std::string
+format_action(const Action &a)
+{
+    std::ostringstream os;
+    os << opcode_name(a.op);
+    switch (action_format(a.op)) {
+      case ActionFormat::Imm:
+        os << " r" << unsigned(a.dst) << ", r" << unsigned(a.src) << ", "
+           << a.imm;
+        break;
+      case ActionFormat::Imm2:
+        os << " r" << unsigned(a.dst) << ", r" << unsigned(a.src) << ", "
+           << a.imm1 << ", " << a.imm;
+        break;
+      case ActionFormat::Reg:
+        os << " r" << unsigned(a.dst) << ", r" << unsigned(a.ref) << ", r"
+           << unsigned(a.src);
+        break;
+    }
+    if (a.last)
+        os << " !last";
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    os << "program: " << prog.states.size() << " states, "
+       << prog.dispatch.size() << " dispatch words, "
+       << prog.actions.size() << " action words, entry=0x" << std::hex
+       << prog.entry << std::dec << "\n";
+
+    for (const auto &st : prog.states) {
+        os << "state @0x" << std::hex << st.base << std::dec
+           << (st.reg_source ? " [r0-dispatch]" : "") << "\n";
+        for (unsigned k = 1; k <= st.aux_count; ++k) {
+            const Transition t =
+                decode_transition(prog.dispatch[st.base - k]);
+            os << "  aux[-" << k << "]: " << format_transition(t) << "\n";
+        }
+        for (Word sym = 0; sym <= st.max_symbol; ++sym) {
+            const std::size_t slot = std::size_t{st.base} + sym;
+            if (slot >= prog.dispatch.size())
+                break;
+            const Transition t = decode_transition(prog.dispatch[slot]);
+            if (t.signature != state_signature(st.base))
+                continue;
+            if (t.type != TransitionType::Labeled &&
+                t.type != TransitionType::Refill &&
+                t.type != TransitionType::Flagged) {
+                continue;
+            }
+            os << "  [" << sym << "]: " << format_transition(t) << "\n";
+        }
+    }
+
+    os << "actions:\n";
+    for (std::size_t i = 0; i < prog.actions.size(); ++i)
+        os << "  " << i << ": " << format_action(decode_action(prog.actions[i]))
+           << "\n";
+    return os.str();
+}
+
+} // namespace udp

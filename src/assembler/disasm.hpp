@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Program disassembler: human-readable listings of dispatch and action
+ * memory, used by tests, the quickstart example and debugging.
+ */
+#pragma once
+
+#include "core/program.hpp"
+
+#include <string>
+
+namespace udp {
+
+/// One-line rendering of a decoded transition.
+std::string format_transition(const Transition &t);
+
+/// One-line rendering of a decoded action.
+std::string format_action(const Action &a);
+
+/// Full program listing (states, their slots and action blocks).
+std::string disassemble(const Program &prog);
+
+} // namespace udp

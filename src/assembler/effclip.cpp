@@ -1,0 +1,162 @@
+/**
+ * @file
+ * EffCLiP packer implementation: first-fit (optionally decreasing) with
+ * signature-class safety checks.
+ */
+#include "effclip.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace udp {
+
+EffClip::EffClip(const ProgramBuilder &builder, const LayoutOptions &opts,
+                 unsigned dispatch_width_bits)
+    : b_(builder), opts_(opts), width_(dispatch_width_bits),
+      capacity_(opts.window_words * opts.max_windows),
+      occupied_(capacity_, 0), base_taken_(capacity_, 0), classes_(256)
+{
+}
+
+bool
+EffClip::fits(const ProgramBuilder::StateIR &st, std::uint32_t base) const
+{
+    const std::size_t aux = st.aux_size();
+    if (base < aux)
+        return false;
+    if (base >= capacity_ || base_taken_[base])
+        return false;
+    // Auxiliary chain below the base.
+    for (std::size_t k = 1; k <= aux; ++k)
+        if (occupied_[base - k])
+            return false;
+    // Labeled slots.
+    for (const auto &a : st.labeled) {
+        const std::size_t slot = std::size_t{base} + a.symbol;
+        if (slot >= capacity_ || occupied_[slot])
+            return false;
+    }
+    return true;
+}
+
+bool
+EffClip::class_safe(const ProgramBuilder::StateIR &st,
+                    std::uint32_t base) const
+{
+    // Widths <= 8 bits are unconditionally safe (see header).  The naive
+    // per-state table mode is trivially safe as well.
+    if (width_ <= 8 && !st.reg_source)
+        return true;
+
+    const auto &cls = classes_[base & 0xFF];
+    const std::uint64_t my_end = std::uint64_t{base} + (1u << width_);
+    for (const auto &e : cls) {
+        // My probes reaching their labeled words?
+        for (const Word sym : e.labeled_symbols) {
+            const std::uint64_t slot = std::uint64_t{e.base} + sym;
+            if (slot >= base && slot < my_end)
+                return false;
+        }
+        // Their probes reaching my labeled words?
+        for (const auto &a : st.labeled) {
+            const std::uint64_t slot = std::uint64_t{base} + a.symbol;
+            if (slot >= e.base && slot < e.range_end)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+EffClip::occupy(const ProgramBuilder::StateIR &st, StateId id,
+                std::uint32_t base)
+{
+    const std::size_t aux = st.aux_size();
+    for (std::size_t k = 1; k <= aux; ++k) {
+        occupied_[base - k] = 1;
+        ++out_.used_words;
+    }
+    for (const auto &a : st.labeled) {
+        occupied_[base + a.symbol] = 1;
+        ++out_.used_words;
+    }
+    out_.base[id] = base;
+    base_taken_[base] = 1;
+    const std::size_t hi = st.labeled.empty()
+                               ? base
+                               : std::size_t{base} + st.max_symbol() + 1;
+    out_.extent_words = std::max({out_.extent_words, hi, std::size_t{base} + 1});
+
+    ClassEntry e;
+    e.base = base;
+    e.range_end = base + (1u << std::min(width_, 24u));
+    for (const auto &a : st.labeled)
+        e.labeled_symbols.push_back(a.symbol);
+    classes_[base & 0xFF].push_back(std::move(e));
+}
+
+Placement
+EffClip::place()
+{
+    const auto &states = b_.states_;
+    out_.base.assign(states.size(), 0);
+
+    std::vector<StateId> order(states.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (opts_.sort_densest_first && !opts_.naive_tables) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](StateId a, StateId b) {
+                             return states[a].footprint() >
+                                    states[b].footprint();
+                         });
+    }
+
+    if (opts_.naive_tables) {
+        // BI-style layout: each state gets a private power-of-two table.
+        const std::size_t table = std::size_t{1} << width_;
+        std::size_t cursor = 0;
+        for (const StateId id : order) {
+            const auto &st = states[id];
+            const std::size_t aux = st.aux_size();
+            cursor += aux;
+            if (cursor + table > capacity_)
+                throw UdpError("EffCLiP: naive layout exceeds capacity");
+            // Naive tables are aligned such that occupancy still holds.
+            if (!fits(st, static_cast<std::uint32_t>(cursor)))
+                throw UdpError("EffCLiP: naive layout collision");
+            occupy(st, id, static_cast<std::uint32_t>(cursor));
+            out_.extent_words =
+                std::max(out_.extent_words, cursor + table);
+            cursor += table;
+        }
+        return std::move(out_);
+    }
+
+    // First-fit (decreasing): scan for the lowest safe base per state.
+    // `hint` skips the densely filled prefix to keep packing near-linear.
+    std::size_t hint = 0;
+    for (const StateId id : order) {
+        const auto &st = states[id];
+        const std::size_t aux = st.aux_size();
+        bool placed = false;
+        for (std::size_t base = std::max(hint, aux); base < capacity_;
+             ++base) {
+            const auto b32 = static_cast<std::uint32_t>(base);
+            if (!fits(st, b32) || !class_safe(st, b32))
+                continue;
+            occupy(st, id, b32);
+            placed = true;
+            break;
+        }
+        if (!placed) {
+            throw UdpError(
+                "EffCLiP: layout failure - dispatch capacity exhausted (" +
+                std::to_string(capacity_) + " words)");
+        }
+        while (hint < capacity_ && occupied_[hint])
+            ++hint;
+    }
+    return std::move(out_);
+}
+
+} // namespace udp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * EffCLiP: Efficient Coupled Linear Packing (paper Section 3.2.1 and
+ * tech report [55]).
+ *
+ * Multi-way dispatch resolves `slot = base + symbol` with a fixed hash
+ * (integer addition).  EffCLiP chooses per-state bases so that all states'
+ * slot sets interleave densely in dispatch memory; the 8-bit signature
+ * (here: `base & 0xFF`) detects when a probed slot belongs to another
+ * state, letting one state's "holes" be filled with other states' words -
+ * in effect a perfect hash over the placed code blocks.
+ *
+ * Safety argument encoded in `place()`:
+ *  - A labeled probe only false-matches when the probed word (a) is of a
+ *    labeled kind and (b) carries the prober's signature.  Words of two
+ *    states can only satisfy (b) when their bases are congruent mod 256.
+ *  - For dispatch widths <= 8 bits, same-signature states are >= 256 slots
+ *    apart while ranges span <= 256 slots, so no probe of one can reach a
+ *    labeled word of the other: dense packing is unconditionally safe.
+ *  - For wider dispatch (flagged hash dispatch, etc.) the packer checks
+ *    range overlaps between same-signature-class states explicitly.
+ *  - Empty (never-placed) slots are encoded as epsilon-kind filler, which
+ *    a labeled probe ignores regardless of signature.
+ */
+#pragma once
+
+#include "builder.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace udp {
+
+/// Result of packing: a base for every state plus occupancy stats.
+struct Placement {
+    std::vector<std::uint32_t> base;   ///< per-state full word address
+    std::size_t extent_words = 0;      ///< highest used slot + 1
+    std::size_t used_words = 0;        ///< occupied slots
+};
+
+/**
+ * The packer. Operates on the builder's IR (friend access).
+ */
+class EffClip
+{
+  public:
+    EffClip(const ProgramBuilder &builder, const LayoutOptions &opts,
+            unsigned dispatch_width_bits);
+
+    /// Compute a placement; throws UdpError on layout failure.
+    Placement place();
+
+  private:
+    struct ClassEntry {
+        std::uint32_t base;
+        std::uint32_t range_end;             ///< base + 2^width
+        std::vector<Word> labeled_symbols;   ///< slots are base+symbol
+    };
+
+    bool fits(const ProgramBuilder::StateIR &st, std::uint32_t base) const;
+    bool class_safe(const ProgramBuilder::StateIR &st,
+                    std::uint32_t base) const;
+    void occupy(const ProgramBuilder::StateIR &st, StateId id,
+                std::uint32_t base);
+
+    const ProgramBuilder &b_;
+    LayoutOptions opts_;
+    unsigned width_;
+    std::size_t capacity_;
+    std::vector<std::uint8_t> occupied_;
+    std::vector<std::uint8_t> base_taken_; ///< state bases must be unique
+    std::vector<std::vector<ClassEntry>> classes_; ///< by signature (256)
+    Placement out_;
+};
+
+} // namespace udp

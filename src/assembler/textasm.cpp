@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Textual assembler implementation: a line-oriented recursive parser
+ * feeding ProgramBuilder.
+ */
+#include "textasm.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace udp {
+
+namespace {
+
+/// One parsed source line with its number for diagnostics.
+struct Line {
+    int number;
+    std::string text;
+};
+
+[[noreturn]] void
+fail(int line, const std::string &msg)
+{
+    throw UdpError("asm line " + std::to_string(line) + ": " + msg);
+}
+
+std::string
+strip(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    // Strip comments: ';' outside quotes and outside action blocks
+    // (inside '{...}' a ';' separates actions, not a comment).
+    bool quoted = false;
+    int braces = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\'')
+            quoted = !quoted;
+        else if (quoted)
+            continue;
+        else if (s[i] == '{')
+            ++braces;
+        else if (s[i] == '}')
+            --braces;
+        else if (s[i] == ';' && braces == 0) {
+            e = i;
+            break;
+        }
+    }
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/// Token scanner for one line.
+class Scanner
+{
+  public:
+    Scanner(std::string text, int line)
+        : text_(std::move(text)), line_(line)
+    {
+    }
+
+    bool eof() {
+        skip_ws();
+        return pos_ >= text_.size();
+    }
+
+    /// Next bare word ([A-Za-z_.][A-Za-z0-9_]*).
+    std::string word() {
+        skip_ws();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.'))
+            ++pos_;
+        if (start == pos_)
+            fail(line_, "expected identifier near '" + rest() + "'");
+        return text_.substr(start, pos_ - start);
+    }
+
+    /// Numeric or char literal.
+    std::int64_t literal() {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '\'') {
+            ++pos_;
+            if (pos_ >= text_.size())
+                fail(line_, "unterminated char literal");
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail(line_, "unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case 'n': c = '\n'; break;
+                  case 'r': c = '\r'; break;
+                  case 't': c = '\t'; break;
+                  case '0': c = '\0'; break;
+                  case '\\': c = '\\'; break;
+                  case '\'': c = '\''; break;
+                  default: fail(line_, "bad escape");
+                }
+            }
+            if (pos_ >= text_.size() || text_[pos_++] != '\'')
+                fail(line_, "unterminated char literal");
+            return static_cast<unsigned char>(c);
+        }
+        bool neg = false;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            neg = true;
+            ++pos_;
+        }
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            fail(line_, "expected number near '" + rest() + "'");
+        std::int64_t v = 0;
+        if (text_.compare(pos_, 2, "0x") == 0 ||
+            text_.compare(pos_, 2, "0X") == 0) {
+            pos_ += 2;
+            while (pos_ < text_.size() &&
+                   std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+                const char c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(text_[pos_])));
+                v = v * 16 + (c >= 'a' ? c - 'a' + 10 : c - '0');
+                ++pos_;
+            }
+        } else {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                v = v * 10 + (text_[pos_++] - '0');
+        }
+        return neg ? -v : v;
+    }
+
+    bool accept(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool accept(const std::string &s) {
+        skip_ws();
+        if (text_.compare(pos_, s.size(), s) == 0) {
+            pos_ += s.size();
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!accept(c))
+            fail(line_, std::string("expected '") + c + "' near '" +
+                            rest() + "'");
+    }
+
+    void expect(const std::string &s) {
+        if (!accept(s))
+            fail(line_, "expected '" + s + "' near '" + rest() + "'");
+    }
+
+    bool peek_is(char c) {
+        skip_ws();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    std::string rest() { return text_.substr(pos_); }
+    int line() const { return line_; }
+
+  private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+    int line_;
+};
+
+/// Parse one action: "mnemonic [operand[, operand...]]".
+Action
+parse_action(Scanner &sc)
+{
+    const std::string name = sc.word();
+    const auto op = opcode_from_name(name);
+    if (!op)
+        fail(sc.line(), "unknown action '" + name + "'");
+
+    auto reg_operand = [&]() -> unsigned {
+        sc.expect('r');
+        const auto v = sc.literal();
+        if (v < 0 || v >= kNumScalarRegs)
+            fail(sc.line(), "bad register r" + std::to_string(v));
+        return static_cast<unsigned>(v);
+    };
+    auto imm_operand = [&]() -> std::int32_t {
+        return static_cast<std::int32_t>(sc.literal());
+    };
+
+    Action a;
+    a.op = *op;
+    switch (action_format(*op)) {
+      case ActionFormat::Imm: {
+        // Zero-operand conveniences first.
+        if (*op == Opcode::Halt || *op == Opcode::Fail ||
+            *op == Opcode::Nop || *op == Opcode::Outflush)
+            break;
+        // Single-immediate conveniences: outi 'x' / accept N / skip N /
+        // refill N / setss N / gotoact N.
+        if (*op == Opcode::Outi || *op == Opcode::Accept ||
+            *op == Opcode::Skip || *op == Opcode::Refill ||
+            *op == Opcode::Setss || *op == Opcode::Gotoact) {
+            a.imm = imm_operand();
+            break;
+        }
+        // dst, imm conveniences: movi rD, N / lui rD, N.
+        if (*op == Opcode::Movi || *op == Opcode::Lui) {
+            a.dst = static_cast<std::uint8_t>(reg_operand());
+            sc.expect(',');
+            a.imm = imm_operand();
+            break;
+        }
+        // Reg-then-imm conveniences: outb rS / outw rS / tell rD.
+        if (*op == Opcode::Outb || *op == Opcode::Outw ||
+            *op == Opcode::Setssr) {
+            a.src = static_cast<std::uint8_t>(reg_operand());
+            break;
+        }
+        if (*op == Opcode::Tell || *op == Opcode::Lastsym) {
+            a.dst = static_cast<std::uint8_t>(reg_operand());
+            break;
+        }
+        // General form: dst, src, imm.
+        a.dst = static_cast<std::uint8_t>(reg_operand());
+        sc.expect(',');
+        a.src = static_cast<std::uint8_t>(reg_operand());
+        sc.expect(',');
+        a.imm = imm_operand();
+        break;
+      }
+      case ActionFormat::Imm2:
+        a.dst = 0;
+        a.src = static_cast<std::uint8_t>(reg_operand());
+        sc.expect(',');
+        a.imm1 = imm_operand(); // scale
+        sc.expect(',');
+        a.imm = imm_operand(); // base
+        break;
+      case ActionFormat::Reg:
+        a.dst = static_cast<std::uint8_t>(reg_operand());
+        sc.expect(',');
+        a.ref = static_cast<std::uint8_t>(reg_operand());
+        sc.expect(',');
+        a.src = static_cast<std::uint8_t>(reg_operand());
+        break;
+    }
+    return a;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const LayoutOptions &opts)
+{
+    // Split into significant lines.
+    std::vector<Line> lines;
+    {
+        std::istringstream in(source);
+        std::string raw;
+        int n = 0;
+        while (std::getline(in, raw)) {
+            ++n;
+            const std::string s = strip(raw);
+            if (!s.empty())
+                lines.push_back({n, s});
+        }
+    }
+
+    ProgramBuilder b;
+    std::map<std::string, StateId> states;
+    std::string entry_name;
+    unsigned symbits = 8;
+
+    // Pass 1: collect state declarations (forward references allowed).
+    for (const auto &ln : lines) {
+        Scanner sc(ln.text, ln.number);
+        if (!sc.accept("state "))
+            continue;
+        Scanner sc2(ln.text, ln.number);
+        sc2.expect("state");
+        const std::string name = sc2.word();
+        const bool reg_source = sc2.accept("[reg]");
+        sc2.expect(':');
+        if (states.count(name))
+            fail(ln.number, "duplicate state '" + name + "'");
+        states.emplace(name, b.add_state(reg_source));
+    }
+
+    auto state_of = [&](const std::string &name, int line) -> StateId {
+        const auto it = states.find(name);
+        if (it == states.end())
+            fail(line, "unknown state '" + name + "'");
+        return it->second;
+    };
+
+    // Pass 2: directives and arcs.
+    StateId current = kNoState;
+    for (const auto &ln : lines) {
+        Scanner sc(ln.text, ln.number);
+
+        if (sc.accept(".symbits")) {
+            symbits = static_cast<unsigned>(sc.literal());
+            continue;
+        }
+        if (sc.accept(".addressing")) {
+            const std::string m = sc.word();
+            if (m == "local")
+                b.set_addressing(AddressingMode::Local);
+            else if (m == "global")
+                b.set_addressing(AddressingMode::Global);
+            else if (m == "restricted")
+                b.set_addressing(AddressingMode::Restricted);
+            else
+                fail(ln.number, "bad addressing mode '" + m + "'");
+            continue;
+        }
+        if (sc.accept(".entry")) {
+            entry_name = sc.word();
+            continue;
+        }
+        if (sc.accept("state ")) {
+            Scanner sc2(ln.text, ln.number);
+            sc2.expect("state");
+            current = state_of(sc2.word(), ln.number);
+            continue;
+        }
+
+        // Arc line.
+        if (current == kNoState)
+            fail(ln.number, "arc outside of a state block");
+
+        enum class Kind { Symbol, Majority, Default, Common, Epsilon };
+        Kind kind = Kind::Symbol;
+        Word symbol = 0;
+        if (sc.accept("majority"))
+            kind = Kind::Majority;
+        else if (sc.accept("default"))
+            kind = Kind::Default;
+        else if (sc.accept("common"))
+            kind = Kind::Common;
+        else if (sc.accept("epsilon"))
+            kind = Kind::Epsilon;
+        else
+            symbol = static_cast<Word>(sc.literal());
+
+        sc.expect("->");
+        const StateId target = state_of(sc.word(), ln.number);
+
+        unsigned refill_bits = 0;
+        if (sc.accept("refill"))
+            refill_bits = static_cast<unsigned>(sc.literal());
+
+        BlockId blk = kNoBlock;
+        if (sc.accept('{')) {
+            std::vector<Action> acts;
+            for (;;) {
+                acts.push_back(parse_action(sc));
+                if (sc.accept(';'))
+                    continue;
+                sc.expect('}');
+                break;
+            }
+            blk = b.add_block(std::move(acts));
+        }
+        if (!sc.eof())
+            fail(ln.number, "trailing junk: '" + sc.rest() + "'");
+
+        switch (kind) {
+          case Kind::Symbol:
+            if (refill_bits)
+                b.on_symbol_refill(current, symbol, target, refill_bits,
+                                   blk);
+            else
+                b.on_symbol(current, symbol, target, blk);
+            break;
+          case Kind::Majority: b.on_majority(current, target, blk); break;
+          case Kind::Default: b.on_default(current, target, blk); break;
+          case Kind::Common: b.on_any(current, target, blk); break;
+          case Kind::Epsilon: b.on_epsilon(current, target, blk); break;
+        }
+    }
+
+    if (entry_name.empty())
+        throw UdpError("asm: missing .entry directive");
+    b.set_entry(state_of(entry_name, 0));
+    b.set_initial_symbol_bits(symbits);
+    return b.build(opts);
+}
+
+} // namespace udp

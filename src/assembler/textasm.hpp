@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Textual UDP assembly (".udpasm"): the human-writable front-end of the
+ * software stack (paper Section 4.3 - domain translators emit this
+ * high-level assembly, the shared backend lays it out).
+ *
+ * Grammar (line oriented; ';' starts a comment):
+ *
+ *   .symbits N                 initial symbol size (1..32)
+ *   .addressing local|global|restricted
+ *   .entry NAME
+ *
+ *   state NAME [reg]:          a state ("[reg]" = r0-sourced dispatch)
+ *       SYMBOL -> TARGET [refill K] [{ ACTION ; ACTION ... }]
+ *       majority -> TARGET [{...}]
+ *       default  -> TARGET [{...}]
+ *       common   -> TARGET [{...}]
+ *       epsilon  -> TARGET [{...}]
+ *
+ *   SYMBOL is a decimal/hex (0x..) number or a quoted char ('a', '\n').
+ *   ACTION is "mnemonic operand, operand, ..." with rN registers and
+ *   numeric immediates, e.g.  addi r1, r1, 1  /  outi 'x'  /
+ *   loopcpy r6, r5, r4  /  halt.
+ */
+#pragma once
+
+#include "builder.hpp"
+#include "core/program.hpp"
+
+#include <string>
+
+namespace udp {
+
+/// Assemble a textual program; throws UdpError with line diagnostics.
+Program assemble(const std::string &source, const LayoutOptions &opts = {});
+
+} // namespace udp

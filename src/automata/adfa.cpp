@@ -1,0 +1,152 @@
+/**
+ * @file
+ * aDFA construction: maximum-weight default-parent forest with bounded
+ * depth (greedy Kruskal-style, in the spirit of D2FA space reduction).
+ */
+#include "adfa.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace udp {
+
+std::size_t
+Adfa::arc_count() const
+{
+    std::size_t n = 0;
+    for (const auto &s : states)
+        n += s.arcs.size();
+    return n;
+}
+
+std::uint64_t
+Adfa::count_matches(BytesView input) const
+{
+    std::uint64_t count = 0;
+    StateId s = start;
+    for (const std::uint8_t c : input) {
+        StateId cur = s;
+        StateId nxt = kNoState;
+        for (;;) {
+            const auto &st = states[cur];
+            const auto it = std::lower_bound(
+                st.arcs.begin(), st.arcs.end(), c,
+                [](const auto &a, std::uint8_t b) { return a.first < b; });
+            if (it != st.arcs.end() && it->first == c) {
+                nxt = it->second;
+                break;
+            }
+            if (st.deflt == kNoState)
+                break;
+            cur = st.deflt; // follow default without consuming
+        }
+        s = (nxt == kNoState) ? start : nxt;
+        if (s != kNoState && states[s].accept >= 0)
+            ++count;
+    }
+    return count;
+}
+
+Adfa
+build_adfa(const Dfa &dfa, unsigned max_depth)
+{
+    const std::size_t n = dfa.size();
+
+    // Shared-transition weight between two states.
+    auto shared = [&](StateId a, StateId b) {
+        unsigned w = 0;
+        for (unsigned c = 0; c < 256; ++c)
+            if (dfa.next[a][c] == dfa.next[b][c] &&
+                dfa.next[a][c] != kNoState)
+                ++w;
+        return w;
+    };
+
+    // Greedy forest: evaluate candidate parents in descending shared
+    // weight; O(n^2) pair scan, fine for the evaluation's DFA sizes.
+    struct Edge {
+        unsigned w;
+        StateId a, b;
+    };
+    std::vector<Edge> edges;
+    const std::size_t pair_cap = 4'000'000; // keep builds bounded
+    if (n * n <= pair_cap) {
+        for (StateId a = 0; a < n; ++a)
+            for (StateId b = a + 1; b < n; ++b) {
+                const unsigned w = shared(a, b);
+                if (w >= 16)
+                    edges.push_back({w, a, b});
+            }
+    } else {
+        // Large DFAs: compare each state against a window of neighbors
+        // (states created close together are similar in practice).
+        const unsigned window = 64;
+        for (StateId a = 0; a < n; ++a)
+            for (StateId b = a + 1; b < std::min<std::size_t>(n, a + window);
+                 ++b) {
+                const unsigned w = shared(a, b);
+                if (w >= 16)
+                    edges.push_back({w, a, b});
+            }
+    }
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const Edge &x, const Edge &y) { return x.w > y.w; });
+
+    std::vector<StateId> parent(n, kNoState);
+    std::vector<unsigned> depth(n, 0);
+
+    auto root_depth = [&](StateId s) {
+        unsigned d = 0;
+        while (parent[s] != kNoState) {
+            s = parent[s];
+            ++d;
+        }
+        return d;
+    };
+
+    for (const Edge &e : edges) {
+        // Try to hang the deeper-candidate under the other, keeping the
+        // depth bound and acyclicity (forest by construction: a node gets
+        // at most one parent and we never parent an ancestor).
+        for (const auto &[child, par] :
+             {std::pair{e.a, e.b}, std::pair{e.b, e.a}}) {
+            if (parent[child] != kNoState || child == dfa.start)
+                continue;
+            // Ancestry check (prevents cycles).
+            bool anc = false;
+            for (StateId s = par; s != kNoState; s = parent[s])
+                if (s == child) {
+                    anc = true;
+                    break;
+                }
+            if (anc)
+                continue;
+            if (root_depth(par) + 1 > max_depth)
+                continue;
+            parent[child] = par;
+            break;
+        }
+    }
+    (void)depth;
+
+    Adfa out;
+    out.start = dfa.start;
+    out.states.resize(n);
+    for (StateId s = 0; s < n; ++s) {
+        AdfaState &st = out.states[s];
+        st.accept = dfa.accept[s];
+        st.deflt = parent[s];
+        for (unsigned c = 0; c < 256; ++c) {
+            const StateId t = dfa.next[s][c];
+            if (t == kNoState)
+                continue;
+            if (parent[s] != kNoState &&
+                dfa.next[parent[s]][c] == t)
+                continue; // covered by the default parent
+            st.arcs.emplace_back(static_cast<std::uint8_t>(c), t);
+        }
+    }
+    return out;
+}
+
+} // namespace udp

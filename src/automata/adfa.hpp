@@ -1,0 +1,45 @@
+/**
+ * @file
+ * aDFA: DFA with default-transition compression (the D2FA-flavored
+ * "ADFA [66]" model the paper's pattern-matching evaluation uses).
+ *
+ * Each state keeps only the byte transitions that differ from its default
+ * parent; a miss follows the default arc *without consuming the symbol*
+ * (realized on the UDP with a `default` transition whose action refills
+ * the symbol).  Compression trades memory for extra dispatches per
+ * symbol, bounded by the chosen maximum default-chain depth.
+ */
+#pragma once
+
+#include "dfa.hpp"
+
+namespace udp {
+
+/// aDFA state: residual arcs plus a default parent.
+struct AdfaState {
+    /// Explicit arcs: (byte, target). Sorted by byte.
+    std::vector<std::pair<std::uint8_t, StateId>> arcs;
+    StateId deflt = kNoState; ///< default parent (kNoState = none)
+    std::int32_t accept = -1;
+};
+
+struct Adfa {
+    std::vector<AdfaState> states;
+    StateId start = 0;
+
+    std::size_t size() const { return states.size(); }
+    /// Total explicit arcs (the memory the compression saves).
+    std::size_t arc_count() const;
+    /// Matching (CPU model); identical results to the source DFA.
+    std::uint64_t count_matches(BytesView input) const;
+};
+
+/**
+ * Build an aDFA from a DFA.
+ *
+ * @param max_depth  bound on default-chain length (root depth 0);
+ *                   2-4 are typical sweet spots.
+ */
+Adfa build_adfa(const Dfa &dfa, unsigned max_depth = 3);
+
+} // namespace udp

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * FA -> UDP program compilers.
+ */
+#include "compile.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace udp {
+
+namespace {
+
+/// Accept-action block for a pattern id (deduplicated by the builder).
+BlockId
+accept_block(ProgramBuilder &b, std::int32_t id,
+             std::map<std::int32_t, BlockId> &cache)
+{
+    auto it = cache.find(id);
+    if (it != cache.end())
+        return it->second;
+    const BlockId blk =
+        b.add_block({act_imm(Opcode::Accept, 0, 0, id, true)});
+    cache.emplace(id, blk);
+    return blk;
+}
+
+} // namespace
+
+Program
+compile_dfa(const Dfa &dfa, const DfaCompileOptions &opts)
+{
+    ProgramBuilder b;
+    std::vector<StateId> ids(dfa.size());
+    for (std::size_t s = 0; s < dfa.size(); ++s)
+        ids[s] = b.add_state();
+
+    std::map<std::int32_t, BlockId> acc_blocks;
+
+    for (std::size_t s = 0; s < dfa.size(); ++s) {
+        // Count (target, accept-id) popularity for majority folding.
+        std::map<StateId, unsigned> popularity;
+        for (unsigned c = 0; c < 256; ++c) {
+            const StateId t = dfa.next[s][c];
+            if (t != kNoState)
+                ++popularity[t];
+        }
+        StateId maj = kNoState;
+        unsigned maj_count = 0;
+        if (opts.majority_threshold > 0) {
+            for (const auto &[t, n] : popularity) {
+                if (n > maj_count) {
+                    maj = t;
+                    maj_count = n;
+                }
+            }
+            if (maj_count < opts.majority_threshold)
+                maj = kNoState;
+        }
+
+        auto arc_block = [&](StateId t) {
+            return dfa.accept[t] >= 0
+                       ? accept_block(b, dfa.accept[t], acc_blocks)
+                       : kNoBlock;
+        };
+
+        for (unsigned c = 0; c < 256; ++c) {
+            const StateId t = dfa.next[s][c];
+            if (t == kNoState || t == maj)
+                continue;
+            b.on_symbol(ids[s], c, ids[t], arc_block(t));
+        }
+        if (maj != kNoState)
+            b.on_majority(ids[s], ids[maj], arc_block(maj));
+    }
+
+    b.set_entry(ids[dfa.start]);
+    b.set_initial_symbol_bits(8);
+    return b.build(opts.layout);
+}
+
+Program
+compile_adfa(const Adfa &adfa, const LayoutOptions &layout)
+{
+    ProgramBuilder b;
+    std::vector<StateId> ids(adfa.size());
+    for (std::size_t s = 0; s < adfa.size(); ++s)
+        ids[s] = b.add_state();
+
+    std::map<std::int32_t, BlockId> acc_blocks;
+    // Non-consuming default: push the 8-bit symbol back, then the parent
+    // re-dispatches it (one shared block).
+    const BlockId push_back =
+        b.add_block({act_imm(Opcode::Refill, 0, 0, 8, true)});
+
+    for (std::size_t s = 0; s < adfa.size(); ++s) {
+        const AdfaState &st = adfa.states[s];
+        for (const auto &[c, t] : st.arcs) {
+            const BlockId blk =
+                adfa.states[t].accept >= 0
+                    ? accept_block(b, adfa.states[t].accept, acc_blocks)
+                    : kNoBlock;
+            b.on_symbol(ids[s], c, ids[t], blk);
+        }
+        if (st.deflt != kNoState)
+            b.on_default(ids[s], ids[st.deflt], push_back);
+    }
+
+    b.set_entry(ids[adfa.start]);
+    b.set_initial_symbol_bits(8);
+    return b.build(layout);
+}
+
+Program
+compile_nfa(const Nfa &nfa, const LayoutOptions &layout)
+{
+    ProgramBuilder b;
+    std::vector<StateId> ids(nfa.size());
+    for (std::size_t s = 0; s < nfa.size(); ++s)
+        ids[s] = b.add_state();
+
+    std::map<std::int32_t, BlockId> acc_blocks;
+    // Split states shared by target set.
+    std::map<std::vector<StateId>, StateId> splits;
+
+    auto arc_accept = [&](StateId t) {
+        return nfa.states[t].accept >= 0
+                   ? accept_block(b, nfa.states[t].accept, acc_blocks)
+                   : kNoBlock;
+    };
+
+    for (std::size_t s = 0; s < nfa.size(); ++s) {
+        // Gather per-byte target sets.
+        std::array<std::vector<StateId>, 256> tgt;
+        for (const auto &[cls, t] : nfa.states[s].arcs)
+            for (unsigned c = 0; c < 256; ++c)
+                if (cls.test(static_cast<std::uint8_t>(c)))
+                    tgt[c].push_back(t);
+
+        for (unsigned c = 0; c < 256; ++c) {
+            auto &v = tgt[c];
+            if (v.empty())
+                continue;
+            std::sort(v.begin(), v.end());
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+            if (v.size() == 1) {
+                b.on_symbol(ids[s], c, ids[v[0]], arc_accept(v[0]));
+                continue;
+            }
+            auto [it, inserted] = splits.emplace(v, kNoState);
+            if (inserted) {
+                const StateId sp = b.add_state();
+                it->second = sp;
+                for (const StateId t : v)
+                    b.on_epsilon(sp, ids[t], arc_accept(t));
+            }
+            b.on_symbol(ids[s], c, it->second);
+        }
+    }
+
+    b.set_entry(ids[nfa.start]);
+    b.set_initial_symbol_bits(8);
+    return b.build(layout);
+}
+
+} // namespace udp

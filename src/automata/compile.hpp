@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Compilers from finite-automata models to UDP programs (the pattern-
+ * matching path of the paper: DFA, aDFA and NFA models, Section 5.3).
+ *
+ * Accept semantics: an `accept` action (id = pattern id) is attached to
+ * every arc entering an accepting state, so lane `accept_count()` equals
+ * the number of unanchored matches.
+ */
+#pragma once
+
+#include "adfa.hpp"
+#include "assembler/builder.hpp"
+#include "core/program.hpp"
+#include "dfa.hpp"
+#include "nfa.hpp"
+
+namespace udp {
+
+/// Options for the DFA compiler.
+struct DfaCompileOptions {
+    /**
+     * Fold each state's most-popular target into a `majority` transition
+     * when it covers at least this many symbols (0 disables majority
+     * compression and emits all 256 labeled arcs).
+     */
+    unsigned majority_threshold = 2;
+    LayoutOptions layout;
+};
+
+/// Compile a (total) DFA to a UDP program (labeled + majority arcs).
+Program compile_dfa(const Dfa &dfa, const DfaCompileOptions &opts = {});
+
+/// Compile an aDFA: residual labeled arcs plus non-consuming `default`
+/// arcs realized with a refill action.
+Program compile_adfa(const Adfa &adfa, const LayoutOptions &layout = {});
+
+/// Compile an epsilon-eliminated NFA for `run_nfa` execution; multi-
+/// target symbols go through epsilon split states.
+Program compile_nfa(const Nfa &nfa, const LayoutOptions &layout = {});
+
+} // namespace udp

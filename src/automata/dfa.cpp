@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Subset construction and minimization.
+ */
+#include "dfa.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace udp {
+
+std::uint64_t
+Dfa::count_matches(BytesView input) const
+{
+    std::uint64_t count = 0;
+    StateId s = start;
+    for (const std::uint8_t c : input) {
+        s = next[s][c];
+        if (s == kNoState)
+            s = start; // unanchored automata are total in practice
+        else if (accept[s] >= 0)
+            ++count;
+    }
+    return count;
+}
+
+Dfa
+determinize(const Nfa &nfa, std::size_t max_states)
+{
+    Dfa dfa;
+    std::map<std::vector<StateId>, StateId> ids;
+
+    std::vector<StateId> start_set{nfa.start};
+    nfa.closure(start_set);
+
+    std::vector<std::vector<StateId>> work;
+    ids.emplace(start_set, 0);
+    work.push_back(start_set);
+    dfa.next.emplace_back();
+    dfa.next.back().fill(kNoState);
+    dfa.accept.push_back(-1);
+
+    auto accept_of = [&](const std::vector<StateId> &set) {
+        std::int32_t best = -1;
+        for (const StateId s : set) {
+            const auto a = nfa.states[s].accept;
+            if (a >= 0 && (best < 0 || a < best))
+                best = a;
+        }
+        return best;
+    };
+    dfa.accept[0] = accept_of(start_set);
+
+    for (std::size_t w = 0; w < work.size(); ++w) {
+        const std::vector<StateId> set = work[w];
+        // Group targets per byte.
+        std::array<std::vector<StateId>, 256> tgt;
+        for (const StateId s : set) {
+            for (const auto &[cls, t] : nfa.states[s].arcs)
+                for (unsigned c = 0; c < 256; ++c)
+                    if (cls.test(static_cast<std::uint8_t>(c)))
+                        tgt[c].push_back(t);
+        }
+        for (unsigned c = 0; c < 256; ++c) {
+            auto &v = tgt[c];
+            if (v.empty())
+                continue;
+            std::sort(v.begin(), v.end());
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+            nfa.closure(v);
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+            auto [it, inserted] =
+                ids.emplace(v, static_cast<StateId>(dfa.next.size()));
+            if (inserted) {
+                if (dfa.next.size() >= max_states)
+                    throw UdpError("determinize: state explosion (over " +
+                                   std::to_string(max_states) + ")");
+                dfa.next.emplace_back();
+                dfa.next.back().fill(kNoState);
+                dfa.accept.push_back(accept_of(v));
+                work.push_back(v);
+            }
+            dfa.next[w][c] = it->second;
+        }
+    }
+    return dfa;
+}
+
+Dfa
+minimize(const Dfa &in)
+{
+    const std::size_t n = in.size();
+    // Initial partition by accept id (dead state handled via kNoState).
+    std::vector<std::int32_t> cls(n);
+    std::map<std::int32_t, std::int32_t> accept_cls;
+    std::int32_t num_cls = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+        auto [it, inserted] = accept_cls.emplace(in.accept[s], num_cls);
+        if (inserted)
+            ++num_cls;
+        cls[s] = it->second;
+    }
+
+    // Moore refinement until stable.
+    for (;;) {
+        std::map<std::vector<std::int32_t>, std::int32_t> sig_ids;
+        std::vector<std::int32_t> next_cls(n);
+        std::int32_t next_num = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+            std::vector<std::int32_t> sig;
+            sig.reserve(257);
+            sig.push_back(cls[s]);
+            for (unsigned c = 0; c < 256; ++c) {
+                const StateId t = in.next[s][c];
+                sig.push_back(t == kNoState ? -1 : cls[t]);
+            }
+            auto [it, inserted] = sig_ids.emplace(std::move(sig), next_num);
+            if (inserted)
+                ++next_num;
+            next_cls[s] = it->second;
+        }
+        if (next_num == num_cls) {
+            cls = std::move(next_cls);
+            break;
+        }
+        cls = std::move(next_cls);
+        num_cls = next_num;
+    }
+
+    // Rebuild with start's class first.
+    std::vector<StateId> rep(num_cls, kNoState);
+    for (std::size_t s = 0; s < n; ++s)
+        if (rep[cls[s]] == kNoState)
+            rep[cls[s]] = static_cast<StateId>(s);
+
+    // Remap classes so that the start state is state 0.
+    std::vector<StateId> order(num_cls);
+    std::iota(order.begin(), order.end(), 0);
+    std::swap(order[0], order[cls[in.start]]);
+    std::vector<StateId> pos(num_cls);
+    for (std::int32_t i = 0; i < num_cls; ++i)
+        pos[order[i]] = static_cast<StateId>(i);
+
+    Dfa out;
+    out.start = 0;
+    out.next.resize(num_cls);
+    out.accept.resize(num_cls);
+    for (std::int32_t k = 0; k < num_cls; ++k) {
+        const StateId s = rep[order[k]];
+        out.accept[k] = in.accept[s];
+        for (unsigned c = 0; c < 256; ++c) {
+            const StateId t = in.next[s][c];
+            out.next[k][c] =
+                t == kNoState ? kNoState : pos[cls[t]];
+        }
+    }
+    return out;
+}
+
+} // namespace udp

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Deterministic finite automata: subset construction, Moore minimization,
+ * and table-driven matching (the CPU pattern-matching baseline and input
+ * to the UDP DFA/aDFA compilers).
+ */
+#pragma once
+
+#include "nfa.hpp"
+
+#include <array>
+#include <vector>
+
+namespace udp {
+
+/// Dense-table DFA over the byte alphabet.
+struct Dfa {
+    /// next[state][byte]; kNoState = dead (reject).
+    std::vector<std::array<StateId, 256>> next;
+    /// Accepting pattern id per state, or -1.
+    std::vector<std::int32_t> accept;
+    StateId start = 0;
+
+    std::size_t size() const { return next.size(); }
+
+    /// Count unanchored matches (one per input position whose state
+    /// accepts); table-walk per byte, the classic lookup-table approach
+    /// whose poor locality Table 2 documents.
+    std::uint64_t count_matches(BytesView input) const;
+};
+
+/// Subset construction (handles epsilon via NFA closure).
+Dfa determinize(const Nfa &nfa, std::size_t max_states = 1u << 16);
+
+/// Moore partition-refinement minimization (distinguishes pattern ids).
+Dfa minimize(const Dfa &dfa);
+
+} // namespace udp

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * NFA construction and simulation.
+ */
+#include "nfa.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace udp {
+
+namespace {
+
+/// Thompson fragment: entry state and a list of dangling exits that the
+/// caller patches to the next fragment's entry (via epsilon).
+struct Frag {
+    StateId entry;
+    std::vector<StateId> exits; ///< states whose eps list gets the next id
+};
+
+class Builder
+{
+  public:
+    explicit Builder(Nfa &nfa) : nfa_(nfa) {}
+
+    StateId new_state() {
+        nfa_.states.emplace_back();
+        return static_cast<StateId>(nfa_.states.size() - 1);
+    }
+
+    void patch(const Frag &f, StateId to) {
+        for (const StateId s : f.exits)
+            nfa_.states[s].eps.push_back(to);
+    }
+
+    Frag build(const RegexNode &n) {
+        switch (n.kind) {
+          case RegexNode::Kind::Empty: {
+            const StateId s = new_state();
+            return {s, {s}};
+          }
+          case RegexNode::Kind::Class: {
+            const StateId a = new_state();
+            const StateId b = new_state();
+            nfa_.states[a].arcs.emplace_back(n.cls, b);
+            return {a, {b}};
+          }
+          case RegexNode::Kind::Concat: {
+            Frag first = build(*n.children.front());
+            Frag cur = first;
+            for (std::size_t i = 1; i < n.children.size(); ++i) {
+                Frag nxt = build(*n.children[i]);
+                patch(cur, nxt.entry);
+                cur = nxt;
+            }
+            return {first.entry, cur.exits};
+          }
+          case RegexNode::Kind::Alt: {
+            const StateId fork = new_state();
+            Frag out{fork, {}};
+            for (const auto &c : n.children) {
+                Frag f = build(*c);
+                nfa_.states[fork].eps.push_back(f.entry);
+                out.exits.insert(out.exits.end(), f.exits.begin(),
+                                 f.exits.end());
+            }
+            return out;
+          }
+          case RegexNode::Kind::Repeat: {
+            // Expand {m,n} by duplication; '*' as a loop node.
+            const int min = n.min;
+            const int max = n.max;
+            const RegexNode &child = *n.children.front();
+
+            const StateId entry = new_state();
+            Frag cur{entry, {entry}};
+            for (int i = 0; i < min; ++i) {
+                Frag f = build(child);
+                patch(cur, f.entry);
+                cur = f;
+            }
+            if (max < 0) {
+                // Unbounded tail: loop fragment.
+                const StateId loop = new_state();
+                patch(cur, loop);
+                Frag body = build(child);
+                nfa_.states[loop].eps.push_back(body.entry);
+                patch(body, loop);
+                return {entry, {loop}};
+            }
+            std::vector<StateId> exits = cur.exits;
+            for (int i = min; i < max; ++i) {
+                Frag f = build(child);
+                patch(cur, f.entry);
+                cur = f;
+                exits.insert(exits.end(), f.exits.begin(), f.exits.end());
+            }
+            return {entry, exits};
+          }
+        }
+        throw UdpError("NFA: bad regex node");
+    }
+
+  private:
+    Nfa &nfa_;
+};
+
+} // namespace
+
+void
+Nfa::closure(std::vector<StateId> &set) const
+{
+    std::vector<bool> seen(states.size(), false);
+    for (const StateId s : set)
+        seen[s] = true;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        for (const StateId t : states[set[i]].eps) {
+            if (!seen[t]) {
+                seen[t] = true;
+                set.push_back(t);
+            }
+        }
+    }
+    std::sort(set.begin(), set.end());
+}
+
+std::uint64_t
+Nfa::count_matches(
+    BytesView input,
+    std::vector<std::pair<std::size_t, std::int32_t>> *hits) const
+{
+    std::uint64_t count = 0;
+    std::vector<StateId> cur{start}, nxt;
+    closure(cur);
+    std::vector<std::uint32_t> stamp(states.size(), 0);
+    std::uint32_t gen = 0;
+
+    for (std::size_t pos = 0; pos < input.size(); ++pos) {
+        const std::uint8_t c = input[pos];
+        nxt.clear();
+        ++gen;
+        for (const StateId s : cur) {
+            for (const auto &[cls, t] : states[s].arcs) {
+                if (cls.test(c) && stamp[t] != gen) {
+                    stamp[t] = gen;
+                    nxt.push_back(t);
+                }
+            }
+        }
+        closure(nxt);
+        for (const StateId s : nxt)
+            stamp[s] = gen; // keep stamps consistent after closure
+        cur = nxt;
+        for (const StateId s : cur) {
+            if (states[s].accept >= 0) {
+                ++count;
+                if (hits)
+                    hits->emplace_back(pos + 1, states[s].accept);
+            }
+        }
+        if (cur.empty())
+            break; // anchored automata can die
+    }
+    return count;
+}
+
+Nfa
+build_nfa(const RegexNode &ast, std::int32_t pattern_id, bool unanchored)
+{
+    Nfa nfa;
+    Builder b(nfa);
+    const StateId start = b.new_state();
+    nfa.start = start;
+    if (unanchored)
+        nfa.states[start].arcs.emplace_back(CharClass::any(), start);
+    Frag f = b.build(ast);
+    nfa.states[start].eps.push_back(f.entry);
+    const StateId acc = b.new_state();
+    nfa.states[acc].accept = pattern_id;
+    b.patch(f, acc);
+    return nfa;
+}
+
+Nfa
+build_multi_nfa(const std::vector<const RegexNode *> &asts, bool unanchored)
+{
+    Nfa nfa;
+    Builder b(nfa);
+    const StateId start = b.new_state();
+    nfa.start = start;
+    if (unanchored)
+        nfa.states[start].arcs.emplace_back(CharClass::any(), start);
+    for (std::size_t i = 0; i < asts.size(); ++i) {
+        Frag f = b.build(*asts[i]);
+        nfa.states[start].eps.push_back(f.entry);
+        const StateId acc = b.new_state();
+        nfa.states[acc].accept = static_cast<std::int32_t>(i);
+        b.patch(f, acc);
+    }
+    return nfa;
+}
+
+Nfa
+eliminate_epsilon(const Nfa &in)
+{
+    // For each state: arcs = union over closure(state) of byte arcs;
+    // accept = any accept in closure.
+    const std::size_t n = in.states.size();
+    std::vector<std::vector<StateId>> clo(n);
+    for (StateId s = 0; s < n; ++s) {
+        clo[s] = {s};
+        in.closure(clo[s]);
+    }
+
+    Nfa out;
+    out.states.resize(n);
+    out.start = in.start;
+    for (StateId s = 0; s < n; ++s) {
+        auto &st = out.states[s];
+        for (const StateId c : clo[s]) {
+            if (in.states[c].accept >= 0 &&
+                (st.accept < 0 || in.states[c].accept < st.accept))
+                st.accept = in.states[c].accept;
+            for (const auto &arc : in.states[c].arcs)
+                st.arcs.push_back(arc);
+        }
+    }
+
+    // Drop states unreachable through byte arcs from the start.
+    std::vector<StateId> order;
+    std::vector<StateId> remap(n, kNoState);
+    order.push_back(out.start);
+    remap[out.start] = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        for (const auto &[cls, t] : out.states[order[i]].arcs) {
+            (void)cls;
+            if (remap[t] == kNoState) {
+                remap[t] = static_cast<StateId>(order.size());
+                order.push_back(t);
+            }
+        }
+    }
+
+    Nfa packed;
+    packed.start = 0;
+    packed.states.resize(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const NfaState &src = out.states[order[i]];
+        NfaState &dst = packed.states[i];
+        dst.accept = src.accept;
+        for (const auto &[cls, t] : src.arcs)
+            dst.arcs.emplace_back(cls, remap[t]);
+    }
+    return packed;
+}
+
+} // namespace udp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Nondeterministic finite automata: Thompson construction from regex
+ * ASTs, multi-pattern union, epsilon elimination, and matching (used both
+ * as a CPU baseline component and as input to DFA construction and the
+ * UDP NFA compiler).
+ */
+#pragma once
+
+#include "charclass.hpp"
+#include "regex.hpp"
+
+#include <vector>
+
+namespace udp {
+
+/// One NFA state.
+struct NfaState {
+    /// Byte transitions: (class, target).
+    std::vector<std::pair<CharClass, StateId>> arcs;
+    /// Epsilon transitions.
+    std::vector<StateId> eps;
+    /// Accepting pattern id, or -1.
+    std::int32_t accept = -1;
+};
+
+/// Thompson-style NFA.
+struct Nfa {
+    std::vector<NfaState> states;
+    StateId start = 0;
+
+    std::size_t size() const { return states.size(); }
+
+    /// Epsilon-closure of `set` (sorted, deduplicated), appended in place.
+    void closure(std::vector<StateId> &set) const;
+
+    /// Match positions: returns the number of (unanchored) matches and
+    /// optionally collects the pattern id per match-end offset.
+    std::uint64_t count_matches(
+        BytesView input,
+        std::vector<std::pair<std::size_t, std::int32_t>> *hits =
+            nullptr) const;
+};
+
+/**
+ * Build an NFA for one pattern. The automaton is implicitly unanchored:
+ * the start state self-loops on every byte ("/.*pattern/" semantics).
+ */
+Nfa build_nfa(const RegexNode &ast, std::int32_t pattern_id = 0,
+              bool unanchored = true);
+
+/// Union of several patterns into one NFA (shared unanchored start).
+Nfa build_multi_nfa(const std::vector<const RegexNode *> &asts,
+                    bool unanchored = true);
+
+/**
+ * Epsilon-eliminated copy: every state's arcs go directly to byte states;
+ * states unreachable afterwards are dropped.  Multi-target-per-symbol is
+ * preserved (the compiler introduces split states for the UDP).
+ */
+Nfa eliminate_epsilon(const Nfa &nfa);
+
+} // namespace udp

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Branch-model implementation: bimodal predictor for ladder branches,
+ * last-target BTB for indirect dispatch.
+ */
+#include "branch_profile.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace udp::baselines {
+
+namespace {
+
+/// Distinct (target) groups of a state's outgoing arcs, in first-symbol
+/// order - the order a compiler's ladder would test them.
+std::vector<StateId>
+arc_groups(const Dfa &dfa, StateId s)
+{
+    std::vector<StateId> groups;
+    for (unsigned c = 0; c < 256; ++c) {
+        const StateId t = dfa.next[s][c];
+        if (t == kNoState)
+            continue;
+        if (std::find(groups.begin(), groups.end(), t) == groups.end())
+            groups.push_back(t);
+    }
+    return groups;
+}
+
+/// 2-bit saturating counter.
+struct Bimodal {
+    std::uint8_t state = 1; // weakly not-taken
+    bool predict() const { return state >= 2; }
+    void update(bool taken) {
+        if (taken && state < 3)
+            ++state;
+        else if (!taken && state > 0)
+            --state;
+    }
+};
+
+} // namespace
+
+BranchProfile
+profile_bo(const Dfa &dfa, BytesView input, const BranchModel &model)
+{
+    // Pre-compute ladders.
+    std::vector<std::vector<StateId>> ladders(dfa.size());
+    for (StateId s = 0; s < dfa.size(); ++s)
+        ladders[s] = arc_groups(dfa, s);
+
+    // One bimodal entry per (state, ladder position).
+    std::unordered_map<std::uint64_t, Bimodal> table;
+
+    BranchProfile p;
+    StateId s = dfa.start;
+    for (const std::uint8_t c : input) {
+        ++p.symbols;
+        p.cycles += model.work_per_symbol;
+        const StateId t =
+            dfa.next[s][c] == kNoState ? dfa.start : dfa.next[s][c];
+        const auto &ladder = ladders[s];
+        for (std::size_t i = 0; i < ladder.size(); ++i) {
+            const bool taken = ladder[i] == t;
+            ++p.branches;
+            ++p.cycles;
+            Bimodal &b = table[(std::uint64_t{s} << 16) | i];
+            if (b.predict() != taken) {
+                ++p.mispredicts;
+                p.cycles += model.mispredict_penalty;
+                p.mispredict_cycles += model.mispredict_penalty;
+            }
+            b.update(taken);
+            if (taken)
+                break;
+        }
+        s = t;
+    }
+    return p;
+}
+
+BranchProfile
+profile_bi(const Dfa &dfa, BytesView input, const BranchModel &model)
+{
+    BranchProfile p;
+    StateId s = dfa.start;
+    StateId btb = dfa.start; // last indirect target
+    for (const std::uint8_t c : input) {
+        ++p.symbols;
+        // Load table entry + indexing + the indirect jump itself.
+        p.cycles += model.work_per_symbol + 1;
+        ++p.branches;
+        ++p.cycles;
+        const StateId t =
+            dfa.next[s][c] == kNoState ? dfa.start : dfa.next[s][c];
+        if (t != btb) {
+            ++p.mispredicts;
+            p.cycles += model.mispredict_penalty;
+            p.mispredict_cycles += model.mispredict_penalty;
+        }
+        btb = t;
+        s = t;
+    }
+    return p;
+}
+
+std::size_t
+code_size_bo(const Dfa &dfa)
+{
+    // Per ladder entry: compare + conditional branch (2 x 4 bytes), plus
+    // a state prologue (load symbol, bounds) of ~12 bytes.
+    std::size_t bytes = 0;
+    for (StateId s = 0; s < dfa.size(); ++s)
+        bytes += 12 + 8 * arc_groups(dfa, s).size();
+    return bytes;
+}
+
+std::size_t
+code_size_bi(const Dfa &dfa)
+{
+    // Per state: a 256-entry 4-byte target table plus ~8 bytes of
+    // dispatch code.
+    return dfa.size() * (256 * 4 + 8);
+}
+
+} // namespace udp::baselines

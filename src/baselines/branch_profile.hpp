@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CPU branch-behavior models for symbol-dispatch loops (paper Section
+ * 3.2.1, Figures 4 and 5).
+ *
+ * Today's CPUs run FSM kernels one of two ways:
+ *   - Branch-with-offset (BO): a switch() compiled into a compare/branch
+ *     ladder; many cheap branches, each predicted by a bimodal table.
+ *   - Branch-indirect (BI): a computed jump through a dispatch table;
+ *     one indirect branch whose target the BTB predicts as
+ *     "same as last time".
+ *
+ * `profile_bo` / `profile_bi` interpret an FSM trace under these models
+ * with a misprediction penalty (default 15 cycles, a Westmere-class
+ * pipeline refill) and report where the cycles went - reproducing the
+ * 32-86% misprediction fractions of Fig 5a and the effective branch
+ * rates of Fig 5b.  `code_size_*` model the Fig 5c footprint comparison.
+ */
+#pragma once
+
+#include "automata/dfa.hpp"
+#include "core/types.hpp"
+
+namespace udp::baselines {
+
+/// Outcome of one modeled run.
+struct BranchProfile {
+    std::uint64_t symbols = 0;
+    std::uint64_t branches = 0;        ///< executed branch instructions
+    std::uint64_t mispredicts = 0;
+    std::uint64_t cycles = 0;          ///< total modeled cycles
+    std::uint64_t mispredict_cycles = 0;
+
+    double mispredict_fraction() const {
+        return cycles ? double(mispredict_cycles) / double(cycles) : 0.0;
+    }
+    /// Cycles per input symbol.
+    double cycles_per_symbol() const {
+        return symbols ? double(cycles) / double(symbols) : 0.0;
+    }
+};
+
+/// Model parameters.
+struct BranchModel {
+    unsigned mispredict_penalty = 15; ///< pipeline refill cycles
+    unsigned work_per_symbol = 2;     ///< non-branch work (load, index)
+};
+
+/// Compare/branch-ladder (switch) execution of the DFA over `input`.
+BranchProfile profile_bo(const Dfa &dfa, BytesView input,
+                         const BranchModel &model = {});
+
+/// Dispatch-table + branch-indirect execution.
+BranchProfile profile_bi(const Dfa &dfa, BytesView input,
+                         const BranchModel &model = {});
+
+/// Code bytes for the BO lowering (cmp+br per distinct arc group).
+std::size_t code_size_bo(const Dfa &dfa);
+
+/// Code bytes for the BI lowering (per-state 256-entry target tables).
+std::size_t code_size_bi(const Dfa &dfa);
+
+} // namespace udp::baselines

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * libcsv-style CSV FSM implementation.
+ */
+#include "csv.hpp"
+
+namespace udp::baselines {
+
+void
+CsvParser::end_field()
+{
+    on_field_(field_.data(), field_.size());
+    ++fields_;
+    field_.clear();
+}
+
+void
+CsvParser::end_row()
+{
+    on_row_();
+    ++rows_;
+    row_open_ = false;
+}
+
+void
+CsvParser::feed(BytesView chunk)
+{
+    for (const std::uint8_t b : chunk) {
+        const char c = static_cast<char>(b);
+
+        // CRLF: the LF after a row-ending CR is silent.
+        if (eat_lf_) {
+            eat_lf_ = false;
+            if (c == '\n')
+                continue;
+        }
+        const bool is_eol = (c == '\n' || c == '\r');
+
+        switch (state_) {
+          case State::FieldStart:
+            if (c == '"') {
+                row_open_ = true;
+                state_ = State::Quoted;
+            } else if (c == ',') {
+                row_open_ = true;
+                end_field();
+            } else if (is_eol) {
+                if (row_open_) { // empty trailing field
+                    end_field();
+                    end_row();
+                }
+                eat_lf_ = (c == '\r');
+            } else {
+                row_open_ = true;
+                field_.push_back(c);
+                state_ = State::Unquoted;
+            }
+            break;
+
+          case State::Unquoted:
+            if (c == ',') {
+                end_field();
+                state_ = State::FieldStart;
+            } else if (is_eol) {
+                end_field();
+                end_row();
+                state_ = State::FieldStart;
+                eat_lf_ = (c == '\r');
+            } else {
+                field_.push_back(c);
+            }
+            break;
+
+          case State::Quoted:
+            if (c == '"')
+                state_ = State::QuoteInQuoted;
+            else
+                field_.push_back(c);
+            break;
+
+          case State::QuoteInQuoted:
+            if (c == '"') { // "" escape
+                field_.push_back('"');
+                state_ = State::Quoted;
+            } else if (c == ',') {
+                end_field();
+                state_ = State::FieldStart;
+            } else if (is_eol) {
+                end_field();
+                end_row();
+                state_ = State::FieldStart;
+                eat_lf_ = (c == '\r');
+            } else {
+                // libcsv is lenient: stray byte after a closing quote.
+                field_.push_back(c);
+                state_ = State::Unquoted;
+            }
+            break;
+        }
+    }
+}
+
+void
+CsvParser::finish()
+{
+    if (row_open_ || !field_.empty() || state_ == State::Unquoted ||
+        state_ == State::Quoted || state_ == State::QuoteInQuoted) {
+        end_field();
+        end_row();
+    }
+    state_ = State::FieldStart;
+    eat_lf_ = false;
+}
+
+CsvCounts
+parse_csv(BytesView data)
+{
+    CsvCounts counts;
+    CsvParser parser(
+        [&](const char *, std::size_t len) { counts.field_bytes += len; },
+        [] {});
+    parser.feed(data);
+    parser.finish();
+    counts.fields = parser.fields();
+    counts.rows = parser.rows();
+    return counts;
+}
+
+} // namespace udp::baselines

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Histogram baseline implementation.
+ */
+#include "histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace udp::baselines {
+
+Histogram
+Histogram::uniform(unsigned bins, double lo, double hi)
+{
+    if (bins == 0 || !(lo < hi))
+        throw UdpError("Histogram: bad uniform spec");
+    Histogram h;
+    h.edges_.resize(bins + 1);
+    for (unsigned i = 0; i <= bins; ++i)
+        h.edges_[i] = lo + (hi - lo) * i / bins;
+    h.counts_.assign(bins, 0);
+    return h;
+}
+
+Histogram
+Histogram::percentile(unsigned bins, const std::vector<double> &sample)
+{
+    if (bins == 0 || sample.size() < bins + 1)
+        throw UdpError("Histogram: sample too small for percentile bins");
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    Histogram h;
+    h.edges_.resize(bins + 1);
+    for (unsigned i = 0; i <= bins; ++i) {
+        const std::size_t idx =
+            std::min(sorted.size() - 1, i * sorted.size() / bins);
+        h.edges_[i] = sorted[idx];
+    }
+    // De-duplicate degenerate edges.
+    for (unsigned i = 1; i <= bins; ++i)
+        if (h.edges_[i] <= h.edges_[i - 1])
+            h.edges_[i] = std::nextafter(h.edges_[i - 1], 1e308);
+    h.counts_.assign(bins, 0);
+    return h;
+}
+
+void
+Histogram::add(double x)
+{
+    // gsl_histogram_increment does a binary search over edges; clamp
+    // out-of-range values to the edge bins.
+    if (x < edges_.front()) {
+        ++counts_.front();
+        return;
+    }
+    if (x >= edges_.back()) {
+        ++counts_.back();
+        return;
+    }
+    const auto it =
+        std::upper_bound(edges_.begin(), edges_.end(), x) - 1;
+    const std::size_t bin =
+        std::min<std::size_t>(it - edges_.begin(), counts_.size() - 1);
+    ++counts_[bin];
+}
+
+std::uint64_t
+Histogram::total() const
+{
+    std::uint64_t t = 0;
+    for (const auto c : counts_)
+        t += c;
+    return t;
+}
+
+} // namespace udp::baselines

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CPU histogram baseline (GSL-flavored gsl_histogram: explicit bin
+ * edges, branchy binary-search increment), with uniform and
+ * percentile-sampled non-uniform bin construction (paper Section 4.1:
+ * Crimes.Latitude/Longitude and Taxi.Fare with 10/10/4 bins).
+ */
+#pragma once
+
+#include "core/types.hpp"
+
+#include <vector>
+
+namespace udp::baselines {
+
+/// gsl_histogram-like fixed-edge histogram.
+class Histogram
+{
+  public:
+    /// Uniform bins over [lo, hi).
+    static Histogram uniform(unsigned bins, double lo, double hi);
+
+    /// Percentile bins from a sample (equal-population edges).
+    static Histogram percentile(unsigned bins,
+                                const std::vector<double> &sample);
+
+    /// Increment the bin containing x (values outside range are
+    /// clamped to the edge bins, matching the UDP kernel's behavior).
+    void add(double x);
+
+    void add_all(const std::vector<double> &xs) {
+        for (const double x : xs)
+            add(x);
+    }
+
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    const std::vector<double> &edges() const { return edges_; }
+    std::uint64_t total() const;
+
+  private:
+    std::vector<double> edges_;  ///< bins+1 ascending edges
+    std::vector<std::uint64_t> counts_;
+};
+
+} // namespace udp::baselines

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Snappy block-format codec.
+ */
+#include "snappy.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace udp::baselines {
+
+namespace {
+
+void
+put_varint32(Bytes &out, std::uint32_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t
+get_varint32(BytesView in, std::size_t &pos)
+{
+    std::uint32_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        if (pos >= in.size() || shift > 28)
+            throw UdpError("snappy: bad varint");
+        const std::uint8_t b = in[pos++];
+        v |= std::uint32_t{b & 0x7Fu} << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+void
+emit_literal(Bytes &out, const std::uint8_t *data, std::size_t len)
+{
+    if (len == 0)
+        return;
+    const std::size_t n = len - 1;
+    if (n < 60) {
+        out.push_back(static_cast<std::uint8_t>(n << 2));
+    } else if (n < (1u << 8)) {
+        out.push_back(60 << 2);
+        out.push_back(static_cast<std::uint8_t>(n));
+    } else if (n < (1u << 16)) {
+        out.push_back(61 << 2);
+        out.push_back(static_cast<std::uint8_t>(n));
+        out.push_back(static_cast<std::uint8_t>(n >> 8));
+    } else {
+        throw UdpError("snappy: literal too long for one block");
+    }
+    out.insert(out.end(), data, data + len);
+}
+
+void
+emit_copy(Bytes &out, std::size_t offset, std::size_t len)
+{
+    // Longer copies are chunked by the caller to <= 64.
+    if (len >= 4 && len <= 11 && offset < 2048) {
+        out.push_back(static_cast<std::uint8_t>(
+            1 | ((len - 4) << 2) | ((offset >> 8) << 5)));
+        out.push_back(static_cast<std::uint8_t>(offset));
+    } else {
+        out.push_back(static_cast<std::uint8_t>(2 | ((len - 1) << 2)));
+        out.push_back(static_cast<std::uint8_t>(offset));
+        out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    }
+}
+
+std::uint32_t
+load32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+std::uint32_t
+hash32(std::uint32_t v, unsigned shift)
+{
+    return (v * 0x1E35A7BDu) >> shift;
+}
+
+void
+compress_block(Bytes &out, const std::uint8_t *base, std::size_t len)
+{
+    constexpr unsigned kTableLog = 12;
+    constexpr unsigned kShift = 32 - kTableLog;
+    std::vector<std::uint16_t> table(1u << kTableLog, 0);
+
+    std::size_t ip = 0;
+    std::size_t lit_start = 0;
+
+    if (len >= 15) {
+        const std::size_t ip_limit = len - 4;
+        ip = 1;
+        while (ip < ip_limit) {
+            // Skip acceleration as in the library: advance faster while
+            // no matches are found.
+            std::size_t skip = 32;
+            std::size_t candidate;
+            for (;;) {
+                const std::uint32_t h = hash32(load32(base + ip), kShift);
+                candidate = table[h];
+                table[h] = static_cast<std::uint16_t>(ip);
+                if (candidate < ip &&
+                    load32(base + candidate) == load32(base + ip))
+                    break;
+                ip += (skip++ >> 5);
+                if (ip >= ip_limit)
+                    goto tail;
+            }
+            // Literal run up to the match.
+            emit_literal(out, base + lit_start, ip - lit_start);
+            // Extend the match.
+            std::size_t matched = 4;
+            while (ip + matched < len &&
+                   base[candidate + matched] == base[ip + matched])
+                ++matched;
+            const std::size_t offset = ip - candidate;
+            std::size_t remaining = matched;
+            while (remaining > 64) {
+                emit_copy(out, offset, 64);
+                remaining -= 64;
+            }
+            if (remaining > 0)
+                emit_copy(out, offset, remaining);
+            ip += matched;
+            lit_start = ip;
+        }
+    }
+tail:
+    if (lit_start < len)
+        emit_literal(out, base + lit_start, len - lit_start);
+}
+
+} // namespace
+
+Bytes
+snappy_compress(BytesView input, std::size_t block_size)
+{
+    Bytes out;
+    out.reserve(input.size() / 2 + 16);
+    put_varint32(out, static_cast<std::uint32_t>(input.size()));
+    for (std::size_t off = 0; off < input.size(); off += block_size) {
+        const std::size_t n = std::min(block_size, input.size() - off);
+        compress_block(out, input.data() + off, n);
+    }
+    return out; // empty input yields just the varint header
+}
+
+Bytes
+snappy_decompress(BytesView input)
+{
+    std::size_t pos = 0;
+    const std::uint32_t total = get_varint32(input, pos);
+    Bytes out;
+    out.reserve(total);
+
+    while (pos < input.size()) {
+        const std::uint8_t tag = input[pos++];
+        const unsigned kind = tag & 3;
+        if (kind == 0) { // literal
+            std::size_t len = (tag >> 2) + 1;
+            if (len > 60) {
+                const unsigned extra = static_cast<unsigned>(len - 60);
+                if (extra > 4 || pos + extra > input.size())
+                    throw UdpError("snappy: bad literal tag");
+                len = 0;
+                for (unsigned i = 0; i < extra; ++i)
+                    len |= std::size_t{input[pos + i]} << (8 * i);
+                len += 1;
+                pos += extra;
+            }
+            if (pos + len > input.size())
+                throw UdpError("snappy: literal overruns input");
+            out.insert(out.end(), input.begin() + pos,
+                       input.begin() + pos + len);
+            pos += len;
+        } else {
+            std::size_t len, offset;
+            if (kind == 1) {
+                if (pos >= input.size())
+                    throw UdpError("snappy: truncated copy1");
+                len = ((tag >> 2) & 7) + 4;
+                offset = (std::size_t{tag} >> 5 << 8) | input[pos++];
+            } else if (kind == 2) {
+                if (pos + 2 > input.size())
+                    throw UdpError("snappy: truncated copy2");
+                len = (tag >> 2) + 1;
+                offset = input[pos] | (std::size_t{input[pos + 1]} << 8);
+                pos += 2;
+            } else {
+                if (pos + 4 > input.size())
+                    throw UdpError("snappy: truncated copy4");
+                len = (tag >> 2) + 1;
+                offset = input[pos] | (std::size_t{input[pos + 1]} << 8) |
+                         (std::size_t{input[pos + 2]} << 16) |
+                         (std::size_t{input[pos + 3]} << 24);
+                pos += 4;
+            }
+            if (offset == 0 || offset > out.size())
+                throw UdpError("snappy: copy before start");
+            const std::size_t start = out.size() - offset;
+            for (std::size_t i = 0; i < len; ++i) // overlap-safe
+                out.push_back(out[start + i]);
+        }
+    }
+    if (out.size() != total)
+        throw UdpError("snappy: length mismatch");
+    return out;
+}
+
+double
+compression_ratio(std::size_t in_bytes, std::size_t out_bytes)
+{
+    return out_bytes ? double(in_bytes) / double(out_bytes) : 0.0;
+}
+
+} // namespace udp::baselines

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CPU Snappy baseline: a from-scratch, format-compatible implementation
+ * of the Snappy block format (the paper uses Google's snappy library;
+ * ours emits/consumes the same tag stream so the UDP kernels are
+ * "block compatible" as the paper requires).
+ *
+ * Format: varint32 uncompressed length, then elements tagged by the low
+ * two bits: 00 literal, 01 copy with 1-byte offset, 10 copy with 2-byte
+ * offset, 11 copy with 4-byte offset.
+ */
+#pragma once
+
+#include "core/types.hpp"
+
+namespace udp::baselines {
+
+/// Compress one block (block-based like the library; default 64 KiB).
+Bytes snappy_compress(BytesView input, std::size_t block_size = 1u << 16);
+
+/// Decompress a full stream produced by snappy_compress.
+Bytes snappy_decompress(BytesView input);
+
+/// Compression ratio helper (input/output).
+double compression_ratio(std::size_t in_bytes, std::size_t out_bytes);
+
+} // namespace udp::baselines

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Pulse-width trigger baseline.
+ */
+#include "trigger.hpp"
+
+#include <array>
+
+namespace udp::baselines {
+
+PulseTrigger::PulseTrigger(unsigned width) : width_(width)
+{
+    if (width == 0 || width > 30)
+        throw UdpError("PulseTrigger: width must be 1..30");
+    build_lut();
+}
+
+unsigned
+PulseTrigger::next_state(unsigned state, unsigned bit, bool *trigger) const
+{
+    // States: 0 = idle/low; 1..width = counting a high run of that
+    // length; width+1 = pulse too long (waits for low).
+    *trigger = false;
+    if (bit) {
+        if (state >= width_)
+            return width_ + 1;
+        return state + 1;
+    }
+    if (state == width_)
+        *trigger = true; // exact-width pulse just ended
+    return 0;
+}
+
+void
+PulseTrigger::build_lut()
+{
+    const unsigned n = num_states();
+    lut_.assign(n, {});
+    for (unsigned s = 0; s < n; ++s) {
+        for (unsigned nib = 0; nib < 16; ++nib) {
+            unsigned cur = s;
+            unsigned trig = 0;
+            for (int b = 3; b >= 0; --b) {
+                bool t = false;
+                cur = next_state(cur, (nib >> b) & 1, &t);
+                trig += t ? 1 : 0;
+            }
+            lut_[s][nib] =
+                static_cast<std::uint16_t>(cur | (trig << 8));
+        }
+    }
+}
+
+std::uint64_t
+PulseTrigger::count_triggers_bitwise(BytesView packed) const
+{
+    std::uint64_t count = 0;
+    unsigned state = 0;
+    for (const std::uint8_t byte : packed) {
+        for (int b = 7; b >= 0; --b) {
+            bool t = false;
+            state = next_state(state, (byte >> b) & 1, &t);
+            count += t ? 1 : 0;
+        }
+    }
+    return count;
+}
+
+std::uint64_t
+PulseTrigger::count_triggers_lut4(BytesView packed) const
+{
+    std::uint64_t count = 0;
+    unsigned state = 0;
+    for (const std::uint8_t byte : packed) {
+        const std::uint16_t hi = lut_[state][byte >> 4];
+        state = hi & 0xFF;
+        count += hi >> 8;
+        const std::uint16_t lo = lut_[state][byte & 0xF];
+        state = lo & 0xFF;
+        count += lo >> 8;
+    }
+    return count;
+}
+
+} // namespace udp::baselines

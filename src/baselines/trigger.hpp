@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CPU signal-triggering baseline (paper Section 5.7 and [53]): pulse-
+ * width transition localization over a binarized waveform.
+ *
+ * The FSM "pN" triggers when a high pulse of exactly N consecutive
+ * samples ends (falls back to idle).  The CPU implementation follows the
+ * paper's description: the FSM is unrolled into a lookup table processing
+ * 4 symbols (samples) per step - the memory-indirection-bound code whose
+ * 9-cycle dependency chain Table 2 cites.
+ */
+#pragma once
+
+#include "core/types.hpp"
+
+#include <array>
+#include <vector>
+
+namespace udp::baselines {
+
+/// Pulse-width trigger FSM for width-N pulses over 1-bit samples.
+class PulseTrigger
+{
+  public:
+    /// @param width  exact pulse width N (paper sweeps p2..p13)
+    explicit PulseTrigger(unsigned width);
+
+    /// Reference bit-at-a-time run (ground truth for tests).
+    std::uint64_t count_triggers_bitwise(BytesView packed_samples) const;
+
+    /// Lookup-table run, 4 samples per table access (the product-style
+    /// implementation the paper compares against).
+    std::uint64_t count_triggers_lut4(BytesView packed_samples) const;
+
+    unsigned width() const { return width_; }
+    unsigned num_states() const { return width_ + 2; }
+
+    /// FSM next-state function (exposed for the UDP kernel compiler):
+    /// states 0..width+1; state w+1 = "overlong pulse".
+    unsigned next_state(unsigned state, unsigned bit, bool *trigger) const;
+
+  private:
+    void build_lut();
+
+    unsigned width_;
+    /// lut_[state][nibble] = (next_state, triggers_in_nibble<<8)
+    std::vector<std::array<std::uint16_t, 16>> lut_;
+};
+
+} // namespace udp::baselines

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Power/area/energy model implementation.
+ */
+#include "energy.hpp"
+
+namespace udp {
+
+std::vector<ComponentCost>
+UdpCostModel::lane_breakdown() const
+{
+    return {
+        {"Dispatch Unit", dispatch_unit_mw, dispatch_unit_mm2},
+        {"SBP Unit", sbp_unit_mw, sbp_unit_mm2},
+        {"Stream Buffer", stream_buffer_mw, stream_buffer_mm2},
+        {"Action Unit", action_unit_mw, action_unit_mm2},
+        {"UDP Lane", lane_total_mw, lane_total_mm2},
+    };
+}
+
+std::vector<ComponentCost>
+UdpCostModel::system_breakdown() const
+{
+    return {
+        {"64 Lanes", lanes64_mw, lanes64_mm2},
+        {"Vector Registers", vector_regs_mw, vector_regs_mm2},
+        {"DLT Engine", dlt_engine_mw, dlt_engine_mm2},
+        {"1MB Local Memory", local_mem_mw, local_mem_mm2},
+        {"UDP System", system_mw, system_mm2},
+    };
+}
+
+double
+run_energy_joules(const UdpCostModel &model, const LaneStats &total,
+                  Cycles wall_cycles, unsigned active_lanes,
+                  AddressingMode mode)
+{
+    if (active_lanes == 0 || wall_cycles == 0)
+        return 0.0;
+
+    const double clock_hz = model.clock_ghz * 1e9;
+    const double seconds = double(wall_cycles) / clock_hz;
+
+    // Active lane logic: lane power prorated over busy cycles.
+    const double lane_energy =
+        (model.lane_total_mw / 1000.0) *
+        (double(total.cycles) / clock_hz);
+
+    // Memory references at the Fig 11c per-reference cost.  Program
+    // (dispatch/action word) fetches hit the same banked memory.
+    const double refs = double(total.mem_reads + total.mem_writes +
+                               total.dispatch_reads);
+    const double mem_energy = refs * memory_ref_energy_pj(mode) * 1e-12;
+
+    // Shared infrastructure is always on (vector RF, DLT, memory leakage
+    // fraction): charge the non-lane system power statically.
+    const double shared_mw =
+        model.system_mw - model.lanes64_mw;
+    const double shared_energy = (shared_mw / 1000.0) * seconds;
+
+    return lane_energy + mem_energy + shared_energy;
+}
+
+double
+tput_per_watt(const UdpCostModel &model, double throughput_mbps)
+{
+    return throughput_mbps / model.system_power_w();
+}
+
+double
+cpu_tput_per_watt(const UdpCostModel &model, double throughput_mbps)
+{
+    return throughput_mbps / model.cpu_tdp_w;
+}
+
+} // namespace udp

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Program image serialization.
+ */
+#include "image.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace udp {
+
+namespace {
+
+constexpr Word kMagic = 0x31504455; // "UDP1"
+
+Word
+crc32c(BytesView data)
+{
+    Word crc = ~Word{0};
+    for (const std::uint8_t b : data) {
+        crc ^= b;
+        for (int k = 0; k < 8; ++k)
+            crc = (crc & 1) ? 0x82F63B78u ^ (crc >> 1) : (crc >> 1);
+    }
+    return ~crc;
+}
+
+void
+put32(Bytes &out, Word v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+class Reader
+{
+  public:
+    explicit Reader(BytesView in) : in_(in) {}
+
+    Word get32() {
+        if (pos_ + 4 > in_.size())
+            throw UdpError("udpbin: truncated image");
+        const Word v = Word{in_[pos_]} | (Word{in_[pos_ + 1]} << 8) |
+                       (Word{in_[pos_ + 2]} << 16) |
+                       (Word{in_[pos_ + 3]} << 24);
+        pos_ += 4;
+        return v;
+    }
+    std::size_t pos() const { return pos_; }
+
+  private:
+    BytesView in_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Bytes
+save_program(const Program &prog)
+{
+    Bytes out;
+    out.reserve(16 + 4 * (prog.dispatch.size() + prog.actions.size() +
+                          2 * prog.states.size()));
+    put32(out, kMagic);
+    put32(out, prog.entry);
+    put32(out, prog.initial_symbol_bits);
+    put32(out, static_cast<Word>(prog.addressing));
+    put32(out, prog.init_action_base);
+    put32(out, prog.init_action_scale);
+    put32(out, prog.init_dispatch_base);
+    put32(out, static_cast<Word>(prog.dispatch.size()));
+    put32(out, static_cast<Word>(prog.actions.size()));
+    put32(out, static_cast<Word>(prog.states.size()));
+    for (const Word w : prog.dispatch)
+        put32(out, w);
+    for (const Word w : prog.actions)
+        put32(out, w);
+    for (const StateMeta &s : prog.states) {
+        put32(out, s.base);
+        put32(out, (s.reg_source ? 1u : 0u) | (Word{s.aux_count} << 1) |
+                       (Word{s.max_symbol} << 9));
+    }
+    put32(out, crc32c(out));
+    return out;
+}
+
+Program
+load_program(BytesView image)
+{
+    if (image.size() < 44 + 4)
+        throw UdpError("udpbin: image too small");
+    const Word stored_crc =
+        Word{image[image.size() - 4]} |
+        (Word{image[image.size() - 3]} << 8) |
+        (Word{image[image.size() - 2]} << 16) |
+        (Word{image[image.size() - 1]} << 24);
+    if (crc32c(image.subspan(0, image.size() - 4)) != stored_crc)
+        throw UdpError("udpbin: CRC mismatch (corrupt image)");
+
+    Reader rd(image);
+    if (rd.get32() != kMagic)
+        throw UdpError("udpbin: bad magic");
+
+    Program prog;
+    prog.entry = rd.get32();
+    prog.initial_symbol_bits = rd.get32();
+    const Word mode = rd.get32();
+    if (mode > 2)
+        throw UdpError("udpbin: bad addressing mode");
+    prog.addressing = static_cast<AddressingMode>(mode);
+    prog.init_action_base = rd.get32();
+    prog.init_action_scale = rd.get32();
+    prog.init_dispatch_base = rd.get32();
+    const Word nd = rd.get32();
+    const Word na = rd.get32();
+    const Word ns = rd.get32();
+    if (std::uint64_t{nd} + na + 2 * std::uint64_t{ns} >
+        (image.size() - rd.pos()) / 4)
+        throw UdpError("udpbin: section sizes exceed image");
+
+    prog.dispatch.reserve(nd);
+    for (Word i = 0; i < nd; ++i)
+        prog.dispatch.push_back(rd.get32());
+    prog.actions.reserve(na);
+    for (Word i = 0; i < na; ++i)
+        prog.actions.push_back(rd.get32());
+    prog.states.reserve(ns);
+    for (Word i = 0; i < ns; ++i) {
+        StateMeta s;
+        s.base = rd.get32();
+        const Word packed = rd.get32();
+        s.reg_source = packed & 1;
+        s.aux_count = static_cast<std::uint8_t>((packed >> 1) & 0xFF);
+        s.max_symbol = static_cast<std::uint16_t>(packed >> 9);
+        prog.states.push_back(s);
+    }
+
+    prog.layout.dispatch_words = prog.dispatch.size();
+    prog.layout.action_words = prog.actions.size();
+    prog.layout.num_states = prog.states.size();
+    prog.index_states();
+    prog.validate();
+    return prog;
+}
+
+void
+save_program_file(const Program &prog, const std::string &path)
+{
+    const Bytes data = save_program(prog);
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw UdpError("udpbin: cannot open " + path + " for writing");
+    out.write(reinterpret_cast<const char *>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out)
+        throw UdpError("udpbin: write failed for " + path);
+}
+
+Program
+load_program_file(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw UdpError("udpbin: cannot open " + path);
+    Bytes data((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    return load_program(data);
+}
+
+} // namespace udp

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary program images (".udpbin"): serialize a laid-out Program so the
+ * toolchain can hand it to a device (or another process) without
+ * re-running the assembler - the "machine binaries" of Section 4.3.
+ *
+ * Format (little-endian u32 fields):
+ *   magic 'UDP1' | entry | init_symbol_bits | addressing |
+ *   init_action_base | init_action_scale | init_dispatch_base |
+ *   n_dispatch | n_actions | n_states |
+ *   dispatch words... | action words... |
+ *   per state: base | packed(reg_source, aux_count, max_symbol)
+ * followed by a CRC32C of everything before it.
+ */
+#pragma once
+
+#include "program.hpp"
+
+#include <string>
+
+namespace udp {
+
+/// Serialize to the .udpbin byte format.
+Bytes save_program(const Program &prog);
+
+/// Parse and validate a .udpbin image; throws UdpError on corruption.
+Program load_program(BytesView image);
+
+/// File convenience wrappers.
+void save_program_file(const Program &prog, const std::string &path);
+Program load_program_file(const std::string &path);
+
+} // namespace udp

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * ISA encode/decode and name tables.
+ */
+#include "isa.hpp"
+
+#include <unordered_map>
+
+namespace udp {
+
+namespace {
+
+struct OpInfo {
+    Opcode op;
+    ActionFormat format;
+    std::string_view name;
+};
+
+// Single source of truth for opcode metadata.
+constexpr OpInfo kOps[] = {
+    {Opcode::Addi, ActionFormat::Imm, "addi"},
+    {Opcode::Subi, ActionFormat::Imm, "subi"},
+    {Opcode::Andi, ActionFormat::Imm, "andi"},
+    {Opcode::Ori, ActionFormat::Imm, "ori"},
+    {Opcode::Xori, ActionFormat::Imm, "xori"},
+    {Opcode::Shli, ActionFormat::Imm, "shli"},
+    {Opcode::Shri, ActionFormat::Imm, "shri"},
+    {Opcode::Sari, ActionFormat::Imm, "sari"},
+    {Opcode::Movi, ActionFormat::Imm, "movi"},
+    {Opcode::Lui, ActionFormat::Imm, "lui"},
+    {Opcode::Cmpeqi, ActionFormat::Imm, "cmpeqi"},
+    {Opcode::Cmplti, ActionFormat::Imm, "cmplti"},
+    {Opcode::Cmpltui, ActionFormat::Imm, "cmpltui"},
+    {Opcode::Muli, ActionFormat::Imm, "muli"},
+
+    {Opcode::Add, ActionFormat::Reg, "add"},
+    {Opcode::Sub, ActionFormat::Reg, "sub"},
+    {Opcode::And, ActionFormat::Reg, "and"},
+    {Opcode::Or, ActionFormat::Reg, "or"},
+    {Opcode::Xor, ActionFormat::Reg, "xor"},
+    {Opcode::Shl, ActionFormat::Reg, "shl"},
+    {Opcode::Shr, ActionFormat::Reg, "shr"},
+    {Opcode::Mov, ActionFormat::Reg, "mov"},
+    {Opcode::Not, ActionFormat::Reg, "not"},
+    {Opcode::Neg, ActionFormat::Reg, "neg"},
+    {Opcode::Mul, ActionFormat::Reg, "mul"},
+    {Opcode::Min, ActionFormat::Reg, "min"},
+    {Opcode::Max, ActionFormat::Reg, "max"},
+    {Opcode::Cmpeq, ActionFormat::Reg, "cmpeq"},
+    {Opcode::Cmplt, ActionFormat::Reg, "cmplt"},
+    {Opcode::Select, ActionFormat::Reg, "select"},
+
+    {Opcode::Ldw, ActionFormat::Imm, "ldw"},
+    {Opcode::Stw, ActionFormat::Imm, "stw"},
+    {Opcode::Ldb, ActionFormat::Imm, "ldb"},
+    {Opcode::Stb, ActionFormat::Imm, "stb"},
+    {Opcode::Bininc, ActionFormat::Imm, "bininc"},
+
+    {Opcode::Setss, ActionFormat::Imm, "setss"},
+    {Opcode::Setssr, ActionFormat::Imm, "setssr"},
+    {Opcode::Setbase, ActionFormat::Imm, "setbase"},
+    {Opcode::Setab, ActionFormat::Imm2, "setab"},
+    {Opcode::Skip, ActionFormat::Imm, "skip"},
+    {Opcode::Refill, ActionFormat::Imm, "refill"},
+    {Opcode::Peek, ActionFormat::Imm, "peek"},
+    {Opcode::Read, ActionFormat::Imm, "read"},
+    {Opcode::Tell, ActionFormat::Imm, "tell"},
+    {Opcode::Setstream, ActionFormat::Imm, "setstream"},
+    {Opcode::Lastsym, ActionFormat::Imm, "lastsym"},
+
+    {Opcode::Emitlut, ActionFormat::Imm, "emitlut"},
+    {Opcode::Hash, ActionFormat::Imm, "hash"},
+    {Opcode::Hash2, ActionFormat::Reg, "hash2"},
+    {Opcode::Loopcmp, ActionFormat::Reg, "loopcmp"},
+    {Opcode::Loopcpy, ActionFormat::Reg, "loopcpy"},
+    {Opcode::Loopcpyo, ActionFormat::Reg, "loopcpyo"},
+    {Opcode::Crc, ActionFormat::Reg, "crc"},
+
+    {Opcode::Outb, ActionFormat::Imm, "outb"},
+    {Opcode::Outw, ActionFormat::Imm, "outw"},
+    {Opcode::Outbits, ActionFormat::Imm, "outbits"},
+    {Opcode::Outflush, ActionFormat::Imm, "outflush"},
+    {Opcode::Outi, ActionFormat::Imm, "outi"},
+    {Opcode::Outbitsr, ActionFormat::Imm, "outbitsr"},
+
+    {Opcode::Accept, ActionFormat::Imm, "accept"},
+    {Opcode::Halt, ActionFormat::Imm, "halt"},
+    {Opcode::Fail, ActionFormat::Imm, "fail"},
+    {Opcode::Gotoact, ActionFormat::Imm, "gotoact"},
+    {Opcode::Nop, ActionFormat::Imm, "nop"},
+};
+
+const OpInfo *
+find_op(Opcode op)
+{
+    for (const auto &info : kOps)
+        if (info.op == op)
+            return &info;
+    return nullptr;
+}
+
+constexpr std::string_view kTransitionNames[kNumTransitionTypes] = {
+    "labeled", "majority", "default", "epsilon", "common", "flagged",
+    "refill",
+};
+
+} // namespace
+
+ActionFormat
+action_format(Opcode op)
+{
+    const OpInfo *info = find_op(op);
+    if (!info)
+        throw UdpError("action_format: undefined opcode");
+    return info->format;
+}
+
+std::string_view
+opcode_name(Opcode op)
+{
+    const OpInfo *info = find_op(op);
+    return info ? info->name : "<bad>";
+}
+
+std::optional<Opcode>
+opcode_from_name(std::string_view name)
+{
+    for (const auto &info : kOps)
+        if (info.name == name)
+            return info.op;
+    return std::nullopt;
+}
+
+std::string_view
+transition_type_name(TransitionType t)
+{
+    const auto idx = static_cast<unsigned>(t);
+    if (idx >= kNumTransitionTypes)
+        return "<bad>";
+    return kTransitionNames[idx];
+}
+
+bool
+opcode_valid(Word raw)
+{
+    return find_op(static_cast<Opcode>(raw)) != nullptr;
+}
+
+// --------------------------------------------------------------------------
+// Transition: signature(8) @24 | target(12) @12 | type(4) @8 | attach(8) @0
+//
+// Layout note: we place fields MSB-first in declaration order of Figure 6.
+// type(4) = mode(1 bit, bit 11 of the field group) | kind(3 bits).
+// --------------------------------------------------------------------------
+
+Word
+encode_transition(const Transition &t)
+{
+    if (t.target >= kDispatchWords)
+        throw UdpError("encode_transition: target exceeds 12 bits");
+    const auto kind = static_cast<Word>(t.type);
+    if (kind >= kNumTransitionTypes)
+        throw UdpError("encode_transition: bad transition type");
+    const Word type_field =
+        kind | (t.attach_mode == AttachMode::ScaledOffset ? 0x8u : 0u);
+    return make_bits(t.signature, 24, 8) | make_bits(t.target, 12, 12) |
+           make_bits(type_field, 8, 4) | make_bits(t.attach, 0, 8);
+}
+
+Transition
+decode_transition(Word raw)
+{
+    Transition t;
+    t.signature = static_cast<std::uint8_t>(bits(raw, 24, 8));
+    t.target = static_cast<DispatchAddr>(bits(raw, 12, 12));
+    const Word type_field = bits(raw, 8, 4);
+    const Word kind = type_field & 0x7;
+    if (kind >= kNumTransitionTypes)
+        throw UdpError("decode_transition: bad transition type");
+    t.type = static_cast<TransitionType>(kind);
+    t.attach_mode =
+        (type_field & 0x8) ? AttachMode::ScaledOffset : AttachMode::Direct;
+    t.attach = static_cast<std::uint8_t>(bits(raw, 0, 8));
+    return t;
+}
+
+// --------------------------------------------------------------------------
+// Actions: opcode(7) @25 | last(1) @24 | format-specific fields below.
+//   Imm : dst(4) @20 | src(4) @16 | imm16 @0
+//   Imm2: dst(4) @20 | src(4) @16 | imm1(4) @12 | imm2(12) @0
+//   Reg : dst(4) @20 | ref(4) @16 | src(4) @12 | unused(12)
+// --------------------------------------------------------------------------
+
+Word
+encode_action(const Action &a)
+{
+    const OpInfo *info = find_op(a.op);
+    if (!info)
+        throw UdpError("encode_action: undefined opcode");
+    if (a.dst >= kNumScalarRegs || a.src >= kNumScalarRegs ||
+        a.ref >= kNumScalarRegs) {
+        throw UdpError("encode_action: register index exceeds 4 bits");
+    }
+
+    Word raw = make_bits(static_cast<Word>(a.op), 25, 7) |
+               make_bits(a.last ? 1 : 0, 24, 1) | make_bits(a.dst, 20, 4);
+
+    switch (info->format) {
+      case ActionFormat::Imm: {
+        const bool zero_ext = a.op == Opcode::Andi || a.op == Opcode::Ori ||
+                              a.op == Opcode::Xori || a.op == Opcode::Lui;
+        const bool fits = zero_ext ? (a.imm >= 0 && a.imm <= 65535)
+                                   : (a.imm >= -32768 && a.imm <= 32767);
+        if (!fits)
+            throw UdpError("encode_action: imm16 overflow in " +
+                           std::string(info->name));
+        raw |= make_bits(a.src, 16, 4) |
+               make_bits(static_cast<Word>(a.imm) & 0xFFFF, 0, 16);
+        break;
+      }
+      case ActionFormat::Imm2:
+        if (a.imm < 0 || a.imm > 4095)
+            throw UdpError("encode_action: imm2 (12-bit) overflow");
+        if (a.imm1 < 0 || a.imm1 > 15)
+            throw UdpError("encode_action: imm1 (4-bit) overflow");
+        raw |= make_bits(a.src, 16, 4) |
+               make_bits(static_cast<Word>(a.imm1), 12, 4) |
+               make_bits(static_cast<Word>(a.imm), 0, 12);
+        break;
+      case ActionFormat::Reg:
+        raw |= make_bits(a.ref, 16, 4) | make_bits(a.src, 12, 4);
+        break;
+    }
+    return raw;
+}
+
+Action
+decode_action(Word raw)
+{
+    const auto op = static_cast<Opcode>(bits(raw, 25, 7));
+    const OpInfo *info = find_op(op);
+    if (!info)
+        throw UdpError("decode_action: undefined opcode " +
+                       std::to_string(bits(raw, 25, 7)));
+
+    Action a;
+    a.op = op;
+    a.last = bits(raw, 24, 1) != 0;
+    a.dst = static_cast<std::uint8_t>(bits(raw, 20, 4));
+
+    switch (info->format) {
+      case ActionFormat::Imm: {
+        a.src = static_cast<std::uint8_t>(bits(raw, 16, 4));
+        // imm16 is sign-extended except for the logical-immediate group.
+        const Word imm = bits(raw, 0, 16);
+        const bool zero_ext = op == Opcode::Andi || op == Opcode::Ori ||
+                              op == Opcode::Xori || op == Opcode::Lui;
+        a.imm = zero_ext ? static_cast<std::int32_t>(imm)
+                         : static_cast<std::int32_t>(
+                               static_cast<std::int16_t>(imm));
+        break;
+      }
+      case ActionFormat::Imm2:
+        a.src = static_cast<std::uint8_t>(bits(raw, 16, 4));
+        a.imm1 = static_cast<std::int32_t>(bits(raw, 12, 4));
+        a.imm = static_cast<std::int32_t>(bits(raw, 0, 12));
+        break;
+      case ActionFormat::Reg:
+        a.ref = static_cast<std::uint8_t>(bits(raw, 16, 4));
+        a.src = static_cast<std::uint8_t>(bits(raw, 12, 4));
+        break;
+    }
+    return a;
+}
+
+} // namespace udp

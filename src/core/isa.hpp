@@ -1,0 +1,253 @@
+/**
+ * @file
+ * UDP lane ISA: transition and action formats (paper Figure 6).
+ *
+ * Transition word (32 bits):
+ *     signature(8) | target(12) | type(4) | attach(8)
+ *
+ * The `type` field's low 3 bits select one of the seven transition kinds
+ * (Section 3.2.1); bit 3 selects the attach addressing mode (direct vs
+ * scaled-offset, the UDP improvement over UAP's offset addressing).
+ *
+ * Action words (32 bits, three formats distinguished by opcode):
+ *     ImmAction  : opcode(7) | last(1) | dst(4) | src(4) | imm(16)
+ *     Imm2Action : opcode(7) | last(1) | dst(4) | src(4) | imm1(4) | imm2(12)
+ *     RegAction  : opcode(7) | last(1) | dst(4) | ref(4) | src(4) | unused(12)
+ *
+ * Actions attached to a transition are chained; `last` terminates the chain.
+ */
+#pragma once
+
+#include "types.hpp"
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace udp {
+
+/**
+ * The seven transition kinds of the UDP multi-way dispatch (Section 3.2.1).
+ *
+ * - Labeled: a single specific-symbol transition; stored at base+symbol.
+ * - Majority: one encoded transition standing for the set of outgoing
+ *   transitions that share a destination from this source state; taken when
+ *   the labeled-slot signature check fails (one extra cycle).
+ * - Default: fallback shared *across* source states ("delta" storage);
+ *   lowest priority.
+ * - Epsilon: multi-state activation (NFA support); taken without consuming
+ *   input, activating an additional state.
+ * - Common: "don't care" - always taken whatever symbol arrives; replaces
+ *   all labeled transitions of the source state.
+ * - Flagged: control-flow driven dispatch - the symbol is read from scalar
+ *   data register r0 instead of the stream buffer (Section 3.2.3).
+ * - Refill: variable-size symbol support - pushes back the bits that should
+ *   not have been consumed, per the attach field (SsRef, Section 3.2.2).
+ */
+enum class TransitionType : std::uint8_t {
+    Labeled = 0,
+    Majority = 1,
+    Default = 2,
+    Epsilon = 3,
+    Common = 4,
+    Flagged = 5,
+    Refill = 6,
+};
+
+/// Number of transition kinds.
+inline constexpr unsigned kNumTransitionTypes = 7;
+
+/// Attach-field addressing mode (Section 3.2.1, Figure 5c).
+enum class AttachMode : std::uint8_t {
+    /// Action block address = attach (words 0..255 of the action region):
+    /// global sharing of hot action blocks.
+    Direct = 0,
+    /// Action block address = action window base + (attach << scale):
+    /// private per-state blocks beyond the 8-bit range.
+    ScaledOffset = 1,
+};
+
+/// Sentinel attach value meaning "no actions on this transition".
+inline constexpr std::uint8_t kNoActions = 0xFF;
+
+/**
+ * Action opcodes.  ~50 operations in arithmetic, logical, comparison,
+ * memory, stream/configuration, specialized (hash, loop-compare,
+ * loop-copy), output and control groups (Sections 3.1 and 3.2.5).
+ *
+ * Encoding format per opcode is fixed (see `action_format`).
+ */
+enum class Opcode : std::uint8_t {
+    // --- ALU, immediate forms (ImmAction: dst, src, imm16 sign-extended) ---
+    Addi = 0,   ///< dst = src + imm
+    Subi,       ///< dst = src - imm
+    Andi,       ///< dst = src & imm (zero-extended)
+    Ori,        ///< dst = src | imm (zero-extended)
+    Xori,       ///< dst = src ^ imm (zero-extended)
+    Shli,       ///< dst = src << imm
+    Shri,       ///< dst = src >> imm (logical)
+    Sari,       ///< dst = src >> imm (arithmetic)
+    Movi,       ///< dst = imm (sign-extended)
+    Lui,        ///< dst = (dst & 0xFFFF) | (imm << 16)
+    Cmpeqi,     ///< dst = (src == imm)
+    Cmplti,     ///< dst = (src < imm), signed
+    Cmpltui,    ///< dst = (src < imm), unsigned
+    Muli,       ///< dst = src * imm
+
+    // --- ALU, register forms (RegAction: dst, ref, src) ---
+    Add = 20,   ///< dst = ref + src
+    Sub,        ///< dst = ref - src
+    And,        ///< dst = ref & src
+    Or,         ///< dst = ref | src
+    Xor,        ///< dst = ref ^ src
+    Shl,        ///< dst = ref << (src & 31)
+    Shr,        ///< dst = ref >> (src & 31), logical
+    Mov,        ///< dst = src
+    Not,        ///< dst = ~src
+    Neg,        ///< dst = -src
+    Mul,        ///< dst = ref * src
+    Min,        ///< dst = min(ref, src), unsigned
+    Max,        ///< dst = max(ref, src), unsigned
+    Cmpeq,      ///< dst = (ref == src)
+    Cmplt,      ///< dst = (ref < src), unsigned
+    Select,     ///< dst = dst ? ref : src (conditional move)
+
+    // --- Memory (ImmAction: address = reg[src] + imm, window-based) ---
+    Ldw = 40,   ///< dst = mem32[src + imm]
+    Stw,        ///< mem32[src + imm] = dst
+    Ldb,        ///< dst = mem8[src + imm] (zero-extended)
+    Stb,        ///< mem8[src + imm] = dst & 0xFF
+    Bininc,     ///< mem32[src*4 + imm]++  (fused histogram-bin update)
+
+    // --- Stream / configuration (ImmAction unless noted) ---
+    Setss = 50, ///< symbol-size register = imm (1..8, 16, 32 bits)
+    Setssr,     ///< symbol-size register = reg[src] (dynamic)
+    Setbase,    ///< window base register = reg[src] + imm (restricted addr.)
+    Setab,      ///< action window base = reg[src] + imm; scale = dst field
+    Skip,       ///< advance stream by imm bits
+    Refill,     ///< push back imm bits into the stream buffer
+    Peek,       ///< dst = next imm bits of stream (not consumed)
+    Read,       ///< dst = next imm bits of stream (consumed)
+    Tell,       ///< dst = current stream *bit* position
+    Setstream,  ///< stream cursor = bit position reg[src] + imm
+    Lastsym,    ///< dst = the symbol value of the current dispatch (the
+                ///< dispatch unit latches it; UAP actions likewise had a
+                ///< symbol operand)
+
+    // --- Specialized (Section 3.2.5) ---
+    Emitlut = 68, ///< wide-LUT emit (the hardwired-decoder datapath [39],
+                  ///< used by the SsF ablation): entry = mem[reg[src] +
+                  ///< ((imm<<8 | lastsym) * 16)], laid out as
+                  ///< [count][bytes...]; emits count bytes. 2 cycles.
+    Hash = 70,  ///< dst = hash(reg[src]) mixed with imm seed (1 cycle)
+    Hash2,      ///< dst = hash(reg[ref], reg[src]) (RegAction)
+    Loopcmp,    ///< dst = match length of mem[ref] vs mem[src] (RegAction),
+                ///< bounded by reg[dst] on entry; 1 + ceil(n/8) cycles
+    Loopcpy,    ///< copy reg[dst] bytes mem[src] -> mem[ref]; 1 + ceil(n/8)
+    Loopcpyo,   ///< copy reg[dst] bytes from mem[src] to the output stream
+    Crc,        ///< dst = CRC32C step of (dst, src byte)
+
+    // --- Output (per-lane output staging buffer) ---
+    Outb = 80,  ///< append reg[src] low byte to output
+    Outw,       ///< append reg[src] as 4 little-endian bytes
+    Outbits,    ///< append low imm bits of reg[src] to the output bitstream
+    Outflush,   ///< byte-align the output bitstream
+    Outi,       ///< append imm low byte to output (immediate emit)
+    Outbitsr,   ///< append low reg[dst]-count bits of reg[src] (dynamic)
+
+    // --- Control ---
+    Accept = 90, ///< record a match/acceptance (id = imm) at stream position
+    Halt,        ///< stop this lane (status Done)
+    Fail,        ///< stop this lane (status Reject)
+    Gotoact,     ///< continue action chain at action address imm ("goto")
+    Nop,
+};
+
+/// The three action encodings of Figure 6.
+enum class ActionFormat : std::uint8_t { Imm, Imm2, Reg };
+
+/// Encoding format used by an opcode.
+ActionFormat action_format(Opcode op);
+
+/// Printable mnemonic ("addi", "loopcpy", ...).
+std::string_view opcode_name(Opcode op);
+
+/// Parse a mnemonic; empty optional when unknown.
+std::optional<Opcode> opcode_from_name(std::string_view name);
+
+/// Printable transition-type name ("labeled", ...).
+std::string_view transition_type_name(TransitionType t);
+
+/// True when `op` is a defined opcode value.
+bool opcode_valid(Word raw);
+
+// ---------------------------------------------------------------------------
+// Decoded (unpacked) representations and the 32-bit pack/unpack routines.
+// ---------------------------------------------------------------------------
+
+/// Decoded transition word.
+struct Transition {
+    std::uint8_t signature = 0;     ///< slot-validity check value
+    DispatchAddr target = 0;        ///< base address of the next state
+    TransitionType type = TransitionType::Labeled;
+    AttachMode attach_mode = AttachMode::Direct;
+    std::uint8_t attach = kNoActions; ///< action block ref / refill count
+
+    bool operator==(const Transition &) const = default;
+};
+
+/// Decoded action word.
+struct Action {
+    Opcode op = Opcode::Nop;
+    bool last = true;          ///< terminates the action chain
+    std::uint8_t dst = 0;      ///< destination register (or scale for Setab)
+    std::uint8_t ref = 0;      ///< RegAction second operand register
+    std::uint8_t src = 0;      ///< source register
+    std::int32_t imm = 0;      ///< Imm: imm16 (sign-ext); Imm2: imm2 (12b)
+    std::int32_t imm1 = 0;     ///< Imm2Action only: 4-bit auxiliary field
+
+    bool operator==(const Action &) const = default;
+};
+
+/// Pack a transition into its 32-bit encoding.
+Word encode_transition(const Transition &t);
+
+/// Unpack a 32-bit transition word.
+Transition decode_transition(Word raw);
+
+/// Pack an action into its 32-bit encoding. Throws UdpError when a field
+/// does not fit its width (e.g. imm16 overflow in an ImmAction).
+Word encode_action(const Action &a);
+
+/// Unpack a 32-bit action word. Throws UdpError on an undefined opcode.
+Action decode_action(Word raw);
+
+/// Convenience constructors --------------------------------------------------
+
+inline Action
+act_imm(Opcode op, unsigned dst, unsigned src, std::int32_t imm,
+        bool last = false)
+{
+    Action a;
+    a.op = op;
+    a.dst = static_cast<std::uint8_t>(dst);
+    a.src = static_cast<std::uint8_t>(src);
+    a.imm = imm;
+    a.last = last;
+    return a;
+}
+
+inline Action
+act_reg(Opcode op, unsigned dst, unsigned ref, unsigned src,
+        bool last = false)
+{
+    Action a;
+    a.op = op;
+    a.dst = static_cast<std::uint8_t>(dst);
+    a.ref = static_cast<std::uint8_t>(ref);
+    a.src = static_cast<std::uint8_t>(src);
+    a.last = last;
+    return a;
+}
+
+} // namespace udp

@@ -1,0 +1,779 @@
+/**
+ * @file
+ * UDP lane interpreter: dispatch unit, stream-buffer/prefetch unit, and
+ * action unit semantics.
+ */
+#include "lane.hpp"
+
+#include <algorithm>
+
+namespace udp {
+
+namespace {
+
+/// CRC32-C (Castagnoli) byte-step table, built on first use.
+const std::array<Word, 256> &
+crc32c_table()
+{
+    static const std::array<Word, 256> table = [] {
+        std::array<Word, 256> t{};
+        for (Word i = 0; i < 256; ++i) {
+            Word c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+/// Snappy-style multiplicative hash (Section 3.2.5 "hash action").
+Word
+hash_mix(Word v, unsigned table_log2)
+{
+    const Word h = v * 0x1E35A7BDu;
+    if (table_log2 == 0 || table_log2 >= 32)
+        return h;
+    return h >> (32 - table_log2);
+}
+
+} // namespace
+
+Lane::Lane(unsigned id, LocalMemory &mem) : id_(id), mem_(mem)
+{
+    if (id >= kNumLanes)
+        throw UdpError("Lane: lane id out of range");
+}
+
+void
+Lane::load(const Program &prog)
+{
+    prog_ = &prog;
+    reset();
+}
+
+void
+Lane::set_input(BytesView data)
+{
+    sb_.attach(data);
+}
+
+Word
+Lane::reg(unsigned idx) const
+{
+    if (idx >= kNumScalarRegs)
+        throw UdpError("Lane: register index out of range");
+    if (idx == kRegStreamIdx)
+        return static_cast<Word>(sb_.pos_bytes());
+    return regs_[idx];
+}
+
+void
+Lane::set_reg(unsigned idx, Word value)
+{
+    if (idx >= kNumScalarRegs)
+        throw UdpError("Lane: register index out of range");
+    if (idx == kRegStreamIdx) {
+        // r15 is the architecturally visible stream byte index; writing it
+        // repositions the stream (automatic index management).
+        sb_.seek_bits(std::uint64_t{value} * 8);
+        return;
+    }
+    regs_[idx] = value;
+}
+
+void
+Lane::reset()
+{
+    regs_.fill(0);
+    symbol_bits_ = prog_ ? prog_->initial_symbol_bits : 8;
+    dispatch_base_ = prog_ ? prog_->init_dispatch_base : 0;
+    action_base_ = prog_ ? prog_->init_action_base : 0;
+    action_scale_ = prog_ ? prog_->init_action_scale : 0;
+    stats_ = LaneStats{};
+    output_.clear();
+    out_bit_acc_ = 0;
+    out_bit_count_ = 0;
+    accepts_.clear();
+    cur_state_ = 0;
+    started_ = false;
+    halted_ = false;
+    halt_status_ = LaneStatus::Done;
+    sb_.seek_bits(0);
+}
+
+// ---------------------------------------------------------------------------
+// Memory access with window translation and bank arbitration.
+// ---------------------------------------------------------------------------
+
+ByteAddr
+Lane::mem_translate(Word lane_addr) const
+{
+    return mem_.translate(id_, lane_addr, window_base_);
+}
+
+void
+Lane::charge_mem(ByteAddr phys, bool is_write)
+{
+    if (is_write)
+        ++stats_.mem_writes;
+    else
+        ++stats_.mem_reads;
+    if (arbiter_) {
+        const Cycles stall =
+            arbiter_(LocalMemory::bank_of(phys), is_write);
+        stats_.stall_cycles += stall;
+        stats_.cycles += stall;
+    }
+}
+
+std::uint8_t
+Lane::mem_read8(Word lane_addr)
+{
+    const ByteAddr phys = mem_translate(lane_addr);
+    charge_mem(phys, false);
+    return mem_.read8(phys);
+}
+
+void
+Lane::mem_write8(Word lane_addr, std::uint8_t v)
+{
+    const ByteAddr phys = mem_translate(lane_addr);
+    charge_mem(phys, true);
+    mem_.write8(phys, v);
+}
+
+Word
+Lane::mem_read32(Word lane_addr)
+{
+    const ByteAddr phys = mem_translate(lane_addr);
+    charge_mem(phys, false);
+    return mem_.read32(phys);
+}
+
+void
+Lane::mem_write32(Word lane_addr, Word v)
+{
+    const ByteAddr phys = mem_translate(lane_addr);
+    charge_mem(phys, true);
+    mem_.write32(phys, v);
+}
+
+// ---------------------------------------------------------------------------
+// Output staging.
+// ---------------------------------------------------------------------------
+
+void
+Lane::out_byte(std::uint8_t b)
+{
+    if (out_bit_count_ != 0) {
+        out_bits(b, 8);
+        return;
+    }
+    output_.push_back(b);
+    ++stats_.output_bytes;
+}
+
+void
+Lane::out_bits(Word value, unsigned nbits)
+{
+    if (nbits == 0 || nbits > 32)
+        throw UdpError("Lane: outbits width must be 1..32");
+    // MSB-first bit packing, symmetric with StreamBuffer::read.
+    for (unsigned i = nbits; i-- > 0;) {
+        out_bit_acc_ = (out_bit_acc_ << 1) | ((value >> i) & 1);
+        if (++out_bit_count_ == 8) {
+            output_.push_back(static_cast<std::uint8_t>(out_bit_acc_));
+            ++stats_.output_bytes;
+            out_bit_acc_ = 0;
+            out_bit_count_ = 0;
+        }
+    }
+}
+
+void
+Lane::out_flush()
+{
+    if (out_bit_count_ != 0) {
+        const unsigned pad = 8 - out_bit_count_;
+        out_bits(0, pad);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+Word
+Lane::dispatch_word(std::size_t word_addr)
+{
+    const auto &img = prog_->dispatch;
+    if (word_addr >= img.size())
+        throw UdpError("Lane: dispatch fetch out of range");
+    ++stats_.dispatch_reads;
+    return img[word_addr];
+}
+
+Word
+Lane::fetch_symbol_bits(unsigned width)
+{
+    stats_.stream_bits += width;
+    last_symbol_ = sb_.read(width);
+    return last_symbol_;
+}
+
+bool
+Lane::attach_addr(const Transition &t, std::size_t &addr) const
+{
+    std::uint8_t ref = t.attach;
+    if (t.type == TransitionType::Refill) {
+        // Refill attach ABI: high 3 bits = push-back count, low 5 bits =
+        // action ref (31 = none).
+        ref = t.attach & 0x1F;
+        if (ref == 0x1F)
+            return false;
+    } else if (ref == kNoActions && t.attach_mode == AttachMode::Direct) {
+        return false;
+    }
+    if (t.attach_mode == AttachMode::Direct) {
+        addr = ref;
+    } else {
+        addr = std::size_t{action_base_} +
+               (std::size_t{ref} << action_scale_);
+    }
+    return true;
+}
+
+Lane::StepResult
+Lane::step(const StateMeta &meta, std::vector<DispatchAddr> *activations)
+{
+    StepResult res;
+    const std::size_t base = meta.base; // full word address
+    const std::uint8_t sig = state_signature(meta.base);
+
+    // Auxiliary chain scan for a `common` transition: common replaces the
+    // whole labeled table, so it is checked before any symbol arithmetic.
+    Transition common;
+    bool has_common = false;
+    for (unsigned k = 1; k <= meta.aux_count && !has_common; ++k) {
+        const Transition t = decode_transition(prog_->dispatch[base - k]);
+        if (t.signature == sig && t.type == TransitionType::Common) {
+            common = t;
+            has_common = true;
+        }
+    }
+
+    Transition taken;
+    bool have = false;
+
+    if (has_common) {
+        // Takes one dispatch slot; consumes a symbol only when this state
+        // dispatches from the stream.
+        if (!meta.reg_source) {
+            if (sb_.exhausted(symbol_bits_)) {
+                res.status = LaneStatus::Done;
+                return res;
+            }
+            fetch_symbol_bits(symbol_bits_);
+            res.consumed_symbol = true;
+        }
+        ++stats_.dispatches;
+        ++stats_.cycles;
+        ++stats_.dispatch_reads;
+        taken = common;
+        have = true;
+    } else {
+        // Fetch the dispatch symbol.
+        Word sym;
+        const unsigned width = symbol_bits_;
+        if (meta.reg_source) {
+            const Word mask =
+                width >= 32 ? ~Word{0} : ((Word{1} << width) - 1);
+            sym = regs_[kRegDispatch] & mask;
+            last_symbol_ = sym;
+        } else {
+            if (sb_.exhausted(width)) {
+                res.status = LaneStatus::Done;
+                return res;
+            }
+            sym = fetch_symbol_bits(width);
+            res.consumed_symbol = true;
+        }
+
+        // Multi-way dispatch: one cycle, slot = base + symbol.
+        ++stats_.dispatches;
+        ++stats_.cycles;
+        const std::size_t slot = base + sym;
+        if (slot < prog_->dispatch.size() && sym <= meta.max_symbol) {
+            const Transition t = decode_transition(dispatch_word(slot));
+            if (t.signature == sig &&
+                (t.type == TransitionType::Labeled ||
+                 t.type == TransitionType::Refill ||
+                 t.type == TransitionType::Flagged)) {
+                taken = t;
+                have = true;
+            }
+        }
+
+        if (!have) {
+            // Signature miss: consult the auxiliary chain (one extra
+            // cycle, the paper's majority/default fallback penalty).
+            ++stats_.sig_misses;
+            ++stats_.cycles;
+            for (unsigned k = 1; k <= meta.aux_count; ++k) {
+                const Transition t =
+                    decode_transition(dispatch_word(base - k));
+                if (t.signature != sig)
+                    break;
+                if (t.type == TransitionType::Majority ||
+                    t.type == TransitionType::Default) {
+                    taken = t;
+                    have = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    if (!have) {
+        res.status = LaneStatus::Reject;
+        return res;
+    }
+
+    // Refill: push back over-consumed bits before actions observe r15.
+    if (taken.type == TransitionType::Refill) {
+        const unsigned nbits = taken.attach >> 5;
+        if (nbits != 0) {
+            sb_.refill(nbits);
+            stats_.stream_bits -= nbits;
+        }
+    }
+
+    // Epsilon activations of the *target* state are handled by the caller
+    // (NFA mode); here we execute the transition's actions.
+    std::size_t act;
+    if (attach_addr(taken, act)) {
+        const LaneStatus st = exec_actions(act);
+        if (st != LaneStatus::Running) {
+            res.status = st;
+            return res;
+        }
+    }
+
+    res.took_transition = true;
+    res.next_base = taken.target;
+    if (activations && meta.aux_count) {
+        // Collect epsilon siblings (multi-state activation).
+        for (unsigned k = 1; k <= meta.aux_count; ++k) {
+            const Transition t = decode_transition(prog_->dispatch[base - k]);
+            if (t.signature == sig && t.type == TransitionType::Epsilon)
+                activations->push_back(t.target);
+        }
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// Action unit.
+// ---------------------------------------------------------------------------
+
+LaneStatus
+Lane::exec_actions(std::size_t addr)
+{
+    const auto &img = prog_->actions;
+    for (;;) {
+        if (addr >= img.size())
+            throw UdpError("Lane: action fetch out of range");
+        ++stats_.dispatch_reads;
+        const Action a = decode_action(img[addr]);
+        ++stats_.actions;
+        ++stats_.cycles;
+
+        const Word rs = (a.src == kRegStreamIdx)
+                            ? static_cast<Word>(sb_.pos_bytes())
+                            : regs_[a.src];
+        const Word rr = (a.ref == kRegStreamIdx)
+                            ? static_cast<Word>(sb_.pos_bytes())
+                            : regs_[a.ref];
+        auto wr = [&](Word v) { set_reg(a.dst, v); };
+
+        switch (a.op) {
+          case Opcode::Addi: wr(rs + static_cast<Word>(a.imm)); break;
+          case Opcode::Subi: wr(rs - static_cast<Word>(a.imm)); break;
+          case Opcode::Andi: wr(rs & static_cast<Word>(a.imm)); break;
+          case Opcode::Ori: wr(rs | static_cast<Word>(a.imm)); break;
+          case Opcode::Xori: wr(rs ^ static_cast<Word>(a.imm)); break;
+          case Opcode::Shli: wr(rs << (a.imm & 31)); break;
+          case Opcode::Shri: wr(rs >> (a.imm & 31)); break;
+          case Opcode::Sari:
+            wr(static_cast<Word>(static_cast<std::int32_t>(rs) >>
+                                 (a.imm & 31)));
+            break;
+          case Opcode::Movi: wr(static_cast<Word>(a.imm)); break;
+          case Opcode::Lui:
+            wr((regs_[a.dst] & 0xFFFFu) |
+               (static_cast<Word>(a.imm) << 16));
+            break;
+          case Opcode::Cmpeqi: wr(rs == static_cast<Word>(a.imm)); break;
+          case Opcode::Cmplti:
+            wr(static_cast<std::int32_t>(rs) < a.imm);
+            break;
+          case Opcode::Cmpltui:
+            wr(rs < static_cast<Word>(a.imm));
+            break;
+          case Opcode::Muli: wr(rs * static_cast<Word>(a.imm)); break;
+
+          case Opcode::Add: wr(rr + rs); break;
+          case Opcode::Sub: wr(rr - rs); break;
+          case Opcode::And: wr(rr & rs); break;
+          case Opcode::Or: wr(rr | rs); break;
+          case Opcode::Xor: wr(rr ^ rs); break;
+          case Opcode::Shl: wr(rr << (rs & 31)); break;
+          case Opcode::Shr: wr(rr >> (rs & 31)); break;
+          case Opcode::Mov: wr(rs); break;
+          case Opcode::Not: wr(~rs); break;
+          case Opcode::Neg: wr(0u - rs); break;
+          case Opcode::Mul: wr(rr * rs); break;
+          case Opcode::Min: wr(std::min(rr, rs)); break;
+          case Opcode::Max: wr(std::max(rr, rs)); break;
+          case Opcode::Cmpeq: wr(rr == rs); break;
+          case Opcode::Cmplt: wr(rr < rs); break;
+          case Opcode::Select: wr(regs_[a.dst] ? rr : rs); break;
+
+          case Opcode::Ldw:
+            wr(mem_read32(rs + static_cast<Word>(a.imm)));
+            break;
+          case Opcode::Stw:
+            mem_write32(rs + static_cast<Word>(a.imm), regs_[a.dst]);
+            break;
+          case Opcode::Ldb:
+            wr(mem_read8(rs + static_cast<Word>(a.imm)));
+            break;
+          case Opcode::Stb:
+            mem_write8(rs + static_cast<Word>(a.imm),
+                       static_cast<std::uint8_t>(regs_[a.dst]));
+            break;
+          case Opcode::Bininc: {
+            const Word addr_b = rs * 4 + static_cast<Word>(a.imm);
+            mem_write32(addr_b, mem_read32(addr_b) + 1);
+            break;
+          }
+
+          case Opcode::Setss:
+            if (a.imm < 1 || a.imm > 32)
+                throw UdpError("Lane: setss width must be 1..32");
+            symbol_bits_ = static_cast<unsigned>(a.imm);
+            break;
+          case Opcode::Setssr:
+            if (rs < 1 || rs > 32)
+                throw UdpError("Lane: setssr width must be 1..32");
+            symbol_bits_ = rs;
+            break;
+          case Opcode::Setbase:
+            if (a.dst == 0)
+                window_base_ = rs + static_cast<Word>(a.imm);
+            else
+                dispatch_base_ = rs + static_cast<Word>(a.imm);
+            break;
+          case Opcode::Setab:
+            action_base_ = rs + static_cast<Word>(a.imm);
+            action_scale_ = static_cast<unsigned>(a.imm1);
+            break;
+          case Opcode::Skip:
+            sb_.skip(static_cast<std::uint64_t>(a.imm));
+            stats_.stream_bits += static_cast<std::uint64_t>(a.imm);
+            break;
+          case Opcode::Refill:
+            sb_.refill(static_cast<std::uint64_t>(a.imm));
+            stats_.stream_bits -= static_cast<std::uint64_t>(a.imm);
+            break;
+          case Opcode::Peek:
+            wr(sb_.exhausted(static_cast<unsigned>(a.imm))
+                   ? 0u
+                   : sb_.peek(static_cast<unsigned>(a.imm)));
+            break;
+          case Opcode::Read:
+            // An action-unit read; does not disturb the dispatch unit's
+            // latched symbol (Lastsym).
+            stats_.stream_bits += static_cast<unsigned>(a.imm);
+            wr(sb_.read(static_cast<unsigned>(a.imm)));
+            break;
+          case Opcode::Tell:
+            wr(static_cast<Word>(sb_.pos_bits()));
+            break;
+          case Opcode::Lastsym:
+            wr(last_symbol_);
+            break;
+          case Opcode::Setstream: {
+            const std::uint64_t bit_pos = std::uint64_t{rs} +
+                                          static_cast<std::uint64_t>(a.imm);
+            const std::uint64_t old = sb_.pos_bits();
+            sb_.seek_bits(bit_pos);
+            stats_.stream_bits += bit_pos - old; // net consumption delta
+            break;
+          }
+
+          case Opcode::Emitlut: {
+            const Word entry =
+                rs + ((static_cast<Word>(a.imm) << 8) | last_symbol_) * 16;
+            const std::uint8_t count = mem_read8(entry);
+            if (count > 15)
+                throw UdpError("Lane: emitlut entry count exceeds 15");
+            ++stats_.cycles; // table fetch pipeline stage
+            for (unsigned i = 0; i < count; ++i)
+                out_byte(mem_.read8(mem_translate(entry + 1 + i)));
+            ++stats_.mem_reads; // one 8-byte-wide entry fetch
+            break;
+          }
+          case Opcode::Hash:
+            wr(hash_mix(rs, static_cast<unsigned>(a.imm)));
+            break;
+          case Opcode::Hash2:
+            wr(hash_mix(rr ^ (rs * 0x85EBCA6Bu), 0));
+            break;
+          case Opcode::Loopcmp: {
+            const Word bound = regs_[a.dst];
+            Word n = 0;
+            while (n < bound && mem_read8(rr + n) == mem_read8(rs + n))
+                ++n;
+            // The byte loop above charged per-byte refs; model the 8-byte
+            // datapath by charging ceil cycles instead of per-byte ones.
+            stats_.cycles += ceil_div(std::max<Word>(n, 1), 8) - 1;
+            wr(n);
+            break;
+          }
+          case Opcode::Loopcpy: {
+            const Word n = regs_[a.dst];
+            // Forward byte order: overlapping copies replicate the prefix
+            // (LZ77 semantics required by Snappy decode).
+            for (Word i = 0; i < n; ++i)
+                mem_write8(rr + i, mem_read8(rs + i));
+            stats_.cycles += n ? ceil_div(n, 8) - 1 : 0;
+            break;
+          }
+          case Opcode::Loopcpyo: {
+            const Word n = regs_[a.dst];
+            for (Word i = 0; i < n; ++i)
+                out_byte(mem_read8(rs + i));
+            stats_.cycles += n ? ceil_div(n, 8) - 1 : 0;
+            break;
+          }
+          case Opcode::Crc:
+            wr(crc32c_table()[(regs_[a.dst] ^ rs) & 0xFF] ^
+               (regs_[a.dst] >> 8));
+            break;
+
+          case Opcode::Outb: out_byte(static_cast<std::uint8_t>(rs)); break;
+          case Opcode::Outw:
+            out_byte(static_cast<std::uint8_t>(rs));
+            out_byte(static_cast<std::uint8_t>(rs >> 8));
+            out_byte(static_cast<std::uint8_t>(rs >> 16));
+            out_byte(static_cast<std::uint8_t>(rs >> 24));
+            break;
+          case Opcode::Outbits:
+            out_bits(rs, static_cast<unsigned>(a.imm));
+            break;
+          case Opcode::Outflush: out_flush(); break;
+          case Opcode::Outi:
+            out_byte(static_cast<std::uint8_t>(a.imm));
+            break;
+          case Opcode::Outbitsr:
+            if (regs_[a.dst] >= 1 && regs_[a.dst] <= 32)
+                out_bits(rs, regs_[a.dst]);
+            else if (regs_[a.dst] != 0)
+                throw UdpError("Lane: outbitsr width must be 0..32");
+            break;
+
+          case Opcode::Accept:
+            ++stats_.accepts;
+            if (accepts_.size() < accept_capacity_) {
+                accepts_.push_back(
+                    {sb_.pos_bits(), static_cast<Word>(a.imm)});
+            }
+            break;
+          case Opcode::Halt: return LaneStatus::Done;
+          case Opcode::Fail: return LaneStatus::Reject;
+          case Opcode::Gotoact:
+            addr = static_cast<std::size_t>(a.imm);
+            continue; // `last` is irrelevant on a taken goto
+          case Opcode::Nop: break;
+
+          default:
+            throw UdpError("Lane: unimplemented opcode");
+        }
+
+        if (a.last)
+            return LaneStatus::Running;
+        ++addr;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run loops.
+// ---------------------------------------------------------------------------
+
+LaneStatus
+Lane::run_steps(std::uint64_t n)
+{
+    if (!prog_)
+        throw UdpError("Lane: no program loaded");
+    if (halted_)
+        return halt_status_;
+    if (!started_) {
+        cur_state_ = prog_->entry;
+        started_ = true;
+    }
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const StateMeta *meta = prog_->find_state(cur_state_);
+        if (!meta)
+            throw UdpError("Lane: dispatch into unknown state base " +
+                           std::to_string(cur_state_));
+        const StepResult r = step(*meta, nullptr);
+        if (r.status != LaneStatus::Running) {
+            halted_ = true;
+            halt_status_ = r.status;
+            return r.status;
+        }
+        if (!r.took_transition) {
+            halted_ = true;
+            halt_status_ = LaneStatus::Reject;
+            return LaneStatus::Reject;
+        }
+        // 12-bit targets are window-relative; rebase into the current
+        // dispatch window (Setbase may have moved it during actions).
+        cur_state_ = dispatch_base_ + r.next_base;
+    }
+    return LaneStatus::Running;
+}
+
+LaneStatus
+Lane::run(std::uint64_t max_cycles)
+{
+    for (;;) {
+        const LaneStatus st = run_steps(1024);
+        if (st != LaneStatus::Running)
+            return st;
+        if (stats_.cycles >= max_cycles)
+            return LaneStatus::Done; // cycle budget exhausted
+    }
+}
+
+LaneStatus
+Lane::run_nfa(std::uint64_t max_cycles)
+{
+    if (!prog_)
+        throw UdpError("Lane: no program loaded");
+
+    // Active-state set with epsilon closure on activation. Frontier order
+    // is deterministic; duplicates are suppressed with a stamp array.
+    // Active entries are full word addresses.
+    std::vector<std::size_t> active{prog_->entry};
+    std::vector<std::size_t> next;
+    std::vector<std::uint32_t> stamp(prog_->dispatch.size(), 0);
+    std::uint32_t generation = 0;
+
+    auto close = [&](std::vector<std::size_t> &set) {
+        ++generation;
+        for (auto b : set)
+            stamp[b] = generation;
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            const StateMeta *meta = prog_->find_state(set[i]);
+            if (!meta)
+                throw UdpError("Lane: NFA activation of unknown state");
+            const std::size_t base = meta->base;
+            const std::uint8_t sig = state_signature(meta->base);
+            for (unsigned k = 1; k <= meta->aux_count; ++k) {
+                const Transition t =
+                    decode_transition(prog_->dispatch[base - k]);
+                const std::size_t tgt = dispatch_base_ + t.target;
+                if (t.signature == sig &&
+                    t.type == TransitionType::Epsilon &&
+                    stamp[tgt] != generation) {
+                    // Epsilon activation costs one dispatch cycle.
+                    ++stats_.cycles;
+                    ++stats_.dispatches;
+                    ++stats_.dispatch_reads;
+                    stamp[tgt] = generation;
+                    set.push_back(tgt);
+                    std::size_t act;
+                    if (attach_addr(t, act))
+                        exec_actions(act);
+                }
+            }
+        }
+    };
+
+    close(active);
+    const unsigned width = symbol_bits_;
+
+    while (!active.empty() && stats_.cycles < max_cycles) {
+        if (sb_.exhausted(width))
+            return LaneStatus::Done;
+        const Word sym = fetch_symbol_bits(width);
+
+        next.clear();
+        ++generation;
+        for (const auto cur : active) {
+            const StateMeta *meta = prog_->find_state(cur);
+            if (!meta)
+                throw UdpError("Lane: NFA dispatch into unknown state");
+            const std::size_t base = meta->base;
+            const std::uint8_t sig = state_signature(meta->base);
+
+            ++stats_.dispatches;
+            ++stats_.cycles;
+
+            Transition taken;
+            bool have = false;
+            const std::size_t slot = base + sym;
+            if (slot < prog_->dispatch.size() && sym <= meta->max_symbol) {
+                const Transition t = decode_transition(dispatch_word(slot));
+                if (t.signature == sig &&
+                    (t.type == TransitionType::Labeled ||
+                     t.type == TransitionType::Refill)) {
+                    taken = t;
+                    have = true;
+                }
+            }
+            if (!have) {
+                ++stats_.sig_misses;
+                ++stats_.cycles;
+                for (unsigned k = 1; k <= meta->aux_count; ++k) {
+                    const Transition t =
+                        decode_transition(dispatch_word(base - k));
+                    if (t.signature != sig)
+                        break;
+                    if (t.type == TransitionType::Majority ||
+                        t.type == TransitionType::Default ||
+                        t.type == TransitionType::Common) {
+                        taken = t;
+                        have = true;
+                        break;
+                    }
+                }
+            }
+            if (!have)
+                continue; // this activation dies
+
+            const std::size_t tgt = dispatch_base_ + taken.target;
+            if (stamp[tgt] != generation) {
+                stamp[tgt] = generation;
+                next.push_back(tgt);
+                // Activation happens once per step; arc actions fire with
+                // the first arc that activates the target.
+                std::size_t act;
+                if (attach_addr(taken, act))
+                    exec_actions(act);
+            }
+        }
+        close(next);
+        // close() bumps the generation; re-stamp for the swap below is
+        // unnecessary since `next` is already duplicate-free.
+        active.swap(next);
+    }
+    return active.empty() ? LaneStatus::Reject : LaneStatus::Done;
+}
+
+} // namespace udp

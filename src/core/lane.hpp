@@ -1,0 +1,166 @@
+/**
+ * @file
+ * UDP lane: a 32-bit symbol/branch engine (paper Sections 3.2 and 6).
+ *
+ * A lane couples three units (Figure 23):
+ *   - Dispatch unit: multi-way dispatch `slot = base + symbol` with an
+ *     8-bit signature check (the EffCLiP perfect-hash contract), auxiliary
+ *     majority/default/common fallbacks, flagged (register-sourced)
+ *     dispatch and refill transitions;
+ *   - Stream-buffer/prefetch unit: bit-granular input with a symbol-size
+ *     register (1..8, 16, 32 bits);
+ *   - Action unit: executes chained 32-bit actions over 16 scalar
+ *     registers, window-addressed local memory and an output buffer.
+ *
+ * The lane supports two execution modes:
+ *   - `run()`: single active state (DFA-style programs; all the ETL
+ *     kernels);
+ *   - `run_nfa()`: a set of active states advanced per input symbol with
+ *     epsilon activation (UAP-style NFA execution); cycle cost scales with
+ *     the number of dispatches, as on the real hardware.
+ */
+#pragma once
+
+#include "local_memory.hpp"
+#include "program.hpp"
+#include "stats.hpp"
+#include "stream_buffer.hpp"
+#include "types.hpp"
+
+#include <array>
+#include <functional>
+
+namespace udp {
+
+/// Terminal status of a lane run.
+enum class LaneStatus : std::uint8_t {
+    Done,     ///< consumed the whole stream, or executed Halt
+    Reject,   ///< no matching transition / Fail action
+    Running,  ///< still active (used internally)
+};
+
+/// One recorded acceptance (Accept action).
+struct AcceptEvent {
+    std::uint64_t stream_bit_pos; ///< stream position at acceptance
+    Word id;                      ///< Accept immediate (pattern id, bin, ..)
+};
+
+/**
+ * A single UDP lane bound to a program, an input stream, and the shared
+ * local memory.
+ */
+class Lane
+{
+  public:
+    /**
+     * @param id    lane index (0..63), selects the bank in local mode
+     * @param mem   shared local memory (may outlive many runs)
+     */
+    Lane(unsigned id, LocalMemory &mem);
+
+    /// Bind the program (kept by reference; caller owns it).
+    void load(const Program &prog);
+
+    /// Attach the input stream (not copied).
+    void set_input(BytesView data);
+
+    /// Window base register for restricted addressing (byte address).
+    void set_window_base(ByteAddr base) { window_base_ = base; }
+    ByteAddr window_base() const { return window_base_; }
+
+    /// Dispatch-window word base (programs larger than 4096 words).
+    void set_dispatch_base(std::size_t words) { dispatch_base_ = words; }
+
+    /// Scalar register access (r15 reads give the stream byte index).
+    Word reg(unsigned idx) const;
+    void set_reg(unsigned idx, Word value);
+
+    /// Execute in single-active-state mode until stream end / halt.
+    LaneStatus run(std::uint64_t max_cycles = ~std::uint64_t{0});
+
+    /// Execute up to `n` dispatch steps, preserving position between
+    /// calls (lockstep machine mode). Returns Running while work remains.
+    LaneStatus run_steps(std::uint64_t n);
+
+    /// Execute in NFA mode (multi-state activation via epsilon).
+    LaneStatus run_nfa(std::uint64_t max_cycles = ~std::uint64_t{0});
+
+    const LaneStats &stats() const { return stats_; }
+    const Bytes &output() const { return output_; }
+
+    /// Byte-align the output bitstream from the host side (reading back
+    /// the staging buffer after the lane finished).
+    void finish_output() { out_flush(); }
+    const std::vector<AcceptEvent> &accepts() const { return accepts_; }
+    std::uint64_t accept_count() const { return stats_.accepts; }
+
+    /// Cap on stored AcceptEvents (counts keep accumulating past it).
+    void set_accept_capacity(std::size_t n) { accept_capacity_ = n; }
+
+    /// Reset registers, stats, output and stream position.
+    void reset();
+
+    /// Hook invoked for each memory reference: (bank, is_write) -> stalls.
+    using ArbiterHook = std::function<Cycles(unsigned bank, bool is_write)>;
+    void set_arbiter(ArbiterHook hook) { arbiter_ = std::move(hook); }
+
+  private:
+    // Dispatch outcome for one step of one active state.
+    struct StepResult {
+        bool took_transition = false;
+        bool consumed_symbol = false;
+        DispatchAddr next_base = 0;
+        LaneStatus status = LaneStatus::Running;
+    };
+
+    /// Fetch+check the labeled slot, walk the aux chain, fire actions.
+    StepResult step(const StateMeta &meta,
+                    std::vector<DispatchAddr> *activations);
+
+    /// Execute the action chain at action-memory word address `addr`.
+    LaneStatus exec_actions(std::size_t addr);
+
+    /// Resolve an attach field to an action word address (or none).
+    bool attach_addr(const Transition &t, std::size_t &addr) const;
+
+    Word fetch_symbol_bits(unsigned width);
+    Word dispatch_word(std::size_t word_addr);
+
+    ByteAddr mem_translate(Word lane_addr) const;
+    std::uint8_t mem_read8(Word lane_addr);
+    void mem_write8(Word lane_addr, std::uint8_t v);
+    Word mem_read32(Word lane_addr);
+    void mem_write32(Word lane_addr, Word v);
+    void charge_mem(ByteAddr phys, bool is_write);
+
+    void out_byte(std::uint8_t b);
+    void out_bits(Word value, unsigned nbits);
+    void out_flush();
+
+    unsigned id_;
+    LocalMemory &mem_;
+    const Program *prog_ = nullptr;
+    StreamBuffer sb_;
+
+    std::array<Word, kNumScalarRegs> regs_{};
+    unsigned symbol_bits_ = 8;     ///< symbol-size register
+    ByteAddr window_base_ = 0;     ///< data window (restricted addressing)
+    std::size_t dispatch_base_ = 0;///< dispatch window (words)
+    ByteAddr action_base_ = 0;     ///< scaled-offset action window (words)
+    unsigned action_scale_ = 0;
+
+    Word last_symbol_ = 0; ///< latched by the dispatch unit (Lastsym)
+    LaneStats stats_;
+    Bytes output_;
+    Word out_bit_acc_ = 0;     ///< pending sub-byte output bits
+    unsigned out_bit_count_ = 0;
+    std::vector<AcceptEvent> accepts_;
+    std::size_t accept_capacity_ = 1 << 16;
+    ArbiterHook arbiter_;
+    std::size_t cur_state_ = 0;   ///< full base of the active state
+    bool started_ = false;
+    bool halted_ = false;
+    LaneStatus halt_status_ = LaneStatus::Done;
+};
+
+} // namespace udp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Local memory and bank arbitration implementation.
+ */
+#include "local_memory.hpp"
+
+namespace udp {
+
+std::string_view
+addressing_mode_name(AddressingMode m)
+{
+    switch (m) {
+      case AddressingMode::Local: return "local";
+      case AddressingMode::Global: return "global";
+      case AddressingMode::Restricted: return "restricted";
+    }
+    return "<bad>";
+}
+
+double
+memory_ref_energy_pj(AddressingMode m)
+{
+    // Fig 11c (CACTI 6.5, 1 MiB, 64 banks): banked local/restricted access
+    // costs 4.3 pJ/ref; a global crossbar more than doubles it to 8.8.
+    return m == AddressingMode::Global ? 8.8 : 4.3;
+}
+
+LocalMemory::LocalMemory(AddressingMode mode)
+    : mode_(mode), mem_(kLocalMemBytes, 0)
+{
+}
+
+void
+LocalMemory::clear()
+{
+    std::fill(mem_.begin(), mem_.end(), 0);
+}
+
+ByteAddr
+LocalMemory::translate(unsigned lane, ByteAddr addr, ByteAddr base) const
+{
+    switch (mode_) {
+      case AddressingMode::Local:
+        // Lane-private bank; address wraps inside the 16 KiB bank.
+        if (addr >= kBankBytes)
+            throw UdpError("LocalMemory: local-mode address exceeds bank");
+        return static_cast<ByteAddr>(lane * kBankBytes + addr);
+      case AddressingMode::Global:
+        if (addr >= kLocalMemBytes)
+            throw UdpError("LocalMemory: global address out of range");
+        return addr;
+      case AddressingMode::Restricted: {
+        const std::uint64_t phys = std::uint64_t{base} + addr;
+        if (phys >= kLocalMemBytes)
+            throw UdpError("LocalMemory: restricted address out of range");
+        return static_cast<ByteAddr>(phys);
+      }
+    }
+    throw UdpError("LocalMemory: bad addressing mode");
+}
+
+void
+LocalMemory::check(ByteAddr phys, std::size_t len) const
+{
+    if (std::uint64_t{phys} + len > mem_.size())
+        throw UdpError("LocalMemory: physical access out of range");
+}
+
+std::uint8_t
+LocalMemory::read8(ByteAddr phys) const
+{
+    check(phys, 1);
+    return mem_[phys];
+}
+
+void
+LocalMemory::write8(ByteAddr phys, std::uint8_t v)
+{
+    check(phys, 1);
+    mem_[phys] = v;
+}
+
+Word
+LocalMemory::read32(ByteAddr phys) const
+{
+    check(phys, 4);
+    return Word{mem_[phys]} | (Word{mem_[phys + 1]} << 8) |
+           (Word{mem_[phys + 2]} << 16) | (Word{mem_[phys + 3]} << 24);
+}
+
+void
+LocalMemory::write32(ByteAddr phys, Word v)
+{
+    check(phys, 4);
+    mem_[phys] = static_cast<std::uint8_t>(v);
+    mem_[phys + 1] = static_cast<std::uint8_t>(v >> 8);
+    mem_[phys + 2] = static_cast<std::uint8_t>(v >> 16);
+    mem_[phys + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void
+BankArbiter::begin_cycle()
+{
+    reads_.fill(0);
+    writes_.fill(0);
+}
+
+Cycles
+BankArbiter::request(unsigned bank, bool is_write)
+{
+    if (bank >= kNumBanks)
+        throw UdpError("BankArbiter: bank id out of range");
+    auto &count = is_write ? writes_[bank] : reads_[bank];
+    const Cycles stall = count; // nth same-cycle request waits n cycles
+    if (count < 255)
+        ++count;
+    total_stalls_ += stall;
+    return stall;
+}
+
+} // namespace udp

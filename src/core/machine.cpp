@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Machine implementation: job assignment and the two run harnesses.
+ */
+#include "machine.hpp"
+
+#include <algorithm>
+
+namespace udp {
+
+Machine::Machine(AddressingMode mode) : mem_(mode)
+{
+    lanes_.reserve(kNumLanes);
+    for (unsigned i = 0; i < kNumLanes; ++i)
+        lanes_.push_back(std::make_unique<Lane>(i, mem_));
+}
+
+Lane &
+Machine::lane(unsigned idx)
+{
+    if (idx >= lanes_.size())
+        throw UdpError("Machine: lane index out of range");
+    return *lanes_[idx];
+}
+
+void
+Machine::stage(ByteAddr phys, BytesView data)
+{
+    if (std::uint64_t{phys} + data.size() > mem_.raw().size())
+        throw UdpError("Machine: stage outside local memory");
+    std::copy(data.begin(), data.end(), mem_.raw().begin() + phys);
+}
+
+Bytes
+Machine::unstage(ByteAddr phys, std::size_t len) const
+{
+    if (std::uint64_t{phys} + len > mem_.raw().size())
+        throw UdpError("Machine: unstage outside local memory");
+    return Bytes(mem_.raw().begin() + phys,
+                 mem_.raw().begin() + phys + len);
+}
+
+void
+Machine::assign(std::vector<JobSpec> jobs)
+{
+    if (jobs.size() > kNumLanes)
+        throw UdpError("Machine: more jobs than lanes");
+    jobs_ = std::move(jobs);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const JobSpec &j = jobs_[i];
+        if (!j.program)
+            continue;
+        Lane &ln = *lanes_[i];
+        ln.load(*j.program);
+        ln.set_input(j.input);
+        ln.set_window_base(j.window_base);
+        for (const auto &[r, v] : j.init_regs)
+            ln.set_reg(r, v);
+    }
+}
+
+MachineResult
+Machine::collect(Cycles wall)
+{
+    MachineResult res;
+    res.wall_cycles = wall;
+    res.status.resize(jobs_.size(), LaneStatus::Done);
+    AddressingMode mode = mem_.mode();
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (!jobs_[i].program)
+            continue;
+        res.total.add(lanes_[i]->stats());
+        ++res.active_lanes;
+    }
+    last_energy_j_ = run_energy_joules(cost_, res.total, wall,
+                                       res.active_lanes, mode);
+    return res;
+}
+
+MachineResult
+Machine::run_parallel(std::uint64_t max_cycles_per_lane)
+{
+    Cycles wall = 0;
+    std::vector<LaneStatus> status(jobs_.size(), LaneStatus::Done);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const JobSpec &j = jobs_[i];
+        if (!j.program)
+            continue;
+        Lane &ln = *lanes_[i];
+        ln.set_arbiter(nullptr); // disjoint windows: no contention
+        status[i] = j.nfa_mode ? ln.run_nfa(max_cycles_per_lane)
+                               : ln.run(max_cycles_per_lane);
+        wall = std::max(wall, ln.stats().cycles);
+    }
+    MachineResult res = collect(wall);
+    res.status = std::move(status);
+    return res;
+}
+
+MachineResult
+Machine::run_lockstep(std::uint64_t max_rounds)
+{
+    BankArbiter arbiter;
+    std::vector<bool> done(jobs_.size(), true);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (!jobs_[i].program)
+            continue;
+        if (jobs_[i].nfa_mode)
+            throw UdpError("Machine: lockstep NFA mode is unsupported");
+        done[i] = false;
+        lanes_[i]->set_arbiter(
+            [&arbiter](unsigned bank, bool is_write) {
+                return arbiter.request(bank, is_write);
+            });
+    }
+
+    std::vector<LaneStatus> status(jobs_.size(), LaneStatus::Done);
+    std::uint64_t rounds = 0;
+    bool any = true;
+    while (any && rounds < max_rounds) {
+        any = false;
+        arbiter.begin_cycle();
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            if (done[i])
+                continue;
+            const LaneStatus st = lanes_[i]->run_steps(1);
+            if (st != LaneStatus::Running) {
+                done[i] = true;
+                status[i] = st;
+            } else {
+                any = true;
+            }
+        }
+        ++rounds;
+    }
+
+    Cycles wall = 0;
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+        if (jobs_[i].program)
+            wall = std::max(wall, lanes_[i]->stats().cycles);
+
+    MachineResult res = collect(wall);
+    res.status = std::move(status);
+    return res;
+}
+
+} // namespace udp

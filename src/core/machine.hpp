@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The full 64-lane UDP machine (paper Figure 3a) and its run harness.
+ *
+ * A `Machine` owns the shared local memory, the vector register file and
+ * 64 lanes.  Work is described by a `JobSpec` per lane (program, input
+ * view, memory window, initial registers).  Two run modes:
+ *
+ *  - `run_parallel()` — each lane runs to completion independently.  This
+ *    is exact for the paper's data-parallel kernels, whose lanes touch
+ *    disjoint memory windows (local or restricted addressing); machine
+ *    time is the slowest lane.
+ *  - `run_lockstep()` — lanes advance one dispatch step per round with a
+ *    shared per-round bank arbiter, modeling the "detect and stall"
+ *    contention of global/overlapping addressing.
+ */
+#pragma once
+
+#include "energy.hpp"
+#include "lane.hpp"
+#include "local_memory.hpp"
+#include "program.hpp"
+#include "stats.hpp"
+#include "vector_regfile.hpp"
+
+#include <memory>
+#include <optional>
+
+namespace udp {
+
+/// Work assignment for one lane.
+struct JobSpec {
+    const Program *program = nullptr; ///< nullptr = lane idle
+    BytesView input{};                ///< stream contents
+    ByteAddr window_base = 0;         ///< restricted-addressing window
+    bool nfa_mode = false;            ///< run with multi-state activation
+    std::vector<std::pair<unsigned, Word>> init_regs; ///< (reg, value)
+};
+
+/// Result of a machine run.
+struct MachineResult {
+    Cycles wall_cycles = 0;      ///< max over lanes (+stalls in lockstep)
+    LaneStats total;             ///< summed lane counters
+    std::vector<LaneStatus> status;
+    unsigned active_lanes = 0;
+
+    /// Aggregate throughput in MB/s at the nominal clock.
+    double throughput_mbps() const {
+        if (wall_cycles == 0)
+            return 0.0;
+        return total.input_bytes() / (double(wall_cycles) / kClockHz) / 1e6;
+    }
+};
+
+/// The 64-lane UDP.
+class Machine
+{
+  public:
+    explicit Machine(AddressingMode mode = AddressingMode::Restricted);
+
+    LocalMemory &memory() { return mem_; }
+    const LocalMemory &memory() const { return mem_; }
+    VectorRegFile &vregs() { return vregs_; }
+    Lane &lane(unsigned idx);
+    const UdpCostModel &cost_model() const { return cost_; }
+
+    /// Stage bytes into local memory at a physical byte address (host /
+    /// DLT-engine side, not charged to lane cycles).
+    void stage(ByteAddr phys, BytesView data);
+
+    /// Read back a region of local memory.
+    Bytes unstage(ByteAddr phys, std::size_t len) const;
+
+    /// Assign one job per lane (at most kNumLanes entries).
+    void assign(std::vector<JobSpec> jobs);
+
+    /// Run all assigned lanes to completion, independently.
+    MachineResult run_parallel(std::uint64_t max_cycles_per_lane =
+                                   ~std::uint64_t{0});
+
+    /// Run with per-round shared bank arbitration.
+    MachineResult run_lockstep(std::uint64_t max_rounds = ~std::uint64_t{0});
+
+    /// Energy of the last run, in joules (see run_energy_joules).
+    double last_run_energy_j() const { return last_energy_j_; }
+
+  private:
+    MachineResult collect(Cycles wall);
+
+    LocalMemory mem_;
+    VectorRegFile vregs_;
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    std::vector<JobSpec> jobs_;
+    UdpCostModel cost_;
+    double last_energy_j_ = 0.0;
+};
+
+} // namespace udp

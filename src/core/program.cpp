@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Program validation and state directory indexing.
+ */
+#include "program.hpp"
+
+namespace udp {
+
+void
+Program::index_states()
+{
+    by_base_.assign(dispatch.size(), -1);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        const auto base = states[i].base;
+        if (base >= dispatch.size())
+            throw UdpError("Program: state base outside dispatch image");
+        if (by_base_[base] != -1)
+            throw UdpError("Program: duplicate state base");
+        by_base_[base] = static_cast<std::int32_t>(i);
+    }
+}
+
+const StateMeta *
+Program::find_state(std::size_t base) const
+{
+    if (base >= by_base_.size() || by_base_[base] < 0)
+        return nullptr;
+    return &states[static_cast<std::size_t>(by_base_[base])];
+}
+
+void
+Program::validate() const
+{
+    if (states.empty())
+        throw UdpError("Program: no states");
+    if (dispatch.empty())
+        throw UdpError("Program: empty dispatch image");
+    if (actions.size() > (std::size_t{1} << 24))
+        throw UdpError("Program: action image unreasonably large");
+    if (initial_symbol_bits == 0 || initial_symbol_bits > 32)
+        throw UdpError("Program: initial symbol size must be 1..32");
+
+    bool entry_found = false;
+    for (const auto &s : states) {
+        if (s.base >= dispatch.size())
+            throw UdpError("Program: state base outside dispatch image");
+        if (s.aux_count > s.base)
+            throw UdpError("Program: auxiliary chain underflows memory");
+        if (std::size_t{s.base} + s.max_symbol >= dispatch.size())
+            throw UdpError("Program: labeled table overflows image");
+        if (s.base == entry)
+            entry_found = true;
+
+        // Auxiliary chain words must carry this state's signature and be
+        // decodable transitions of auxiliary kinds.
+        for (unsigned k = 1; k <= s.aux_count; ++k) {
+            const Transition t = decode_transition(dispatch[s.base - k]);
+            if (t.signature != state_signature(s.base))
+                throw UdpError("Program: aux word signature mismatch");
+            if (t.type == TransitionType::Labeled ||
+                t.type == TransitionType::Refill) {
+                throw UdpError("Program: labeled word in auxiliary chain");
+            }
+        }
+    }
+    if (!entry_found)
+        throw UdpError("Program: entry base is not a state");
+}
+
+} // namespace udp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Loaded UDP program image.
+ *
+ * A program is a dispatch-memory image (32-bit transition words laid out by
+ * EffCLiP), an action-memory image (32-bit action words), and a *state
+ * directory*.  The directory is the loader-side equivalent of the type
+ * information the UDP assembler back-propagates along dispatch arcs
+ * (Section 3.2.1): per state it records the dispatch source (stream buffer
+ * vs scalar register r0) and the extent of the state's auxiliary transition
+ * chain.  It is derived at assembly time and carries no information that is
+ * not also recoverable from the memory image plus arc back-propagation.
+ *
+ * Layout ABI (produced by EffCLiP, consumed by the Lane):
+ *  - A state is identified by the word address `base` of its labeled table.
+ *  - Labeled (and refill-labeled) transitions live at `base + symbol`.
+ *  - The state's expected signature is `base & 0xFF`; EffCLiP guarantees
+ *    that any two states whose slot ranges overlap have different
+ *    signatures, making `base + symbol` a perfect hash with an 8-bit check.
+ *  - Auxiliary transitions (majority, default, common, epsilon) occupy
+ *    `base-1 .. base-aux_count`, highest priority first.
+ */
+#pragma once
+
+#include "isa.hpp"
+#include "local_memory.hpp"
+#include "types.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace udp {
+
+/// Per-state metadata (the back-propagated arc information).
+///
+/// `base` is the *full* word address of the labeled-table origin.  In the
+/// 12-bit `target` field of encoded transitions, the window-relative value
+/// `base - dispatch_window_base` is stored; the lane adds its dispatch
+/// window base back when following the arc (multi-bank programs switch
+/// windows with the Setbase action, paper Section 5.7).
+struct StateMeta {
+    std::uint32_t base = 0;  ///< full word address of the labeled table
+    bool reg_source = false; ///< dispatch symbol comes from r0, not stream
+    std::uint8_t aux_count = 0; ///< words in the auxiliary chain at base-1..
+    std::uint16_t max_symbol = 255; ///< largest labeled slot offset in use
+};
+
+/// Expected signature for a state at full word address `base`.
+inline std::uint8_t
+state_signature(std::uint32_t base)
+{
+    return static_cast<std::uint8_t>(base & 0xFF);
+}
+
+/// Statistics the assembler records about the layout (Fig 5c, Fig 8).
+struct LayoutStats {
+    std::size_t dispatch_words = 0;  ///< total laid-out dispatch extent
+    std::size_t used_words = 0;      ///< occupied transition slots
+    std::size_t action_words = 0;    ///< action-memory footprint
+    std::size_t num_states = 0;
+    std::size_t num_transitions = 0; ///< logical transitions (pre-layout)
+
+    /// Total code bytes (dispatch + action words, 4 bytes each).
+    std::size_t code_bytes() const {
+        return 4 * (dispatch_words + action_words);
+    }
+    /// Packing density of the dispatch region.
+    double fill_ratio() const {
+        return dispatch_words ? double(used_words) / dispatch_words : 1.0;
+    }
+};
+
+/**
+ * A complete loadable UDP program.
+ */
+struct Program {
+    std::vector<Word> dispatch;   ///< transition words (EffCLiP layout)
+    std::vector<Word> actions;    ///< action words; direct refs hit 0..254
+    std::vector<StateMeta> states;
+    std::uint32_t entry = 0;      ///< full base of the start state
+    unsigned initial_symbol_bits = 8;
+    AddressingMode addressing = AddressingMode::Restricted;
+    LayoutStats layout;
+
+    /// Loader-applied lane configuration (the assembler's init block):
+    /// scaled-offset action window and the entry state's dispatch window.
+    std::uint32_t init_action_base = 0;  ///< action words
+    unsigned init_action_scale = 0;
+    std::uint32_t init_dispatch_base = 0; ///< dispatch words
+
+    /// Validate internal consistency; throws UdpError with a reason.
+    void validate() const;
+
+    /// Lookup of state metadata by base address; nullptr when unknown.
+    const StateMeta *find_state(std::size_t base) const;
+
+    /// Build the base -> state index (called by validate()/loaders).
+    void index_states();
+
+  private:
+    std::vector<std::int32_t> by_base_; ///< base -> index into states
+};
+
+} // namespace udp

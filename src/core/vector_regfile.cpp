@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Vector register file implementation.
+ */
+#include "vector_regfile.hpp"
+
+#include <algorithm>
+
+namespace udp {
+
+void
+VectorRegFile::load(unsigned first, BytesView data)
+{
+    const std::size_t capacity =
+        (kNumVectorRegs - std::size_t{first}) * kVectorRegBytes;
+    if (first >= kNumVectorRegs || data.size() > capacity)
+        throw UdpError("VectorRegFile: load does not fit");
+    std::size_t off = 0;
+    unsigned idx = first;
+    while (off < data.size()) {
+        const std::size_t n =
+            std::min(kVectorRegBytes, data.size() - off);
+        std::copy_n(data.begin() + off, n, regs_[idx].begin());
+        off += n;
+        ++idx;
+    }
+}
+
+Bytes
+VectorRegFile::stream_image(unsigned first, unsigned count) const
+{
+    if (first + count > kNumVectorRegs)
+        throw UdpError("VectorRegFile: range out of bounds");
+    Bytes out;
+    out.reserve(count * kVectorRegBytes);
+    for (unsigned i = first; i < first + count; ++i)
+        out.insert(out.end(), regs_[i].begin(), regs_[i].end());
+    return out;
+}
+
+} // namespace udp

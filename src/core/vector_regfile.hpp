@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared 64 x 2048-bit vector register file (paper Figure 3a).
+ *
+ * Vector registers are the staging path between the host and lane stream
+ * buffers: the host (or the DLT engine) fills vector registers, and a lane
+ * constructs its input stream from a private or shared register sequence
+ * (Section 3.2.3 "Stream Buffer ... constructs streams from vector
+ * registers; shared or private vector register coupling is supported").
+ *
+ * For simulation we expose the registers as 256-byte blocks plus a helper
+ * that concatenates a register range into one contiguous stream image.
+ */
+#pragma once
+
+#include "types.hpp"
+
+#include <array>
+
+namespace udp {
+
+/// The UDP vector register file.
+class VectorRegFile
+{
+  public:
+    VectorRegFile() : regs_(kNumVectorRegs) {
+        for (auto &r : regs_)
+            r.fill(0);
+    }
+
+    using VReg = std::array<std::uint8_t, kVectorRegBytes>;
+
+    VReg &operator[](unsigned idx) { return at(idx); }
+    const VReg &operator[](unsigned idx) const {
+        return const_cast<VectorRegFile *>(this)->at(idx);
+    }
+
+    /// Copy `data` into consecutive registers starting at `first`;
+    /// throws when the data does not fit the file.
+    void load(unsigned first, BytesView data);
+
+    /// Concatenate registers [first, first+count) into a byte image.
+    Bytes stream_image(unsigned first, unsigned count) const;
+
+  private:
+    VReg &at(unsigned idx) {
+        if (idx >= kNumVectorRegs)
+            throw UdpError("VectorRegFile: index out of range");
+        return regs_[idx];
+    }
+
+    std::vector<VReg> regs_;
+};
+
+} // namespace udp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Mini columnar store implementation.
+ */
+#include "columnar.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace udp::etl {
+
+std::size_t
+Column::size() const
+{
+    switch (type) {
+      case ColType::Int64:
+      case ColType::Date: return ints.size();
+      case ColType::Double: return doubles.size();
+      case ColType::Text: return codes.size();
+    }
+    return 0;
+}
+
+std::size_t
+Column::bytes() const
+{
+    std::size_t b = ints.size() * 8 + doubles.size() * 8 +
+                    codes.size() * 4;
+    for (const auto &v : dict.values)
+        b += v.size() + 8;
+    return b;
+}
+
+Table::Table(std::string name,
+             std::vector<std::pair<std::string, ColType>> schema)
+    : name_(std::move(name))
+{
+    for (auto &[n, t] : schema) {
+        Column c;
+        c.name = std::move(n);
+        c.type = t;
+        cols_.push_back(std::move(c));
+    }
+    if (cols_.empty())
+        throw UdpError("Table: empty schema");
+}
+
+void
+Table::append_row(const std::vector<Value> &values)
+{
+    if (values.size() != cols_.size())
+        throw UdpError("Table: row arity mismatch");
+    for (std::size_t i = 0; i < cols_.size(); ++i) {
+        Column &c = cols_[i];
+        switch (c.type) {
+          case ColType::Int64:
+          case ColType::Date:
+            c.ints.push_back(std::get<std::int64_t>(values[i]));
+            break;
+          case ColType::Double:
+            c.doubles.push_back(std::get<double>(values[i]));
+            break;
+          case ColType::Text:
+            c.codes.push_back(
+                c.dict.intern(std::get<std::string>(values[i])));
+            break;
+        }
+    }
+    ++rows_;
+}
+
+void
+Table::append_raw(const std::vector<std::string> &fields)
+{
+    if (fields.size() != cols_.size())
+        throw UdpError("Table: CSV arity mismatch for " + name_);
+    for (std::size_t i = 0; i < cols_.size(); ++i) {
+        Column &c = cols_[i];
+        switch (c.type) {
+          case ColType::Int64:
+            c.ints.push_back(parse_int64(fields[i]));
+            break;
+          case ColType::Date:
+            c.ints.push_back(parse_date(fields[i]));
+            break;
+          case ColType::Double:
+            c.doubles.push_back(parse_double(fields[i]));
+            break;
+          case ColType::Text:
+            c.codes.push_back(c.dict.intern(fields[i]));
+            break;
+        }
+    }
+    ++rows_;
+}
+
+std::size_t
+Table::bytes() const
+{
+    std::size_t b = 0;
+    for (const auto &c : cols_)
+        b += c.bytes();
+    return b;
+}
+
+std::int64_t
+parse_int64(const std::string &s)
+{
+    std::int64_t v = 0;
+    const auto *b = s.data();
+    const auto *e = s.data() + s.size();
+    const auto [p, ec] = std::from_chars(b, e, v);
+    if (ec != std::errc{} || p != e)
+        throw UdpError("parse_int64: bad integer '" + s + "'");
+    return v;
+}
+
+double
+parse_double(const std::string &s)
+{
+    double v = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || p != s.data() + s.size())
+        throw UdpError("parse_double: bad number '" + s + "'");
+    return v;
+}
+
+namespace {
+
+bool
+is_leap(int y)
+{
+    return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+DateDays
+days_from_civil(int y, int m, int d)
+{
+    // Howard Hinnant's algorithm.
+    y -= m <= 2;
+    const int era = (y >= 0 ? y : y - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(y - era * 400);
+    const unsigned doy =
+        (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+        static_cast<unsigned>(d) - 1;
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return static_cast<DateDays>(era * 146097 +
+                                 static_cast<int>(doe) - 719468);
+}
+
+int
+two_digits(const std::string &s, std::size_t at)
+{
+    if (at + 2 > s.size() || !isdigit((unsigned char)s[at]) ||
+        !isdigit((unsigned char)s[at + 1]))
+        throw UdpError("parse_date: bad digits in '" + s + "'");
+    return (s[at] - '0') * 10 + (s[at + 1] - '0');
+}
+
+} // namespace
+
+DateDays
+parse_date(const std::string &s)
+{
+    // "MM/DD/YYYY[ hh:mm:ss]" (Crimes-style) or "YYYY-MM-DD".
+    if (s.size() >= 10 && s[2] == '/' && s[5] == '/') {
+        const int m = two_digits(s, 0);
+        const int d = two_digits(s, 3);
+        const int y = two_digits(s, 6) * 100 + two_digits(s, 8);
+        if (m < 1 || m > 12 || d < 1 ||
+            d > (m == 2 ? (is_leap(y) ? 29 : 28)
+                        : (m == 4 || m == 6 || m == 9 || m == 11 ? 30
+                                                                 : 31)))
+            throw UdpError("parse_date: out-of-range '" + s + "'");
+        return days_from_civil(y, m, d);
+    }
+    if (s.size() >= 10 && s[4] == '-' && s[7] == '-') {
+        const int y = two_digits(s, 0) * 100 + two_digits(s, 2);
+        const int m = two_digits(s, 5);
+        const int d = two_digits(s, 8);
+        if (m < 1 || m > 12 || d < 1 || d > 31)
+            throw UdpError("parse_date: out-of-range '" + s + "'");
+        return days_from_civil(y, m, d);
+    }
+    throw UdpError("parse_date: unrecognized format '" + s + "'");
+}
+
+} // namespace udp::etl

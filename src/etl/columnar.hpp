@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A miniature columnar store: the load target of the Figure 1 ETL study
+ * (standing in for PostgreSQL's heap + the columnar formats of Section
+ * 2.1).  Typed columns with dictionary encoding for strings; the loader
+ * deserializes CSV fields into these columns.
+ */
+#pragma once
+
+#include "baselines/dictionary.hpp"
+#include "core/types.hpp"
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace udp::etl {
+
+/// Column types of the mini store.
+enum class ColType { Int64, Double, Date, Text };
+
+/// Days since 1970-01-01 (date deserialization target).
+using DateDays = std::int32_t;
+
+/// One typed column.
+struct Column {
+    std::string name;
+    ColType type = ColType::Text;
+    std::vector<std::int64_t> ints;      ///< Int64 / Date storage
+    std::vector<double> doubles;
+    baselines::Dictionary dict;          ///< Text: dictionary
+    std::vector<std::uint32_t> codes;    ///< Text: dictionary codes
+
+    std::size_t size() const;
+    /// Approximate in-memory bytes (for stats / Fig 1 accounting).
+    std::size_t bytes() const;
+};
+
+/// A loaded table.
+class Table
+{
+  public:
+    Table(std::string name, std::vector<std::pair<std::string, ColType>>
+                                schema);
+
+    const std::string &name() const { return name_; }
+    std::size_t num_rows() const { return rows_; }
+    std::size_t num_cols() const { return cols_.size(); }
+    const Column &col(std::size_t i) const { return cols_.at(i); }
+
+    /// Append one row of already-deserialized values.
+    using Value = std::variant<std::int64_t, double, std::string>;
+    void append_row(const std::vector<Value> &values);
+
+    /// Deserialize and append one row of raw CSV fields.
+    /// Throws UdpError on a malformed field (the "validation" step).
+    void append_raw(const std::vector<std::string> &fields);
+
+    std::size_t bytes() const;
+
+  private:
+    std::string name_;
+    std::vector<Column> cols_;
+    std::size_t rows_ = 0;
+};
+
+/// Deserialization helpers (exposed for tests and the loader).
+std::int64_t parse_int64(const std::string &s);
+double parse_double(const std::string &s);
+/// "MM/DD/YYYY[ ...]" or "YYYY-MM-DD" to days since epoch.
+DateDays parse_date(const std::string &s);
+
+} // namespace udp::etl

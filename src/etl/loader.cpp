@@ -1,0 +1,307 @@
+/**
+ * @file
+ * ETL loader implementation (Figure 1 harness).
+ */
+#include "loader.hpp"
+
+#include "baselines/csv.hpp"
+#include "baselines/snappy.hpp"
+#include "kernels/csv.hpp"
+#include "kernels/snappy.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace udp::etl {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secs_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void
+put_u32(Bytes &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t
+get_u32(BytesView in, std::size_t at)
+{
+    return Word{in[at]} | (Word{in[at + 1]} << 8) |
+           (Word{in[at + 2]} << 16) | (Word{in[at + 3]} << 24);
+}
+
+/// Frame size chosen so a decompressed frame fits a UDP lane bank.
+constexpr std::size_t kFrameRaw = 12 * 1024;
+
+const char *const kShipModes[] = {"AIR",  "RAIL", "SHIP", "TRUCK",
+                                  "MAIL", "FOB",  "REG AIR"};
+const char *const kInstruct[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                 "TAKE BACK RETURN", "NONE"};
+
+} // namespace
+
+std::string
+lineitem_csv(double scale, unsigned seed)
+{
+    const auto rows =
+        static_cast<std::size_t>(scale * double(kRowsPerScale));
+    std::mt19937 rng(seed);
+    std::string out;
+    out.reserve(rows * 120);
+    char buf[32];
+    for (std::size_t r = 0; r < rows; ++r) {
+        out += std::to_string(1 + r / 4);            // orderkey
+        out += ',';
+        out += std::to_string(1 + rng() % 200000);   // partkey
+        out += ',';
+        out += std::to_string(1 + rng() % 10000);    // suppkey
+        out += ',';
+        out += std::to_string(1 + r % 4);            // linenumber
+        out += ',';
+        out += std::to_string(1 + rng() % 50);       // quantity
+        out += ',';
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      900.0 + double(rng() % 9500000) / 100.0);
+        out += buf;                                  // extendedprice
+        out += ',';
+        std::snprintf(buf, sizeof(buf), "0.0%u", unsigned(rng() % 10));
+        out += buf;                                  // discount
+        out += ',';
+        std::snprintf(buf, sizeof(buf), "0.0%u", unsigned(rng() % 9));
+        out += buf;                                  // tax
+        out += ',';
+        out += (rng() % 2) ? "N" : ((rng() % 2) ? "R" : "A");
+        out += ',';
+        out += (rng() % 2) ? "O" : "F";
+        out += ',';
+        std::snprintf(buf, sizeof(buf), "19%02u-%02u-%02u",
+                      unsigned(92 + rng() % 7), unsigned(1 + rng() % 12),
+                      unsigned(1 + rng() % 28));
+        out += buf;                                  // shipdate
+        out += ',';
+        std::snprintf(buf, sizeof(buf), "19%02u-%02u-%02u",
+                      unsigned(92 + rng() % 7), unsigned(1 + rng() % 12),
+                      unsigned(1 + rng() % 28));
+        out += buf;                                  // commitdate
+        out += ',';
+        std::snprintf(buf, sizeof(buf), "19%02u-%02u-%02u",
+                      unsigned(92 + rng() % 7), unsigned(1 + rng() % 12),
+                      unsigned(1 + rng() % 28));
+        out += buf;                                  // receiptdate
+        out += ',';
+        out += kInstruct[rng() % std::size(kInstruct)];
+        out += ',';
+        out += kShipModes[rng() % std::size(kShipModes)];
+        out += ",carefully packed deliveries nag furiously\n"; // comment
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, ColType>>
+lineitem_schema()
+{
+    return {
+        {"l_orderkey", ColType::Int64},
+        {"l_partkey", ColType::Int64},
+        {"l_suppkey", ColType::Int64},
+        {"l_linenumber", ColType::Int64},
+        {"l_quantity", ColType::Int64},
+        {"l_extendedprice", ColType::Double},
+        {"l_discount", ColType::Double},
+        {"l_tax", ColType::Double},
+        {"l_returnflag", ColType::Text},
+        {"l_linestatus", ColType::Text},
+        {"l_shipdate", ColType::Date},
+        {"l_commitdate", ColType::Date},
+        {"l_receiptdate", ColType::Date},
+        {"l_shipinstruct", ColType::Text},
+        {"l_shipmode", ColType::Text},
+        {"l_comment", ColType::Text},
+    };
+}
+
+Bytes
+compress_for_load(const std::string &csv)
+{
+    Bytes out;
+    std::size_t off = 0;
+    while (off < csv.size()) {
+        const std::size_t n = std::min(kFrameRaw, csv.size() - off);
+        const BytesView chunk(
+            reinterpret_cast<const std::uint8_t *>(csv.data()) + off, n);
+        const Bytes comp = baselines::snappy_compress(chunk);
+        put_u32(out, static_cast<std::uint32_t>(comp.size()));
+        put_u32(out, static_cast<std::uint32_t>(n));
+        out.insert(out.end(), comp.begin(), comp.end());
+        off += n;
+    }
+    return out;
+}
+
+namespace {
+
+/// Iterate frames of the compressed stream.
+template <typename Fn>
+void
+for_frames(BytesView compressed, Fn &&fn)
+{
+    std::size_t pos = 0;
+    while (pos < compressed.size()) {
+        const std::uint32_t clen = get_u32(compressed, pos);
+        const std::uint32_t rlen = get_u32(compressed, pos + 4);
+        pos += 8;
+        fn(compressed.subspan(pos, clen), rlen);
+        pos += clen;
+    }
+}
+
+/// Parse the CSV text and deserialize into the table, measuring the two
+/// stages separately.
+void
+parse_and_deserialize(const std::string &csv, Table &table,
+                      LoadBreakdown &bd)
+{
+    const auto t0 = Clock::now();
+    std::vector<std::vector<std::string>> rows;
+    {
+        std::vector<std::string> cur;
+        baselines::CsvParser p(
+            [&](const char *d, std::size_t n) { cur.emplace_back(d, n); },
+            [&] {
+                rows.push_back(std::move(cur));
+                cur.clear();
+            });
+        p.feed(BytesView(
+            reinterpret_cast<const std::uint8_t *>(csv.data()),
+            csv.size()));
+        p.finish();
+    }
+    bd.parse = secs_since(t0);
+
+    const auto t1 = Clock::now();
+    for (const auto &r : rows)
+        table.append_raw(r);
+    bd.deserialize = secs_since(t1);
+    bd.rows = table.num_rows();
+}
+
+} // namespace
+
+LoadBreakdown
+load_cpu(BytesView compressed, Table &table)
+{
+    LoadBreakdown bd;
+    bd.compressed_bytes = compressed.size();
+    bd.io = double(compressed.size()) / kSsdBytesPerSec;
+
+    const auto t0 = Clock::now();
+    std::string csv;
+    for_frames(compressed, [&](BytesView frame, std::uint32_t) {
+        const Bytes raw = baselines::snappy_decompress(frame);
+        csv.append(reinterpret_cast<const char *>(raw.data()),
+                   raw.size());
+    });
+    bd.decompress = secs_since(t0);
+    bd.csv_bytes = csv.size();
+
+    parse_and_deserialize(csv, table, bd);
+    return bd;
+}
+
+LoadBreakdown
+load_udp_offload(Machine &m, BytesView compressed, Table &table,
+                 unsigned lanes)
+{
+    if (lanes == 0 || lanes > 32)
+        throw UdpError("load_udp_offload: lanes must be 1..32");
+    LoadBreakdown bd;
+    bd.compressed_bytes = compressed.size();
+    bd.io = double(compressed.size()) / kSsdBytesPerSec;
+
+    static const Program dec_prog = kernels::snappy_decompress_program();
+
+    // --- Stage 1: Snappy decompression on UDP lanes ---------------------
+    std::vector<Cycles> lane_busy(lanes, 0);
+    std::string csv;
+    unsigned next = 0;
+    for_frames(compressed, [&](BytesView frame, std::uint32_t) {
+        // Strip the varint preamble.
+        std::size_t p = 0;
+        while (frame[p] & 0x80)
+            ++p;
+        ++p;
+        const unsigned lane = next % lanes;
+        ++next;
+        const auto res = kernels::run_snappy_decompress(
+            m, lane, dec_prog, frame.subspan(p, frame.size() - p),
+            static_cast<ByteAddr>(lane * kernels::kCsvWindowBytes));
+        lane_busy[lane] += res.stats.cycles;
+        csv.append(reinterpret_cast<const char *>(res.data.data()),
+                   res.data.size());
+    });
+    bd.decompress =
+        double(*std::max_element(lane_busy.begin(), lane_busy.end())) /
+        kClockHz;
+    bd.csv_bytes = csv.size();
+
+    // --- Stage 2: CSV parse + tokenize on UDP lanes ----------------------
+    // Chunk on row boundaries so every lane parses whole rows.
+    std::fill(lane_busy.begin(), lane_busy.end(), 0);
+    next = 0;
+    std::string fields;
+    std::size_t off = 0;
+    while (off < csv.size()) {
+        std::size_t end = std::min(off + kFrameRaw, csv.size());
+        if (end < csv.size()) {
+            while (end > off && csv[end - 1] != '\n')
+                --end;
+            if (end == off)
+                throw UdpError("load_udp_offload: row exceeds lane bank");
+        }
+        const unsigned lane = next % lanes;
+        ++next;
+        const auto res = kernels::run_csv_kernel(
+            m, lane,
+            BytesView(reinterpret_cast<const std::uint8_t *>(csv.data()) +
+                          off,
+                      end - off),
+            static_cast<ByteAddr>(lane * kernels::kCsvWindowBytes));
+        lane_busy[lane] += res.stats.cycles;
+        fields.append(res.field_stream.begin(), res.field_stream.end());
+        off = end;
+    }
+    bd.parse =
+        double(*std::max_element(lane_busy.begin(), lane_busy.end())) /
+        kClockHz;
+
+    // --- Stage 3: deserialize on the CPU from the field stream -----------
+    const auto t0 = Clock::now();
+    std::vector<std::string> cur;
+    std::string field;
+    for (const char c : fields) {
+        if (c == '\n') {
+            cur.push_back(std::move(field));
+            field.clear();
+        } else if (c == 0x1E) {
+            table.append_raw(cur);
+            cur.clear();
+        } else {
+            field.push_back(c);
+        }
+    }
+    bd.deserialize = secs_since(t0);
+    bd.rows = table.num_rows();
+    return bd;
+}
+
+} // namespace udp::etl

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Figure 1 ETL-load study: decompress -> parse -> tokenize ->
+ * deserialize a compressed CSV into the mini columnar store, with an
+ * SSD I/O model, per-stage timing, and an optional UDP offload of the
+ * accelerable stages.
+ *
+ * Substitutions vs the paper (DESIGN.md §4): PostgreSQL -> mini columnar
+ * store; gzip -> Snappy (same decompress-parse-deserialize pipeline
+ * structure); TPC-H dbgen -> a lineitem-like generator; absolute times
+ * therefore shift, but the paper's point - CPU transformation dwarfs
+ * I/O, and decompression+parsing dominate - is what the harness checks.
+ */
+#pragma once
+
+#include "columnar.hpp"
+#include "core/machine.hpp"
+
+#include <chrono>
+
+namespace udp::etl {
+
+/// A TPC-H-like lineitem table (16 columns).  `scale` mirrors the TPC-H
+/// scale factor, downscaled: rows = scale * kRowsPerScale.
+inline constexpr std::size_t kRowsPerScale = 6000; // 1/1000 of TPC-H
+
+/// Generate the CSV text of lineitem at `scale` (deterministic).
+std::string lineitem_csv(double scale, unsigned seed = 20);
+
+/// The lineitem schema for the mini store.
+std::vector<std::pair<std::string, ColType>> lineitem_schema();
+
+/// Per-stage wall-clock breakdown, in seconds.
+struct LoadBreakdown {
+    double io = 0;          ///< modeled SSD read time
+    double decompress = 0;
+    double parse = 0;       ///< CSV parse + tokenize
+    double deserialize = 0; ///< typed conversion + dictionary + insert
+    std::size_t csv_bytes = 0;
+    std::size_t compressed_bytes = 0;
+    std::size_t rows = 0;
+
+    double cpu_seconds() const {
+        return decompress + parse + deserialize;
+    }
+    double total_seconds() const { return io + cpu_seconds(); }
+};
+
+/// SSD read bandwidth of the I/O model (250 GB-class SATA SSD, Fig 1).
+inline constexpr double kSsdBytesPerSec = 500.0e6;
+
+/**
+ * CPU-only load (Fig 1a/1b): Snappy-decompress `compressed`, parse the
+ * CSV, deserialize into `table`.  Stage times are measured wall-clock;
+ * `io` is modeled from the compressed size.
+ */
+LoadBreakdown load_cpu(BytesView compressed, Table &table);
+
+/**
+ * UDP-offloaded load: decompression and parse/tokenize run on simulated
+ * UDP lanes (cycles at 1 GHz), deserialize stays on the CPU.  Returns
+ * the same breakdown with offloaded stage times replaced by simulated
+ * accelerator time.
+ */
+LoadBreakdown load_udp_offload(Machine &m, BytesView compressed,
+                               Table &table, unsigned lanes = 32);
+
+/// Compress a CSV text for the loaders (Snappy, 16 KiB blocks so each
+/// block fits a UDP lane window).
+Bytes compress_for_load(const std::string &csv);
+
+} // namespace udp::etl

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Dictionary kernel builders: compiled byte trie + flagged-dispatch RLE.
+ */
+#include "dictionary.hpp"
+
+#include "assembler/builder.hpp"
+
+#include <map>
+
+namespace udp::kernels {
+
+namespace {
+
+/// Build the value trie; returns (root, map prefix-node -> StateId).
+/// Nodes are created on demand; `leaf_arc` is invoked for each complete
+/// value to attach its '\n' transition.
+struct TrieBuilder {
+    ProgramBuilder &b;
+    StateId root;
+    std::map<std::string, StateId> nodes;
+
+    explicit TrieBuilder(ProgramBuilder &builder) : b(builder) {
+        root = b.add_state();
+        nodes.emplace("", root);
+    }
+
+    StateId node(const std::string &prefix) {
+        auto it = nodes.find(prefix);
+        if (it != nodes.end())
+            return it->second;
+        const StateId parent = node(prefix.substr(0, prefix.size() - 1));
+        const StateId s = b.add_state();
+        nodes.emplace(prefix, s);
+        b.on_symbol(parent, static_cast<std::uint8_t>(prefix.back()), s);
+        return s;
+    }
+};
+
+} // namespace
+
+Bytes
+dict_input(const std::vector<std::string> &rows)
+{
+    Bytes out = baselines::column_bytes(rows);
+    out.push_back(0x00); // end-of-stream sentinel flushes the last run
+    return out;
+}
+
+Program
+dictionary_program(const baselines::Dictionary &dict)
+{
+    ProgramBuilder b;
+    TrieBuilder trie(b);
+    for (std::uint32_t id = 0; id < dict.values.size(); ++id) {
+        const StateId leaf = trie.node(dict.values[id]);
+        // '\n' completes the value: emit the id (2 actions).
+        const BlockId blk = b.add_block({
+            act_imm(Opcode::Movi, 1, 0,
+                    static_cast<std::int32_t>(
+                        static_cast<std::int16_t>(id))),
+            act_imm(Opcode::Outw, 0, 1, 0, true),
+        });
+        b.on_symbol(leaf, '\n', trie.root, blk);
+    }
+    // Sentinel ends the stream.
+    const StateId done = b.add_state(true);
+    b.on_any(done, done, b.add_block({act_imm(Opcode::Halt, 0, 0, 0, true)}));
+    b.on_symbol(trie.root, 0x00, done);
+    b.set_entry(trie.root);
+    b.set_initial_symbol_bits(8);
+    return b.build();
+}
+
+Program
+dictionary_rle_program(const baselines::Dictionary &dict)
+{
+    // Registers: r1 = current id, r2 = previous id, r3 = run length.
+    ProgramBuilder b;
+    TrieBuilder trie(b);
+
+    // Flagged switch on r0 = (current == previous).
+    const StateId sw = b.add_state(/*reg_source=*/true);
+    const StateId inc = b.add_state(/*reg_source=*/true);
+    const StateId flush = b.add_state(/*reg_source=*/true);
+    const StateId done = b.add_state(/*reg_source=*/true);
+
+    b.on_symbol(sw, 1, inc);
+    b.on_symbol(sw, 0, flush);
+    b.on_any(inc, trie.root,
+             b.add_block({act_imm(Opcode::Addi, 3, 3, 1, true)}));
+    b.on_any(flush, trie.root, b.add_block({
+                 act_imm(Opcode::Outw, 0, 2, 0),  // previous id
+                 act_imm(Opcode::Outw, 0, 3, 0),  // run length
+                 act_reg(Opcode::Mov, 2, 0, 1),   // prev = current
+                 act_imm(Opcode::Movi, 3, 0, 1, true),
+             }));
+    b.on_any(done, done, b.add_block({
+                 act_imm(Opcode::Outw, 0, 2, 0),
+                 act_imm(Opcode::Outw, 0, 3, 0),
+                 act_imm(Opcode::Halt, 0, 0, 0, true),
+             }));
+
+    for (std::uint32_t id = 0; id < dict.values.size(); ++id) {
+        const StateId leaf = trie.node(dict.values[id]);
+        // '\n': r1 = id; r0 = (r1 == r2); branch via the flagged state.
+        const BlockId blk = b.add_block({
+            act_imm(Opcode::Movi, 1, 0,
+                    static_cast<std::int32_t>(
+                        static_cast<std::int16_t>(id))),
+            act_reg(Opcode::Cmpeq, 0, 1, 2, true),
+        });
+        b.on_symbol(leaf, '\n', sw, blk);
+    }
+    b.on_symbol(trie.root, 0x00, done);
+
+    b.set_entry(trie.root);
+    b.set_initial_symbol_bits(8);
+    return b.build();
+}
+
+DictKernelResult
+run_dict_kernel(Machine &m, unsigned lane_idx, const Program &prog,
+                BytesView input, bool rle)
+{
+    Lane &lane = m.lane(lane_idx);
+    lane.load(prog);
+    lane.set_input(input);
+    if (rle) {
+        lane.set_reg(2, 0xFFFFFFFFu); // sentinel previous id
+        lane.set_reg(3, 0);           // empty run
+    }
+    const LaneStatus st = lane.run();
+    if (st == LaneStatus::Reject)
+        throw UdpError("run_dict_kernel: value not in dictionary");
+
+    DictKernelResult res;
+    res.stats = lane.stats();
+    const Bytes &out = lane.output();
+    auto u32_at = [&](std::size_t i) {
+        return Word{out[i]} | (Word{out[i + 1]} << 8) |
+               (Word{out[i + 2]} << 16) | (Word{out[i + 3]} << 24);
+    };
+    if (rle) {
+        for (std::size_t i = 0; i + 8 <= out.size(); i += 8) {
+            const Word id = u32_at(i), run = u32_at(i + 4);
+            if (run != 0)
+                res.runs.emplace_back(id, run);
+        }
+    } else {
+        for (std::size_t i = 0; i + 4 <= out.size(); i += 4)
+            res.ids.push_back(u32_at(i));
+    }
+    return res;
+}
+
+} // namespace udp::kernels

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * UDP dictionary and dictionary-RLE encoding kernels (paper Section 5.4,
+ * Figure 17).
+ *
+ * The paper's kernel "performs encoding, using a defined dictionary": the
+ * dictionary is compiled into the program as a byte trie walked with
+ * multi-way dispatch (one cycle per input byte); value-terminating '\n'
+ * arcs emit the 32-bit id.  The RLE variant additionally tracks runs with
+ * a *flagged* (scalar-register) dispatch: after each value, r0 is set to
+ * "same id as previous?" and a register-sourced state branches to either
+ * a run-increment or a flush block - the paper's "flexible dispatch
+ * sources are used".
+ *
+ * Input format: values separated by '\n', terminated by a 0x00 sentinel
+ * byte (appended by the harness) so the last run flushes.
+ * Output: 8-byte records (id u32 LE, run u32 LE); records with run 0 are
+ * start-up artifacts and are skipped by the harness.  The plain
+ * dictionary kernel emits 4-byte id records.
+ */
+#pragma once
+
+#include "baselines/dictionary.hpp"
+#include "core/machine.hpp"
+#include "core/program.hpp"
+
+namespace udp::kernels {
+
+/// Compile a trie-encoder for `dict` (plain: one u32 id per value).
+Program dictionary_program(const baselines::Dictionary &dict);
+
+/// Compile the dictionary-RLE variant (id,run u32 pairs).
+Program dictionary_rle_program(const baselines::Dictionary &dict);
+
+/// Input stream for the kernels: '\n'-joined values + 0x00 sentinel.
+Bytes dict_input(const std::vector<std::string> &rows);
+
+/// Decoded kernel output.
+struct DictKernelResult {
+    std::vector<std::uint32_t> ids;  ///< plain variant
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> runs; ///< RLE
+    LaneStats stats;
+};
+
+DictKernelResult run_dict_kernel(Machine &m, unsigned lane,
+                                 const Program &prog, BytesView input,
+                                 bool rle);
+
+} // namespace udp::kernels

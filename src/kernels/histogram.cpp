@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Histogram kernel builder: digital-comparison automaton over nibbles.
+ */
+#include "histogram.hpp"
+
+#include "assembler/builder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace udp::kernels {
+
+std::uint64_t
+fp_key(double x)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, 8);
+    if (bits >> 63)
+        return ~bits; // negative: reverse order
+    return bits | (std::uint64_t{1} << 63);
+}
+
+Bytes
+pack_fp_stream(const std::vector<double> &values)
+{
+    Bytes out;
+    out.reserve(values.size() * 8);
+    for (const double v : values) {
+        const std::uint64_t k = fp_key(v);
+        for (int i = 7; i >= 0; --i)
+            out.push_back(static_cast<std::uint8_t>(k >> (8 * i)));
+    }
+    return out;
+}
+
+Program
+histogram_program(const std::vector<double> &edges)
+{
+    if (edges.size() < 2)
+        throw UdpError("histogram_program: need at least 2 edges");
+    // Internal dividers e_1..e_{k-1} as nibble strings.
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 1; i + 1 < edges.size(); ++i)
+        keys.push_back(fp_key(edges[i]));
+    std::sort(keys.begin(), keys.end());
+
+    const auto nibble = [&](std::size_t edge, unsigned d) -> Word {
+        return static_cast<Word>((keys[edge] >> (60 - 4 * d)) & 0xF);
+    };
+
+    ProgramBuilder b;
+    // Accept blocks keyed by (bin, nibbles consumed).
+    std::map<std::pair<unsigned, unsigned>, BlockId> accepts;
+    auto accept_block = [&](unsigned bin, unsigned used) -> BlockId {
+        auto it = accepts.find({bin, used});
+        if (it != accepts.end())
+            return it->second;
+        std::vector<Action> acts{
+            act_imm(Opcode::Movi, 1, 0, static_cast<std::int32_t>(bin)),
+            act_imm(Opcode::Bininc, 0, 1, 0),
+        };
+        if (used < 16)
+            acts.push_back(act_imm(Opcode::Skip, 0, 0,
+                                   static_cast<std::int32_t>(
+                                       (16 - used) * 4)));
+        const BlockId blk = b.add_block(std::move(acts));
+        accepts.emplace(std::make_pair(bin, used), blk);
+        return blk;
+    };
+
+    // Memoized (depth, straddling interval) states.
+    std::map<std::tuple<unsigned, std::size_t, std::size_t>, StateId> memo;
+    StateId root = kNoState;
+
+    // Recursive construction with an explicit work list.
+    struct Item {
+        unsigned d;
+        std::size_t lo, hi;
+        StateId id;
+    };
+    std::vector<Item> work;
+
+    auto get_state = [&](unsigned d, std::size_t lo, std::size_t hi)
+        -> StateId {
+        const auto key = std::make_tuple(d, lo, hi);
+        auto it = memo.find(key);
+        if (it != memo.end())
+            return it->second;
+        const StateId s = b.add_state();
+        memo.emplace(key, s);
+        work.push_back({d, lo, hi, s});
+        return s;
+    };
+
+    root = get_state(0, 0, keys.size());
+
+    while (!work.empty()) {
+        const Item item = work.back();
+        work.pop_back();
+        for (Word v = 0; v < 16; ++v) {
+            // Partition straddling edges by their nibble at depth d.
+            std::size_t lt = item.lo;
+            while (lt < item.hi && nibble(lt, item.d) < v)
+                ++lt;
+            std::size_t eq = lt;
+            while (eq < item.hi && nibble(eq, item.d) == v)
+                ++eq;
+            const unsigned used = item.d + 1;
+            if (item.d == 15) {
+                // Last nibble: remaining equal edges compare <= value.
+                b.on_symbol(item.id, v, root, accept_block(
+                    static_cast<unsigned>(eq), used));
+            } else if (lt == eq) {
+                // No straddler left: the bin is decided.
+                b.on_symbol(item.id, v, root,
+                            accept_block(static_cast<unsigned>(lt), used));
+            } else {
+                b.on_symbol(item.id, v, get_state(used, lt, eq));
+            }
+        }
+    }
+
+    b.set_entry(root);
+    b.set_initial_symbol_bits(4);
+    return b.build();
+}
+
+HistKernelResult
+run_histogram_kernel(Machine &m, unsigned lane_idx, const Program &prog,
+                     BytesView packed, unsigned bins,
+                     ByteAddr window_base)
+{
+    // Zero the bin table.
+    const Bytes zeros(bins * 4, 0);
+    m.stage(window_base, zeros);
+
+    Lane &lane = m.lane(lane_idx);
+    lane.load(prog);
+    lane.set_input(packed);
+    lane.set_window_base(window_base);
+    const LaneStatus st = lane.run();
+    if (st == LaneStatus::Reject)
+        throw UdpError("run_histogram_kernel: automaton rejected input");
+
+    HistKernelResult res;
+    res.stats = lane.stats();
+    res.counts.resize(bins);
+    for (unsigned i = 0; i < bins; ++i)
+        res.counts[i] = m.memory().read32(window_base + i * 4);
+    return res;
+}
+
+} // namespace udp::kernels

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * UDP histogram kernel (paper Sections 4.1 and 5.5, Figure 18).
+ *
+ * "The dividers are compiled into automata scans of 4 bits a time, with
+ * acceptance states updating the appropriate bin."
+ *
+ * IEEE-754 doubles are mapped to order-preserving 64-bit keys and
+ * streamed big-endian; the kernel dispatches one nibble per cycle,
+ * tracking which bin edges still straddle the scanned prefix.  When a
+ * single bin remains, the acceptance action performs the fused
+ * bin-increment (Bininc) and skips the value's remaining nibbles.
+ * The bin table lives at offset 0 of the lane window (one 32-bit counter
+ * per bin).
+ */
+#pragma once
+
+#include "baselines/histogram.hpp"
+#include "core/machine.hpp"
+#include "core/program.hpp"
+
+namespace udp::kernels {
+
+/// Order-preserving key of a double (sign-flipped IEEE bits).
+std::uint64_t fp_key(double x);
+
+/// Pack values as big-endian keys (the kernel's stream format).
+Bytes pack_fp_stream(const std::vector<double> &values);
+
+/// Build the divider automaton for the given ascending bin edges
+/// (size = bins+1 as in baselines::Histogram).
+Program histogram_program(const std::vector<double> &edges);
+
+/// Single-lane harness: runs the kernel and returns per-bin counts.
+struct HistKernelResult {
+    std::vector<std::uint64_t> counts;
+    LaneStats stats;
+};
+HistKernelResult run_histogram_kernel(Machine &m, unsigned lane,
+                                      const Program &prog,
+                                      BytesView packed, unsigned bins,
+                                      ByteAddr window_base);
+
+} // namespace udp::kernels

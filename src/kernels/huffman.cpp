@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Huffman kernel builders.
+ */
+#include "huffman.hpp"
+
+#include "assembler/builder.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace udp::kernels {
+
+using baselines::HuffmanCode;
+using baselines::HuffTree;
+
+namespace {
+
+/// Walk `nbits` bits of `chunk` (MSB first) from tree node `n`,
+/// appending decoded symbols; returns the final node (or -leaf-1 if the
+/// walk is impossible, which cannot happen in full canonical trees).
+std::int32_t
+walk(const HuffTree &t, std::int32_t n, Word chunk, unsigned nbits,
+     Bytes *emitted)
+{
+    for (unsigned i = nbits; i-- > 0;) {
+        const unsigned bit = (chunk >> i) & 1;
+        const std::int32_t next = t.nodes[n][bit];
+        if (next < 0) {
+            if (emitted)
+                emitted->push_back(static_cast<std::uint8_t>(-next - 1));
+            n = 0;
+        } else if (next == 0) {
+            // Missing child (degenerate single-symbol trees): restart.
+            n = 0;
+        } else {
+            n = next;
+        }
+    }
+    return n;
+}
+
+/// Depth of the shallowest leaf under node `n`.
+unsigned
+min_leaf_depth(const HuffTree &t, std::int32_t n)
+{
+    unsigned best = 32;
+    for (const unsigned bit : {0u, 1u}) {
+        const std::int32_t c = t.nodes[n][bit];
+        if (c < 0)
+            return 1;
+        if (c > 0)
+            best = std::min(best, 1 + min_leaf_depth(t, c));
+    }
+    return best;
+}
+
+/// Depth of the deepest leaf under node `n`.
+unsigned
+max_leaf_depth(const HuffTree &t, std::int32_t n)
+{
+    unsigned best = 0;
+    for (const unsigned bit : {0u, 1u}) {
+        const std::int32_t c = t.nodes[n][bit];
+        if (c < 0)
+            best = std::max(best, 1u);
+        else if (c > 0)
+            best = std::max(best, 1 + max_leaf_depth(t, c));
+    }
+    return best;
+}
+
+/// Outcome of walking exactly `width` bits from a node without crossing
+/// a symbol boundary more than once (used by SsRef/SsReg/SsT builders,
+/// which dispatch within one code).
+struct CodeStep {
+    bool is_leaf = false;
+    std::uint8_t symbol = 0;
+    unsigned used_bits = 0;     ///< bits consumed by the code
+    std::int32_t node = 0;      ///< internal node when !is_leaf
+};
+
+CodeStep
+step_code(const HuffTree &t, std::int32_t n, Word value, unsigned width)
+{
+    CodeStep out;
+    for (unsigned i = width; i-- > 0;) {
+        const std::int32_t next = t.nodes[n][(value >> i) & 1];
+        ++out.used_bits;
+        if (next < 0) {
+            out.is_leaf = true;
+            out.symbol = static_cast<std::uint8_t>(-next - 1);
+            return out;
+        }
+        n = next;
+    }
+    out.node = n;
+    return out;
+}
+
+} // namespace
+
+std::string_view
+var_sym_name(VarSymDesign d)
+{
+    switch (d) {
+      case VarSymDesign::SsF: return "SsF";
+      case VarSymDesign::SsT: return "SsT";
+      case VarSymDesign::SsReg: return "SsReg";
+      case VarSymDesign::SsRef: return "SsRef";
+    }
+    return "<bad>";
+}
+
+unsigned
+achievable_parallelism(std::size_t code_bytes)
+{
+    const unsigned banks_needed = static_cast<unsigned>(
+        std::max<std::size_t>(1, ceil_div(code_bytes, kBankBytes)));
+    if (banks_needed > kNumBanks)
+        return 0;
+    return kNumBanks / banks_needed;
+}
+
+// ---------------------------------------------------------------------------
+// SsF: fixed 8-bit dispatch over (node) states + Emitlut tables.
+// ---------------------------------------------------------------------------
+
+static HuffmanDecodeKernel
+build_ssf(const HuffmanCode &code, unsigned max_windows)
+{
+    const HuffTree tree = baselines::build_tree(code);
+    const std::size_t nodes = tree.nodes.size();
+    if (nodes > 255)
+        throw UdpError("SsF: too many tree nodes for Emitlut indices");
+
+    ProgramBuilder b;
+    std::vector<StateId> ids(nodes);
+    for (std::size_t n = 0; n < nodes; ++n)
+        ids[n] = b.add_state();
+
+    HuffmanDecodeKernel k;
+    k.lut.assign(nodes * 256 * 16, 0);
+
+    for (std::size_t n = 0; n < nodes; ++n) {
+        const BlockId blk = b.add_block({act_imm(
+            Opcode::Emitlut, 0, 11, static_cast<std::int32_t>(n), true)});
+        for (Word chunk = 0; chunk < 256; ++chunk) {
+            Bytes emitted;
+            const std::int32_t end =
+                walk(tree, static_cast<std::int32_t>(n), chunk, 8,
+                     &emitted);
+            if (emitted.size() > 8)
+                throw UdpError("SsF: more than 8 symbols per chunk");
+            std::uint8_t *entry =
+                k.lut.data() + (n * 256 + chunk) * 16;
+            entry[0] = static_cast<std::uint8_t>(emitted.size());
+            std::copy(emitted.begin(), emitted.end(), entry + 1);
+            b.on_symbol(ids[n], chunk, ids[end < 0 ? 0 : end], blk);
+        }
+    }
+    b.set_entry(ids[0]);
+    b.set_initial_symbol_bits(8);
+
+    LayoutOptions opts;
+    opts.max_windows = max_windows;
+    k.program = b.build(opts);
+    k.init_regs.emplace_back(11u, Word{0}); // LUT at window offset 0
+    k.code_bytes = k.program.layout.code_bytes() + k.lut.size();
+    return k;
+}
+
+// ---------------------------------------------------------------------------
+// SsRef / SsT: widest-useful dispatch per node, refill of excess bits.
+// SsReg: shallowest-leaf dispatch per node with Setss on internal arcs.
+// ---------------------------------------------------------------------------
+
+static HuffmanDecodeKernel
+build_refill_family(const HuffmanCode &code, VarSymDesign design,
+                    unsigned max_windows)
+{
+    const HuffTree tree = baselines::build_tree(code);
+    const bool layered = design == VarSymDesign::SsReg;
+
+    ProgramBuilder b;
+
+    // Dispatch states are created lazily per reachable tree node.
+    std::map<std::int32_t, StateId> node_state;
+    std::map<std::int32_t, unsigned> node_width;
+    // Emit states (refilled leaves), one per symbol.
+    std::map<unsigned, StateId> emit_state;
+    // Shared [Setss w] blocks (SsReg) and [Outi sym (+Setss)] blocks.
+    std::map<unsigned, BlockId> setss_block;
+
+    const unsigned root_width =
+        layered ? min_leaf_depth(tree, 0)
+                : std::min(8u, max_leaf_depth(tree, 0));
+
+    std::vector<std::int32_t> work{0};
+    node_state[0] = b.add_state();
+    node_width[0] = root_width;
+
+    auto get_node_state = [&](std::int32_t n, unsigned parent_width)
+        -> StateId {
+        (void)parent_width;
+        auto it = node_state.find(n);
+        if (it != node_state.end())
+            return it->second;
+        const StateId s = b.add_state();
+        node_state[n] = s;
+        // SsRef/SsT keep one symbol size for the whole program (the
+        // symbol-size register is set once); SsReg re-tunes it per node
+        // to the shallowest leaf below.
+        node_width[n] = layered ? min_leaf_depth(tree, n) : root_width;
+        work.push_back(n);
+        return s;
+    };
+
+    auto emit_block = [&](unsigned sym, unsigned next_width) -> BlockId {
+        std::vector<Action> acts{
+            act_imm(Opcode::Outi, 0, 0, static_cast<std::int32_t>(sym))};
+        if (layered && next_width != 0)
+            acts.push_back(act_imm(Opcode::Setss, 0, 0,
+                                   static_cast<std::int32_t>(next_width)));
+        return b.add_block(std::move(acts));
+    };
+
+    auto get_emit_state = [&](unsigned sym) -> StateId {
+        auto it = emit_state.find(sym);
+        if (it != emit_state.end())
+            return it->second;
+        // Register-source state with a common arc: consumes nothing,
+        // emits the byte, returns to the root.
+        const StateId s = b.add_state(/*reg_source=*/true);
+        emit_state[sym] = s;
+        b.on_any(s, node_state[0], emit_block(sym, 0));
+        return s;
+    };
+
+    while (!work.empty()) {
+        const std::int32_t n = work.back();
+        work.pop_back();
+        const StateId s = node_state[n];
+        const unsigned w = node_width[n];
+
+        for (Word v = 0; v < (Word{1} << w); ++v) {
+            const CodeStep st = step_code(tree, n, v, w);
+            if (!st.is_leaf) {
+                const StateId t = get_node_state(st.node, w);
+                BlockId blk = kNoBlock;
+                // Retune the symbol-size register when the target state
+                // dispatches a different width than this one.
+                if (layered && node_width[st.node] != w) {
+                    auto it = setss_block.find(node_width[st.node]);
+                    if (it == setss_block.end()) {
+                        it = setss_block
+                                 .emplace(node_width[st.node],
+                                          b.add_block({act_imm(
+                                              Opcode::Setss, 0, 0,
+                                              static_cast<std::int32_t>(
+                                                  node_width[st.node]),
+                                              true)}))
+                                 .first;
+                    }
+                    blk = it->second;
+                }
+                b.on_symbol(s, v, t, blk);
+                continue;
+            }
+            // Leaf after st.used_bits of the w dispatched.
+            const unsigned excess = w - st.used_bits;
+            if (excess == 0) {
+                // Exact fit: emit inline, return to root; in layered
+                // mode restore the root width when it differs.
+                const unsigned restore =
+                    (layered && w != node_width[0]) ? node_width[0] : 0;
+                b.on_symbol(s, v, node_state[0],
+                            emit_block(st.symbol, restore));
+            } else {
+                // Refill the excess and emit via the shared emit state.
+                b.on_symbol_refill(s, v, get_emit_state(st.symbol),
+                                   excess);
+            }
+        }
+    }
+
+    b.set_entry(node_state[0]);
+    b.set_initial_symbol_bits(root_width);
+
+    LayoutOptions opts;
+    opts.max_windows = max_windows;
+
+    HuffmanDecodeKernel k;
+    k.program = b.build(opts);
+    k.code_bytes = k.program.layout.code_bytes();
+    if (design == VarSymDesign::SsT) {
+        // Per-transition symbol-size fields widen every transition word
+        // (32 -> 40 bits): the paper's "increased encoding bits".
+        k.code_bytes = k.program.layout.dispatch_words * 5 +
+                       k.program.layout.action_words * 4;
+    }
+    return k;
+}
+
+HuffmanDecodeKernel
+huffman_decoder(const HuffmanCode &code, VarSymDesign design,
+                unsigned max_windows)
+{
+    switch (design) {
+      case VarSymDesign::SsF:
+        return build_ssf(code, max_windows);
+      case VarSymDesign::SsT:
+      case VarSymDesign::SsReg:
+      case VarSymDesign::SsRef:
+        return build_refill_family(code, design, max_windows);
+    }
+    throw UdpError("huffman_decoder: bad design");
+}
+
+Program
+huffman_encoder(const HuffmanCode &code)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    for (int sym = 0; sym < 256; ++sym) {
+        const unsigned len = code.length[sym];
+        if (!len)
+            continue;
+        // Movi sign-extends; Outbits uses only the low `len` bits.
+        const auto pattern = static_cast<std::int32_t>(
+            static_cast<std::int16_t>(code.code[sym]));
+        const BlockId blk = b.add_block({
+            act_imm(Opcode::Movi, 1, 0, pattern),
+            act_imm(Opcode::Outbits, 0, 1,
+                    static_cast<std::int32_t>(len), true),
+        });
+        b.on_symbol(s, static_cast<Word>(sym), s, blk);
+    }
+    b.set_entry(s);
+    b.set_initial_symbol_bits(8);
+    return b.build();
+}
+
+} // namespace udp::kernels

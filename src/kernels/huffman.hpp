@@ -1,0 +1,68 @@
+/**
+ * @file
+ * UDP Huffman kernels (paper Sections 3.2.2, 5.2; Figures 7, 8, 14, 15).
+ *
+ * Decoding: the canonical code tree becomes a UDP dispatch tree.  All
+ * four variable-size-symbol designs of Section 3.2.2 are implemented so
+ * Fig 8 can be regenerated:
+ *
+ *  - SsF   fixed 8-bit dispatch; the tree is unrolled across byte
+ *          boundaries into (node, phase) states with per-chunk emit
+ *          tables in local memory (the wide-LUT realization the paper
+ *          attributes to hardwired decoders [39]).  Highest rate,
+ *          exploding code size.
+ *  - SsT   per-transition symbol size; realized as depth-k dispatch with
+ *          put-back of excess bits on each transition.  Fast, but each
+ *          transition carries a size field (footprint modeled as +1 word
+ *          per state, per the paper's "increased encoding bits").
+ *  - SsReg symbol size in a register; layer-by-layer dispatch with
+ *          explicit Setss actions on internal moves (runtime overhead,
+ *          small code).
+ *  - SsRef symbol-size register + refill transitions: widest dispatch
+ *          per node with hardware put-back (the UDP design point).
+ *
+ * Encoding: scalar-register-free design - a single 8-bit dispatch state
+ * whose 256 arcs emit the (code,length) pair via Outbits.
+ */
+#pragma once
+
+#include "baselines/huffman.hpp"
+#include "core/program.hpp"
+
+namespace udp::kernels {
+
+/// The four Section-3.2.2 design points.
+enum class VarSymDesign { SsF, SsT, SsReg, SsRef };
+
+/// Printable name ("SsF", ...).
+std::string_view var_sym_name(VarSymDesign d);
+
+/// A built decode kernel: the program plus its memory plan.
+struct HuffmanDecodeKernel {
+    Program program;
+    /// SsF only: emit-LUT bytes to stage at the lane window base.
+    Bytes lut;
+    /// Register initialization: r11 = LUT base (SsF).
+    std::vector<std::pair<unsigned, Word>> init_regs;
+    /// Total code footprint in bytes (dispatch + actions + LUT), the
+    /// quantity that limits lane parallelism in Fig 8b.
+    std::size_t code_bytes = 0;
+};
+
+/**
+ * Build a decode kernel for `code` under the given design.
+ * Throws UdpError (layout failure) when the design does not fit the
+ * allowed windows - the SsF failure mode of Fig 8.
+ */
+HuffmanDecodeKernel huffman_decoder(const baselines::HuffmanCode &code,
+                                    VarSymDesign design,
+                                    unsigned max_windows = 16);
+
+/// Build the encode kernel for `code`.
+Program huffman_encoder(const baselines::HuffmanCode &code);
+
+/// Achievable lane parallelism for a kernel footprint: each lane needs
+/// ceil(footprint/16KiB) banks of the 64 (Fig 8b's code-size limit).
+unsigned achievable_parallelism(std::size_t code_bytes);
+
+} // namespace udp::kernels

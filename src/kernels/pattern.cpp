@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pattern kernel front-end implementation.
+ */
+#include "pattern.hpp"
+
+namespace udp::kernels {
+
+std::string_view
+fa_model_name(FaModel m)
+{
+    switch (m) {
+      case FaModel::Dfa: return "DFA";
+      case FaModel::Adfa: return "aDFA";
+      case FaModel::Nfa: return "NFA";
+    }
+    return "<bad>";
+}
+
+std::vector<PatternGroup>
+pattern_groups(const std::vector<std::string> &patterns, FaModel model,
+               unsigned groups)
+{
+    if (groups == 0)
+        throw UdpError("pattern_groups: need at least one group");
+    std::vector<PatternGroup> out(std::min<std::size_t>(groups,
+                                                        patterns.size()));
+    for (std::size_t i = 0; i < patterns.size(); ++i)
+        out[i % out.size()].patterns.push_back(patterns[i]);
+
+    for (auto &g : out) {
+        std::vector<std::unique_ptr<RegexNode>> storage;
+        std::vector<const RegexNode *> asts;
+        for (const auto &p : g.patterns) {
+            storage.push_back(parse_regex(p));
+            asts.push_back(storage.back().get());
+        }
+        const Nfa nfa = build_multi_nfa(asts);
+        switch (model) {
+          case FaModel::Dfa: {
+            const Dfa dfa = minimize(determinize(nfa));
+            g.program = compile_dfa(dfa);
+            break;
+          }
+          case FaModel::Adfa: {
+            const Dfa dfa = minimize(determinize(nfa));
+            g.program = compile_adfa(build_adfa(dfa));
+            break;
+          }
+          case FaModel::Nfa: {
+            g.program = compile_nfa(eliminate_epsilon(nfa));
+            g.nfa_mode = true;
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+software_matches(const std::vector<std::string> &patterns, BytesView input)
+{
+    std::vector<std::unique_ptr<RegexNode>> storage;
+    std::vector<const RegexNode *> asts;
+    for (const auto &p : patterns) {
+        storage.push_back(parse_regex(p));
+        asts.push_back(storage.back().get());
+    }
+    const Nfa nfa = build_multi_nfa(asts);
+    return nfa.count_matches(input);
+}
+
+} // namespace udp::kernels

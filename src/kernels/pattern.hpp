@@ -1,0 +1,46 @@
+/**
+ * @file
+ * UDP pattern-matching kernel front-end (paper Section 5.3, Figure 16).
+ *
+ * "The collection of patterns are partitioned across UDP lanes" - this
+ * wrapper splits a NIDS pattern set into per-lane groups, compiles each
+ * group with the chosen finite-automata model (aDFA for string-matching
+ * sets, NFA for complex regex sets, plain DFA as reference), and reports
+ * aggregate program footprints.
+ */
+#pragma once
+
+#include "automata/compile.hpp"
+#include "core/program.hpp"
+
+#include <string>
+#include <vector>
+
+namespace udp::kernels {
+
+/// FA models of the paper's evaluation.
+enum class FaModel { Dfa, Adfa, Nfa };
+
+std::string_view fa_model_name(FaModel m);
+
+/// One compiled lane group.
+struct PatternGroup {
+    Program program;
+    std::vector<std::string> patterns; ///< patterns in this group
+    bool nfa_mode = false;             ///< run with Lane::run_nfa
+};
+
+/**
+ * Partition `patterns` into `groups` round-robin and compile each.
+ *
+ * @throws UdpError when a group's automaton does not fit a lane window.
+ */
+std::vector<PatternGroup> pattern_groups(
+    const std::vector<std::string> &patterns, FaModel model,
+    unsigned groups);
+
+/// Software match count for one group (oracle for tests/benches).
+std::uint64_t software_matches(const std::vector<std::string> &patterns,
+                               BytesView input);
+
+} // namespace udp::kernels

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trigger kernel builder.
+ */
+#include "trigger.hpp"
+
+#include "assembler/builder.hpp"
+
+namespace udp::kernels {
+
+Program
+trigger_program(unsigned width)
+{
+    if (width == 0 || width > 30)
+        throw UdpError("trigger_program: width must be 1..30");
+
+    ProgramBuilder b;
+    // States 0..width+1: counting consecutive high samples; width+1 =
+    // overlong pulse (waits for a low sample).
+    std::vector<StateId> st(width + 2);
+    for (auto &s : st)
+        s = b.add_state();
+
+    const BlockId hit =
+        b.add_block({act_imm(Opcode::Accept, 0, 0, 1, true)});
+
+    for (unsigned s = 0; s < st.size(); ++s) {
+        // High samples (MSB set, 128 symbols) ride the majority arc.
+        const unsigned next_high = s >= width ? width + 1 : s + 1;
+        b.on_majority(st[s], st[next_high]);
+        // Low samples take labeled arcs; exact-width pulses trigger.
+        const BlockId blk = (s == width) ? hit : kNoBlock;
+        for (Word sym = 0; sym < 128; ++sym)
+            b.on_symbol(st[s], sym, st[0], blk);
+    }
+
+    b.set_entry(st[0]);
+    b.set_initial_symbol_bits(8);
+    return b.build();
+}
+
+Bytes
+samples_from_bits(BytesView packed, std::uint8_t high, std::uint8_t low)
+{
+    Bytes out;
+    out.reserve(packed.size() * 8);
+    for (const std::uint8_t byte : packed)
+        for (int i = 7; i >= 0; --i)
+            out.push_back((byte >> i) & 1 ? high : low);
+    return out;
+}
+
+} // namespace udp::kernels

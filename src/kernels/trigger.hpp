@@ -1,0 +1,26 @@
+/**
+ * @file
+ * UDP signal-triggering kernel (paper Section 5.7): the pulse-width
+ * transition-localization FSM pN over 8-bit oscilloscope samples.
+ *
+ * One multi-way dispatch per sample: samples below the threshold (MSB
+ * clear) take labeled arcs, samples above it take the state's majority
+ * arc - "multi-way dispatch for efficient FSM traversal".  A pulse of
+ * exactly N high samples ending in a low sample fires an Accept.
+ */
+#pragma once
+
+#include "core/machine.hpp"
+#include "core/program.hpp"
+
+namespace udp::kernels {
+
+/// Build the pN trigger program (threshold = sample MSB).
+Program trigger_program(unsigned width);
+
+/// 8-bit sample waveform generator companion: expand a bit-packed
+/// waveform (workloads::waveform) into one byte per sample.
+Bytes samples_from_bits(BytesView packed, std::uint8_t high = 200,
+                        std::uint8_t low = 40);
+
+} // namespace udp::kernels

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Synthetic workload generator implementations.
+ */
+#include "generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace udp::workloads {
+
+namespace {
+
+const char *const kStreets[] = {
+    "STATE ST", "MICHIGAN AVE", "WESTERN AVE", "HALSTED ST", "ASHLAND AVE",
+    "PULASKI RD", "CICERO AVE", "KEDZIE AVE", "DAMEN AVE", "CLARK ST",
+};
+
+const char *const kCrimeTypes[] = {
+    "THEFT", "BATTERY", "CRIMINAL DAMAGE", "NARCOTICS", "ASSAULT",
+    "BURGLARY", "MOTOR VEHICLE THEFT", "ROBBERY", "DECEPTIVE PRACTICE",
+};
+
+const char *const kLocationDesc[] = {
+    "STREET", "RESIDENCE", "APARTMENT", "SIDEWALK", "PARKING LOT",
+    "ALLEY", "SCHOOL", "RESTAURANT", "SMALL RETAIL STORE", "GAS STATION",
+};
+
+const char *const kWords[] = {
+    "the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+    "data", "with", "as", "was", "on", "are", "by", "this", "be", "at",
+    "stream", "value", "record", "system", "process", "table", "block",
+    "analysis", "result", "memory", "transform", "encode", "parse",
+};
+
+std::string
+fixed_num(std::mt19937 &rng, unsigned digits)
+{
+    std::string s;
+    for (unsigned i = 0; i < digits; ++i)
+        s.push_back(static_cast<char>('0' + rng() % 10));
+    return s;
+}
+
+std::string
+date_str(std::mt19937 &rng)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%02u/%02u/20%02u %02u:%02u:%02u",
+                  unsigned(1 + rng() % 12), unsigned(1 + rng() % 28),
+                  unsigned(10 + rng() % 8), unsigned(rng() % 24),
+                  unsigned(rng() % 60), unsigned(rng() % 60));
+    return buf;
+}
+
+std::string
+coord(std::mt19937 &rng, double base, double spread)
+{
+    std::uniform_real_distribution<double> d(base - spread, base + spread);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9f", d(rng));
+    return buf;
+}
+
+} // namespace
+
+std::string
+crimes_csv(std::size_t rows, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::string out;
+    out += "ID,Case Number,Date,Block,IUCR,Primary Type,Description,"
+           "Location Description,Arrest,Domestic,Beat,District,Ward,"
+           "Community Area,FBI Code,X Coordinate,Y Coordinate,Year,"
+           "Updated On,Latitude,Longitude,Location\n";
+    for (std::size_t r = 0; r < rows; ++r) {
+        out += fixed_num(rng, 8);
+        out += ",HZ";
+        out += fixed_num(rng, 6);
+        out += ',';
+        out += date_str(rng);
+        out += ",0";
+        out += fixed_num(rng, 2);
+        out += "XX ";
+        out += kStreets[rng() % std::size(kStreets)];
+        out += ',';
+        out += fixed_num(rng, 4);
+        out += ',';
+        out += kCrimeTypes[rng() % std::size(kCrimeTypes)];
+        out += ",SIMPLE,";
+        out += kLocationDesc[rng() % std::size(kLocationDesc)];
+        out += (rng() % 4 == 0) ? ",true," : ",false,";
+        out += (rng() % 6 == 0) ? "true," : "false,";
+        out += fixed_num(rng, 4);
+        out += ',';
+        out += std::to_string(1 + rng() % 25);
+        out += ',';
+        out += std::to_string(1 + rng() % 50);
+        out += ',';
+        out += std::to_string(1 + rng() % 77);
+        out += ",06,";
+        out += fixed_num(rng, 7);
+        out += ',';
+        out += fixed_num(rng, 7);
+        out += ",201";
+        out.push_back(static_cast<char>('0' + rng() % 8));
+        out += ',';
+        out += date_str(rng);
+        out += ',';
+        out += coord(rng, 41.8, 0.3);
+        out += ',';
+        out += coord(rng, -87.6, 0.4);
+        out += ',';
+        out += "POINT";
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+taxi_csv(std::size_t rows, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::string out;
+    out += "medallion,hack_license,vendor_id,rate_code,pickup_datetime,"
+           "dropoff_datetime,passenger_count,trip_time_in_secs,"
+           "trip_distance,pickup_longitude,pickup_latitude,"
+           "dropoff_longitude,dropoff_latitude,fare_amount\n";
+    for (std::size_t r = 0; r < rows; ++r) {
+        out += fixed_num(rng, 32);
+        out += ',';
+        out += fixed_num(rng, 32);
+        out += (rng() % 2) ? ",CMT," : ",VTS,";
+        out += std::to_string(1 + rng() % 5);
+        out += ',';
+        out += date_str(rng);
+        out += ',';
+        out += date_str(rng);
+        out += ',';
+        out += std::to_string(1 + rng() % 6);
+        out += ',';
+        out += std::to_string(60 + rng() % 3600);
+        out += ',';
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      0.3 + (rng() % 3000) / 100.0);
+        out += buf;
+        out += ',';
+        out += coord(rng, -73.98, 0.1);
+        out += ',';
+        out += coord(rng, 40.75, 0.1);
+        out += ',';
+        out += coord(rng, -73.98, 0.1);
+        out += ',';
+        out += coord(rng, 40.75, 0.1);
+        out += ',';
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      2.5 + (rng() % 10000) / 100.0);
+        out += buf;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+food_inspection_csv(std::size_t rows, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::string out;
+    out += "Inspection ID,DBA Name,AKA Name,License,Facility Type,Risk,"
+           "Address,City,State,Zip,Inspection Date,Inspection Type,"
+           "Results,Violations,Latitude,Longitude,Location\n";
+    for (std::size_t r = 0; r < rows; ++r) {
+        out += fixed_num(rng, 7);
+        // Quoted names with embedded commas and escaped ("") quotes.
+        out += ",\"JOE\"\"S GRILL, INC.\",\"JOE\"\"S\",";
+        out += fixed_num(rng, 7);
+        out += ",Restaurant,Risk 1 (High),";
+        out += fixed_num(rng, 4);
+        out += " W ";
+        out += kStreets[rng() % std::size(kStreets)];
+        out += ",CHICAGO,IL,606";
+        out += fixed_num(rng, 2);
+        out += ',';
+        out += date_str(rng);
+        out += ",Canvass,";
+        out += (rng() % 3 == 0) ? "Fail," : "Pass,";
+        // Long quoted free-text comment with commas and escaped quotes.
+        out += '"';
+        const unsigned sentences = 2 + rng() % 6;
+        for (unsigned s = 0; s < sentences; ++s) {
+            out += std::to_string(30 + rng() % 40);
+            out += ". OBSERVED \"\"";
+            out += kLocationDesc[rng() % std::size(kLocationDesc)];
+            out += "\"\" VIOLATION, COMMENTS: MUST CLEAN ";
+            for (unsigned w = 0; w < 6 + rng() % 10; ++w) {
+                out += kWords[rng() % std::size(kWords)];
+                out += ' ';
+            }
+            out += "| ";
+        }
+        out += "\",";
+        out += coord(rng, 41.8, 0.3);
+        out += ',';
+        out += coord(rng, -87.6, 0.4);
+        out += ",\"(41.8, -87.6)\"";
+        out += '\n';
+    }
+    return out;
+}
+
+Bytes
+text_corpus(std::size_t size, double entropy, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    Bytes out;
+    out.reserve(size);
+
+    if (entropy >= 0.95) {
+        for (std::size_t i = 0; i < size; ++i)
+            out.push_back(static_cast<std::uint8_t>(rng()));
+        return out;
+    }
+    if (entropy <= 0.05) {
+        const std::string unit = "abababab ababab ";
+        while (out.size() < size)
+            out.insert(out.end(), unit.begin(), unit.end());
+        out.resize(size);
+        return out;
+    }
+
+    // English-like Markov word soup whose repetitiveness scales with
+    // (1 - entropy): lower entropy reuses a smaller phrase pool.
+    const std::size_t pool =
+        std::max<std::size_t>(2, static_cast<std::size_t>(
+                                     std::size(kWords) * entropy * 2));
+    std::vector<std::string> phrases;
+    const std::size_t nphrases =
+        std::max<std::size_t>(4, static_cast<std::size_t>(64 * entropy));
+    for (std::size_t p = 0; p < nphrases; ++p) {
+        std::string phrase;
+        const unsigned words = 3 + rng() % 8;
+        for (unsigned w = 0; w < words; ++w) {
+            phrase += kWords[rng() % std::min(pool, std::size(kWords))];
+            phrase += ' ';
+        }
+        phrases.push_back(phrase);
+    }
+    while (out.size() < size) {
+        const auto &p = phrases[rng() % phrases.size()];
+        out.insert(out.end(), p.begin(), p.end());
+        if (rng() % 12 == 0) {
+            out.push_back('.');
+            out.push_back('\n');
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+std::vector<CorpusFile>
+corpus_suite(std::size_t scale_bytes)
+{
+    // Mirrors Canterbury's spread of entropies plus BDBench-like blocks.
+    return {
+        {"alice-like (english)", text_corpus(scale_bytes, 0.5, 41)},
+        {"html-like (markup)", text_corpus(scale_bytes, 0.35, 42)},
+        {"fields-like (repetitive)", text_corpus(scale_bytes, 0.05, 43)},
+        {"random (incompressible)", text_corpus(scale_bytes, 1.0, 44)},
+        {"crawl-like (web text)", text_corpus(scale_bytes * 2, 0.6, 45)},
+        {"rank-like (numeric)", text_corpus(scale_bytes, 0.25, 46)},
+        {"user-like (logs)", text_corpus(scale_bytes * 2, 0.45, 47)},
+    };
+}
+
+std::vector<std::string>
+nids_patterns(std::size_t count, bool complex, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    const char *const tokens[] = {
+        "exec",   "cmd",   "root",  "admin", "passwd", "shell", "GET",
+        "POST",   "HEAD",  "login", "eval",  "select", "union", "drop",
+        "script", "alert", "flood", "probe", "xmas",   "scan",
+    };
+    std::vector<std::string> pats;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string p = tokens[rng() % std::size(tokens)];
+        p += static_cast<char>('a' + rng() % 26);
+        p += std::to_string(rng() % 100);
+        if (complex) {
+            switch (rng() % 4) {
+              case 0: p += "[0-9]{1,3}"; break;
+              case 1: p += "(bin|lib|etc)"; break;
+              case 2: p += "[a-f]+x?"; break;
+              case 3: p += ".{1,4}end"; break;
+            }
+        }
+        pats.push_back(std::move(p));
+    }
+    return pats;
+}
+
+Bytes
+packet_payloads(std::size_t size, const std::vector<std::string> &patterns,
+                double plant_rate, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    Bytes out;
+    out.reserve(size + 64);
+    std::uniform_real_distribution<double> u(0, 1);
+    while (out.size() < size) {
+        if (!patterns.empty() && u(rng) < plant_rate) {
+            // Plant a literal prefix of some pattern (pre-regex part).
+            const std::string &p = patterns[rng() % patterns.size()];
+            const std::size_t cut = p.find_first_of("[({.");
+            const std::string lit =
+                cut == std::string::npos ? p : p.substr(0, cut);
+            out.insert(out.end(), lit.begin(), lit.end());
+        }
+        // Mixed printable/binary payload.
+        const unsigned n = 16 + rng() % 48;
+        for (unsigned i = 0; i < n; ++i) {
+            const unsigned r = rng();
+            out.push_back(static_cast<std::uint8_t>(
+                (r % 4 == 0) ? r : (0x20 + r % 0x5F)));
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+std::vector<std::string>
+zipf_attribute(std::size_t rows, std::size_t cardinality, double skew,
+               unsigned seed)
+{
+    std::mt19937 rng(seed);
+    // Zipf CDF over `cardinality` distinct values.
+    std::vector<double> cdf(cardinality);
+    double sum = 0;
+    for (std::size_t k = 0; k < cardinality; ++k) {
+        sum += 1.0 / std::pow(double(k + 1), skew);
+        cdf[k] = sum;
+    }
+    std::uniform_real_distribution<double> u(0, sum);
+
+    std::vector<std::string> values(cardinality);
+    for (std::size_t k = 0; k < cardinality; ++k)
+        values[k] = kLocationDesc[k % std::size(kLocationDesc)] +
+                    std::string("-") + std::to_string(k);
+
+    std::vector<std::string> out;
+    out.reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double x = u(rng);
+        const std::size_t k =
+            std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin();
+        out.push_back(values[std::min(k, cardinality - 1)]);
+    }
+    return out;
+}
+
+std::vector<std::string>
+runny_attribute(std::size_t rows, std::size_t cardinality, double mean_run,
+                unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<std::string> base =
+        zipf_attribute(rows, cardinality, 1.2, seed + 100);
+    std::vector<std::string> out;
+    out.reserve(rows);
+    std::geometric_distribution<unsigned> g(1.0 / mean_run);
+    std::size_t i = 0;
+    while (out.size() < rows) {
+        const std::string &v = base[i++ % base.size()];
+        const unsigned run = 1 + g(rng);
+        for (unsigned k = 0; k < run && out.size() < rows; ++k)
+            out.push_back(v);
+    }
+    return out;
+}
+
+std::vector<double>
+fp_values(std::size_t count, unsigned kind, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<double> out;
+    out.reserve(count);
+    if (kind == 0) { // latitude-like
+        std::normal_distribution<double> d(41.85, 0.12);
+        for (std::size_t i = 0; i < count; ++i)
+            out.push_back(d(rng));
+    } else if (kind == 1) { // longitude-like
+        std::normal_distribution<double> d(-87.65, 0.15);
+        for (std::size_t i = 0; i < count; ++i)
+            out.push_back(d(rng));
+    } else { // fare-like (log-normal, heavy tail)
+        std::lognormal_distribution<double> d(2.3, 0.7);
+        for (std::size_t i = 0; i < count; ++i)
+            out.push_back(d(rng));
+    }
+    return out;
+}
+
+Bytes
+waveform(std::size_t samples, unsigned max_width, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    Bytes out((samples + 7) / 8, 0);
+    std::size_t pos = 0;
+    auto set_bit = [&](std::size_t i) {
+        out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+    };
+    while (pos < samples) {
+        const unsigned gap = 2 + rng() % 24;
+        pos += gap;
+        const unsigned width = 1 + rng() % max_width;
+        for (unsigned i = 0; i < width && pos < samples; ++i, ++pos)
+            set_bit(pos);
+    }
+    return out;
+}
+
+} // namespace udp::workloads

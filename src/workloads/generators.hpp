@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic synthetic workload generators.
+ *
+ * The paper evaluates on datasets we cannot redistribute or fetch
+ * (Chicago Crimes/Food-Inspection CSV, NYC Taxi trips, Canterbury Corpus,
+ * Berkeley Big Data blocks, IBM PowerEN NIDS patterns, a proprietary
+ * Keysight oscilloscope trace).  Each generator below produces a
+ * schema/shape-faithful synthetic equivalent that exercises the same code
+ * paths (delimiter/quote density, entropy mix, match structure, pulse
+ * shapes); DESIGN.md §4 documents each substitution.
+ *
+ * All generators are deterministic in their seed.
+ */
+#pragma once
+
+#include "core/types.hpp"
+
+#include <string>
+#include <vector>
+
+namespace udp::workloads {
+
+// --- CSV datasets (Fig 13, Fig 17, Fig 18 inputs) -------------------------
+
+/// Chicago-Crimes-like CSV: 22 columns, dates, booleans, enum strings,
+/// coordinates; no quoted fields (the common fast path).
+std::string crimes_csv(std::size_t rows, unsigned seed = 1);
+
+/// NYC-Taxi-trip-like CSV: 14 numeric/datetime columns.
+std::string taxi_csv(std::size_t rows, unsigned seed = 2);
+
+/// Food-Inspection-like CSV: quoted fields with embedded commas, escaped
+/// quotes ("") and long free-text comments (the hard path).
+std::string food_inspection_csv(std::size_t rows, unsigned seed = 3);
+
+// --- Text corpora (Huffman and Snappy inputs, Figs 14/15/19/20) ----------
+
+/// Entropy-controlled text.  `entropy` in [0,1]: 0 = highly repetitive
+/// (compresses extremely well), ~0.5 = English-like Markov text,
+/// 1 = uniform random bytes (incompressible).
+Bytes text_corpus(std::size_t size, double entropy, unsigned seed = 4);
+
+/// A named file suite standing in for Canterbury + BDBench blocks.
+struct CorpusFile {
+    std::string name;
+    Bytes data;
+};
+std::vector<CorpusFile> corpus_suite(std::size_t scale_bytes = 64 * 1024);
+
+// --- Pattern matching (Fig 16 inputs) -------------------------------------
+
+/// Snort-like NIDS pattern strings.  `complex=false` yields literal
+/// signatures ("string matching"); true yields regexes with classes,
+/// repetition and alternation ("complex regular expressions").
+std::vector<std::string> nids_patterns(std::size_t count, bool complex,
+                                       unsigned seed = 5);
+
+/// Network-payload-like byte stream with occasional pattern plants.
+Bytes packet_payloads(std::size_t size,
+                      const std::vector<std::string> &patterns,
+                      double plant_rate = 0.001, unsigned seed = 6);
+
+// --- Dictionary / RLE attributes (Fig 17 inputs) ---------------------------
+
+/// Low-cardinality attribute column, Zipf-distributed (Crimes.Arrest /
+/// District / LocationDescription-like). Values newline-separated.
+std::vector<std::string> zipf_attribute(std::size_t rows,
+                                        std::size_t cardinality,
+                                        double skew = 1.2,
+                                        unsigned seed = 7);
+
+/// Same with runs (sorted-by-column behavior), for dictionary-RLE.
+std::vector<std::string> runny_attribute(std::size_t rows,
+                                         std::size_t cardinality,
+                                         double mean_run = 6.0,
+                                         unsigned seed = 8);
+
+// --- Histogram values (Fig 18 inputs) --------------------------------------
+
+/// IEEE-754 doubles: latitude-like normal, longitude-like normal, or
+/// fare-like log-normal, per `kind` = 0/1/2.
+std::vector<double> fp_values(std::size_t count, unsigned kind,
+                              unsigned seed = 9);
+
+// --- Signal triggering (Section 5.7 input) ---------------------------------
+
+/// Binarized pulsed waveform (1 bit per sample, packed MSB-first):
+/// pulses of width 1..max_width samples with idle gaps, plus jitter.
+Bytes waveform(std::size_t samples, unsigned max_width = 16,
+               unsigned seed = 10);
+
+} // namespace udp::workloads

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the automata library: regex parsing, NFA/DFA/aDFA agreement,
+ * minimization, and compilation to UDP programs whose match counts equal
+ * the software models'.
+ */
+#include "automata/compile.hpp"
+#include "core/lane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace udp {
+namespace {
+
+Bytes
+bytes_of(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+std::uint64_t
+nfa_count(const std::string &pattern, const std::string &text)
+{
+    const auto ast = parse_regex(pattern);
+    const Nfa nfa = build_nfa(*ast);
+    const Bytes data = bytes_of(text);
+    return nfa.count_matches(data);
+}
+
+TEST(Regex, LiteralAndClassesMatch)
+{
+    EXPECT_EQ(nfa_count("abc", "zzabczzabc"), 2u);
+    EXPECT_EQ(nfa_count("[0-9]+x", "12x 9x x"), 2u);
+    EXPECT_EQ(nfa_count("a.c", "abc adc a\nc"), 3u);
+    EXPECT_EQ(nfa_count("\\d\\d", "07 9"), 1u);
+    EXPECT_EQ(nfa_count("ho(t|use)", "hot house hose"), 2u);
+    EXPECT_EQ(nfa_count("colou?r", "color colour colr"), 2u);
+    EXPECT_EQ(nfa_count("(ab){2,3}", "abab"), 1u);
+    EXPECT_EQ(nfa_count("[^a]b", "ab bb cb"), 3u); // " b", "bb", "cb"
+    EXPECT_EQ(nfa_count("\\x41B", "AB aB"), 1u);
+}
+
+TEST(Regex, CountsOverlappingAndRepeated)
+{
+    // Unanchored counting: one count per end position that accepts.
+    EXPECT_EQ(nfa_count("aa", "aaaa"), 3u);
+    EXPECT_EQ(nfa_count("a+", "aaa"), 3u);
+}
+
+TEST(Regex, SyntaxErrorsThrow)
+{
+    EXPECT_THROW(parse_regex("a("), UdpError);
+    EXPECT_THROW(parse_regex("[z-a]"), UdpError);
+    EXPECT_THROW(parse_regex("a{5,2}"), UdpError);
+    EXPECT_THROW(parse_regex("*a"), UdpError);
+    EXPECT_THROW(parse_regex("a{100}"), UdpError);
+    EXPECT_THROW(parse_regex("[]"), UdpError);
+}
+
+TEST(Dfa, AgreesWithNfa)
+{
+    const std::vector<std::string> patterns = {
+        "abc", "[0-9]+", "a(b|c)*d", "x.{2}y", "(foo|bar|baz)qux?",
+    };
+    const std::string text =
+        "abc0123 axbyczd abbbccd foobarqux x12y xABy bazqu 99";
+    const Bytes data = bytes_of(text);
+    for (const auto &p : patterns) {
+        const auto ast = parse_regex(p);
+        const Nfa nfa = build_nfa(*ast);
+        const Dfa dfa = determinize(nfa);
+        EXPECT_EQ(dfa.count_matches(data), nfa.count_matches(data))
+            << "pattern " << p;
+    }
+}
+
+TEST(Dfa, MinimizationPreservesLanguageAndShrinks)
+{
+    const auto ast = parse_regex("(ab|ac)+");
+    const Nfa nfa = build_nfa(*ast);
+    const Dfa dfa = determinize(nfa);
+    const Dfa min = minimize(dfa);
+    EXPECT_LE(min.size(), dfa.size());
+    const Bytes data = bytes_of("abacab zabab acacac");
+    EXPECT_EQ(min.count_matches(data), dfa.count_matches(data));
+}
+
+TEST(Dfa, MultiPatternIds)
+{
+    const auto a1 = parse_regex("cat");
+    const auto a2 = parse_regex("dog");
+    const Nfa nfa = build_multi_nfa({a1.get(), a2.get()});
+    const Dfa dfa = minimize(determinize(nfa));
+    const Bytes data = bytes_of("catdogcat");
+    EXPECT_EQ(dfa.count_matches(data), 3u);
+}
+
+TEST(Adfa, MatchesDfaExactlyAndIsSmaller)
+{
+    const auto a1 = parse_regex("GET /[a-z]+");
+    const auto a2 = parse_regex("POST /[a-z]+");
+    const auto a3 = parse_regex("HTTP/1[.][01]");
+    const Nfa nfa = build_multi_nfa({a1.get(), a2.get(), a3.get()});
+    const Dfa dfa = minimize(determinize(nfa));
+    const Adfa adfa = build_adfa(dfa);
+
+    EXPECT_LT(adfa.arc_count(), dfa.size() * 256u);
+    const Bytes data =
+        bytes_of("GET /index HTTP/1.0 POST /form HTTP/1.1 GET /a");
+    EXPECT_EQ(adfa.count_matches(data), dfa.count_matches(data));
+    EXPECT_GT(adfa.count_matches(data), 0u);
+}
+
+struct CompiledMatch : ::testing::Test {
+    LocalMemory mem{AddressingMode::Restricted};
+    Lane lane{0, mem};
+
+    std::uint64_t run_dfa_program(const Program &p, const Bytes &data) {
+        lane.load(p);
+        lane.set_input(data);
+        const LaneStatus st = lane.run();
+        EXPECT_EQ(st, LaneStatus::Done);
+        return lane.accept_count();
+    }
+};
+
+TEST_F(CompiledMatch, DfaProgramCountsMatchSoftware)
+{
+    const auto a1 = parse_regex("attack[0-9]+");
+    const auto a2 = parse_regex("(root|admin)login");
+    const Nfa nfa = build_multi_nfa({a1.get(), a2.get()});
+    const Dfa dfa = minimize(determinize(nfa));
+    const Program p = compile_dfa(dfa);
+
+    const Bytes data = bytes_of(
+        "xxattack99 rootlogin adminlogin attack1 guestlogin attack");
+    EXPECT_EQ(run_dfa_program(p, data), dfa.count_matches(data));
+    EXPECT_GT(lane.accept_count(), 0u);
+}
+
+TEST_F(CompiledMatch, MajorityCompressionShrinksCode)
+{
+    const auto ast = parse_regex("needle");
+    const Nfa nfa = build_nfa(*ast);
+    const Dfa dfa = minimize(determinize(nfa));
+
+    DfaCompileOptions with;
+    DfaCompileOptions without;
+    without.majority_threshold = 0;
+    const Program p1 = compile_dfa(dfa, with);
+    const Program p2 = compile_dfa(dfa, without);
+    EXPECT_LT(p1.layout.used_words, p2.layout.used_words / 4);
+
+    const Bytes data = bytes_of("find the needle in the haystack needle");
+    EXPECT_EQ(run_dfa_program(p1, data), 2u);
+    lane.load(p2);
+    lane.set_input(data);
+    lane.run();
+    EXPECT_EQ(lane.accept_count(), 2u);
+}
+
+TEST_F(CompiledMatch, AdfaProgramMatchesWithRefillDefaults)
+{
+    const auto a1 = parse_regex("evil(exe|dll)");
+    const auto a2 = parse_regex("virus[a-z]{2}");
+    const Nfa nfa = build_multi_nfa({a1.get(), a2.get()});
+    const Dfa dfa = minimize(determinize(nfa));
+    const Adfa adfa = build_adfa(dfa);
+    const Program p = compile_adfa(adfa);
+
+    const Bytes data = bytes_of("evilexe virusab evildll virus viruszz");
+    lane.load(p);
+    lane.set_input(data);
+    EXPECT_EQ(lane.run(), LaneStatus::Done);
+    EXPECT_EQ(lane.accept_count(), dfa.count_matches(data));
+    // Default chains re-dispatch: dispatches exceed input length.
+    EXPECT_GT(lane.stats().dispatches, data.size());
+}
+
+TEST_F(CompiledMatch, NfaProgramMatchesSoftwareNfa)
+{
+    const auto a1 = parse_regex("ab*c");
+    const auto a2 = parse_regex("a[bc]d");
+    const Nfa nfa0 = build_multi_nfa({a1.get(), a2.get()});
+    const Nfa nfa = eliminate_epsilon(nfa0);
+    const Program p = compile_nfa(nfa);
+
+    const Bytes data = bytes_of("abbbc abd acd ac axd abc");
+    lane.load(p);
+    lane.set_input(data);
+    EXPECT_EQ(lane.run_nfa(), LaneStatus::Done);
+    EXPECT_EQ(lane.accept_count(), nfa0.count_matches(data));
+}
+
+/// Property: for random patterns and random text, the compiled UDP DFA
+/// program and the software DFA agree on match counts.
+TEST_F(CompiledMatch, PropertyRandomPatternsAgree)
+{
+    std::mt19937 rng(42);
+    const std::vector<std::string> pool = {
+        "ab+c", "x[yz]{1,2}", "(cat|car)s?", "[0-9][0-9]", "end$?",
+        "w\\d+w", "[a-f]{3}", "q(u|v)*z",
+    };
+    const std::string alphabet = "abcxyz019qwue ";
+    for (int trial = 0; trial < 8; ++trial) {
+        const auto &pat = pool[rng() % pool.size()];
+        std::string text;
+        for (int i = 0; i < 400; ++i)
+            text.push_back(alphabet[rng() % alphabet.size()]);
+        const auto ast = parse_regex(pat);
+        const Nfa nfa = build_nfa(*ast);
+        const Dfa dfa = minimize(determinize(nfa));
+        const Program p = compile_dfa(dfa);
+        const Bytes data = bytes_of(text);
+        lane.load(p);
+        lane.set_input(data);
+        lane.run();
+        EXPECT_EQ(lane.accept_count(), dfa.count_matches(data))
+            << "pattern " << pat << " text " << text;
+    }
+}
+
+} // namespace
+} // namespace udp

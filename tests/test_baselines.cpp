@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests for the CPU baselines: CSV FSM semantics, Huffman round-trips,
+ * Snappy format compatibility, dictionary/RLE round-trips, histogram
+ * binning, pulse triggers, and the branch models.
+ */
+#include "baselines/branch_profile.hpp"
+#include "baselines/csv.hpp"
+#include "baselines/dictionary.hpp"
+#include "baselines/histogram.hpp"
+#include "baselines/huffman.hpp"
+#include "baselines/snappy.hpp"
+#include "baselines/trigger.hpp"
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace udp {
+namespace {
+
+using namespace baselines;
+
+Bytes
+bytes_of(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+// --- CSV -------------------------------------------------------------------
+
+TEST(Csv, BasicRowsAndFields)
+{
+    const Bytes data = bytes_of("a,b,c\n1,2,3\n");
+    const CsvCounts c = parse_csv(data);
+    EXPECT_EQ(c.rows, 2u);
+    EXPECT_EQ(c.fields, 6u);
+    EXPECT_EQ(c.field_bytes, 6u);
+}
+
+TEST(Csv, QuotedFieldsWithEscapes)
+{
+    std::vector<std::string> fields;
+    CsvParser p([&](const char *d, std::size_t n) {
+                    fields.emplace_back(d, n);
+                },
+                [] {});
+    const Bytes data = bytes_of("\"a,b\",\"say \"\"hi\"\"\",plain\n");
+    p.feed(data);
+    p.finish();
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a,b");
+    EXPECT_EQ(fields[1], "say \"hi\"");
+    EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(Csv, CrLfAndTrailingRow)
+{
+    const Bytes data = bytes_of("x,y\r\n1,2\r\n3,4"); // no final newline
+    const CsvCounts c = parse_csv(data);
+    EXPECT_EQ(c.rows, 3u);
+    EXPECT_EQ(c.fields, 6u);
+}
+
+TEST(Csv, EmptyFieldsCount)
+{
+    const Bytes data = bytes_of(",,\na,,b\n");
+    const CsvCounts c = parse_csv(data);
+    EXPECT_EQ(c.rows, 2u);
+    EXPECT_EQ(c.fields, 6u);
+}
+
+TEST(Csv, StreamingChunksEqualWhole)
+{
+    const std::string text =
+        workloads::food_inspection_csv(50);
+    const Bytes data = bytes_of(text);
+    const CsvCounts whole = parse_csv(data);
+
+    CsvCounts chunked;
+    CsvParser p([&](const char *, std::size_t n) {
+                    chunked.field_bytes += n;
+                },
+                [] {});
+    for (std::size_t i = 0; i < data.size(); i += 7)
+        p.feed(BytesView(data).subspan(i, std::min<std::size_t>(
+                                              7, data.size() - i)));
+    p.finish();
+    chunked.fields = p.fields();
+    chunked.rows = p.rows();
+    EXPECT_EQ(chunked.rows, whole.rows);
+    EXPECT_EQ(chunked.fields, whole.fields);
+    EXPECT_EQ(chunked.field_bytes, whole.field_bytes);
+}
+
+TEST(Csv, GeneratorsProduceRectangularTables)
+{
+    for (const auto &text :
+         {workloads::crimes_csv(30), workloads::taxi_csv(30),
+          workloads::food_inspection_csv(30)}) {
+        std::uint64_t row_fields = 0, first = 0;
+        bool ok = true;
+        CsvParser p([&](const char *, std::size_t) { ++row_fields; },
+                    [&] {
+                        if (first == 0)
+                            first = row_fields;
+                        else if (row_fields != first)
+                            ok = false;
+                        row_fields = 0;
+                    });
+        const Bytes data = bytes_of(text);
+        p.feed(data);
+        p.finish();
+        EXPECT_TRUE(ok) << "ragged CSV";
+        EXPECT_EQ(p.rows(), 31u); // header + 30
+    }
+}
+
+// --- Huffman ---------------------------------------------------------------
+
+TEST(Huffman, RoundTripOnCorpus)
+{
+    for (const auto &f : workloads::corpus_suite(8 * 1024)) {
+        const HuffmanCode code = build_huffman(f.data);
+        const Bytes enc = huffman_encode(f.data, code);
+        const Bytes dec = huffman_decode(enc, f.data.size(), code);
+        EXPECT_EQ(dec, f.data) << f.name;
+        if (f.name.find("random") == std::string::npos) {
+            EXPECT_LT(enc.size(), f.data.size()) << f.name;
+        }
+    }
+}
+
+TEST(Huffman, CanonicalCodesArePrefixFree)
+{
+    const Bytes data = workloads::text_corpus(4096, 0.5);
+    const HuffmanCode code = build_huffman(data);
+    for (int a = 0; a < 256; ++a) {
+        if (!code.length[a])
+            continue;
+        for (int b = 0; b < 256; ++b) {
+            if (a == b || !code.length[b] ||
+                code.length[b] < code.length[a])
+                continue;
+            const unsigned shift = code.length[b] - code.length[a];
+            EXPECT_NE(code.code[b] >> shift, code.code[a])
+                << a << " prefixes " << b;
+        }
+    }
+}
+
+TEST(Huffman, SkewedInputGetsShortCodes)
+{
+    Bytes data(10000, 'e');
+    for (int i = 0; i < 100; ++i)
+        data[i * 97] = static_cast<std::uint8_t>('a' + i % 20);
+    const HuffmanCode code = build_huffman(data);
+    EXPECT_LE(code.length['e'], 2u);
+    const Bytes enc = huffman_encode(data, code);
+    EXPECT_LT(enc.size(), data.size() / 4);
+}
+
+TEST(Huffman, EmptyAndSingleSymbol)
+{
+    const Bytes empty;
+    const HuffmanCode c0 = build_huffman(empty);
+    EXPECT_EQ(huffman_encode(empty, c0).size(), 0u);
+
+    const Bytes ones(64, 'x');
+    const HuffmanCode c1 = build_huffman(ones);
+    EXPECT_EQ(c1.length['x'], 1u);
+    const Bytes enc = huffman_encode(ones, c1);
+    EXPECT_EQ(enc.size(), 8u); // 64 one-bit codes
+    EXPECT_EQ(huffman_decode(enc, 64, c1), ones);
+}
+
+// --- Snappy ----------------------------------------------------------------
+
+TEST(Snappy, RoundTripOnCorpus)
+{
+    for (const auto &f : workloads::corpus_suite(16 * 1024)) {
+        const Bytes comp = snappy_compress(f.data);
+        const Bytes back = snappy_decompress(comp);
+        EXPECT_EQ(back, f.data) << f.name;
+    }
+}
+
+TEST(Snappy, CompressesRepetitiveDataWell)
+{
+    const Bytes data = workloads::text_corpus(64 * 1024, 0.05);
+    const Bytes comp = snappy_compress(data);
+    EXPECT_GT(compression_ratio(data.size(), comp.size()), 5.0);
+}
+
+TEST(Snappy, RandomDataExpandsOnlySlightly)
+{
+    const Bytes data = workloads::text_corpus(64 * 1024, 1.0);
+    const Bytes comp = snappy_compress(data);
+    EXPECT_LT(comp.size(), data.size() + data.size() / 16 + 16);
+    EXPECT_EQ(snappy_decompress(comp), data);
+}
+
+TEST(Snappy, BlockSizeSweepsPreserveCorrectness)
+{
+    const Bytes data = workloads::text_corpus(100'000, 0.4);
+    for (const std::size_t bs : {1u << 12, 1u << 14, 1u << 16}) {
+        const Bytes comp = snappy_compress(data, bs);
+        EXPECT_EQ(snappy_decompress(comp), data) << bs;
+    }
+    // Bigger blocks find longer matches: ratio must not degrade.
+    const auto r12 = snappy_compress(data, 1u << 12).size();
+    const auto r16 = snappy_compress(data, 1u << 16).size();
+    EXPECT_LE(r16, r12 + r12 / 8);
+}
+
+TEST(Snappy, EdgeCases)
+{
+    EXPECT_EQ(snappy_decompress(snappy_compress(Bytes{})), Bytes{});
+    const Bytes one{42};
+    EXPECT_EQ(snappy_decompress(snappy_compress(one)), one);
+    Bytes bad{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+    EXPECT_THROW(snappy_decompress(bad), UdpError);
+}
+
+// --- Dictionary ------------------------------------------------------------
+
+TEST(Dictionary, EncodeDecodeRoundTrip)
+{
+    const auto rows = workloads::zipf_attribute(5000, 40);
+    const DictEncoded enc = dictionary_encode(rows);
+    EXPECT_EQ(enc.dict.size(), 40u);
+    EXPECT_EQ(dictionary_decode(enc), rows);
+}
+
+TEST(Dictionary, RleCompressesRuns)
+{
+    const auto rows = workloads::runny_attribute(5000, 30, 8.0);
+    const DictRleEncoded enc = dictionary_rle_encode(rows);
+    EXPECT_LT(enc.runs.size(), rows.size() / 3);
+    EXPECT_EQ(dictionary_rle_decode(enc), rows);
+}
+
+TEST(Dictionary, ZipfIsSkewed)
+{
+    const auto rows = workloads::zipf_attribute(10000, 50);
+    const DictEncoded enc = dictionary_encode(rows);
+    std::vector<std::uint64_t> freq(enc.dict.size(), 0);
+    for (const auto id : enc.ids)
+        ++freq[id];
+    const auto top = *std::max_element(freq.begin(), freq.end());
+    EXPECT_GT(top, rows.size() / 10); // head value dominates
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, UniformBinsCountAll)
+{
+    Histogram h = Histogram::uniform(10, 0.0, 1.0);
+    const std::vector<double> xs = {-1, 0, 0.05, 0.55, 0.999, 2.0};
+    h.add_all(xs);
+    EXPECT_EQ(h.total(), xs.size());
+    EXPECT_EQ(h.counts()[0], 3u); // -1 clamped, 0, 0.05
+    EXPECT_EQ(h.counts()[5], 1u);
+    EXPECT_EQ(h.counts()[9], 2u); // 0.999 and clamped 2.0
+}
+
+TEST(Histogram, PercentileBinsBalancePopulation)
+{
+    const auto xs = workloads::fp_values(20000, 2); // heavy tail
+    Histogram h = Histogram::percentile(4, xs);
+    h.add_all(xs);
+    for (const auto c : h.counts()) {
+        EXPECT_GT(c, xs.size() / 8);
+        EXPECT_LT(c, xs.size() / 2);
+    }
+}
+
+TEST(Histogram, RejectsBadSpecs)
+{
+    EXPECT_THROW(Histogram::uniform(0, 0, 1), UdpError);
+    EXPECT_THROW(Histogram::uniform(4, 1, 1), UdpError);
+    EXPECT_THROW(Histogram::percentile(10, {1.0, 2.0}), UdpError);
+}
+
+// --- Trigger -----------------------------------------------------------------
+
+TEST(Trigger, LutMatchesBitwise)
+{
+    const Bytes wave = workloads::waveform(80'000, 16);
+    for (unsigned w = 2; w <= 13; ++w) {
+        const PulseTrigger t(w);
+        EXPECT_EQ(t.count_triggers_lut4(wave),
+                  t.count_triggers_bitwise(wave))
+            << "p" << w;
+    }
+}
+
+TEST(Trigger, CountsExactWidthPulsesOnly)
+{
+    // 0 111 0 11 0 1111 0 -> widths 3, 2, 4.
+    const Bytes wave{0b01110110, 0b11110000};
+    EXPECT_EQ(PulseTrigger(3).count_triggers_bitwise(wave), 1u);
+    EXPECT_EQ(PulseTrigger(2).count_triggers_bitwise(wave), 1u);
+    EXPECT_EQ(PulseTrigger(4).count_triggers_bitwise(wave), 1u);
+    EXPECT_EQ(PulseTrigger(5).count_triggers_bitwise(wave), 0u);
+}
+
+// --- Branch models -----------------------------------------------------------
+
+TEST(BranchModel, MispredictionDominatesBranchyKernels)
+{
+    // Unpredictable 4-way FSM: random symbols, 4 targets.
+    const auto ast = parse_regex("(ab|cd|ef|gh)+");
+    const Nfa nfa = build_nfa(*ast);
+    const Dfa dfa = minimize(determinize(nfa));
+
+    std::mt19937 rng(3);
+    Bytes input(50'000);
+    const char alpha[] = "abcdefgh";
+    for (auto &b : input)
+        b = static_cast<std::uint8_t>(alpha[rng() % 8]);
+
+    const BranchProfile bo = profile_bo(dfa, input);
+    const BranchProfile bi = profile_bi(dfa, input);
+    // Fig 5a range: 32% - 86% of cycles lost to misprediction.
+    EXPECT_GT(bo.mispredict_fraction(), 0.30);
+    EXPECT_LT(bo.mispredict_fraction(), 0.90);
+    EXPECT_GT(bi.mispredict_fraction(), 0.30);
+    EXPECT_LT(bi.mispredict_fraction(), 0.90);
+}
+
+TEST(BranchModel, PredictableInputMispredictsRarely)
+{
+    const auto ast = parse_regex("(ab)+");
+    const Nfa nfa = build_nfa(*ast);
+    const Dfa dfa = minimize(determinize(nfa));
+    Bytes input;
+    for (int i = 0; i < 20'000; ++i)
+        input.push_back(i % 2 ? 'b' : 'a');
+    const BranchProfile bi = profile_bi(dfa, input);
+    // Alternating two-state pattern: BTB alternates too - but the bimodal
+    // ladder of BO adapts. Keep a loose sanity bound.
+    const BranchProfile bo = profile_bo(dfa, input);
+    EXPECT_LT(bo.mispredict_fraction(), bi.mispredict_fraction() + 0.7);
+    EXPECT_GT(bo.symbols, 0u);
+}
+
+TEST(BranchModel, CodeSizeOrdering)
+{
+    const auto ast = parse_regex("(GET|POST|HEAD) /[a-z]+");
+    const Nfa nfa = build_nfa(*ast);
+    const Dfa dfa = minimize(determinize(nfa));
+    // BI tables dwarf BO ladders for sparse states.
+    EXPECT_GT(code_size_bi(dfa), code_size_bo(dfa));
+}
+
+// --- Generators ---------------------------------------------------------------
+
+TEST(Generators, Deterministic)
+{
+    EXPECT_EQ(workloads::crimes_csv(5, 9), workloads::crimes_csv(5, 9));
+    EXPECT_EQ(workloads::text_corpus(256, 0.5, 1),
+              workloads::text_corpus(256, 0.5, 1));
+    EXPECT_NE(workloads::text_corpus(256, 0.5, 1),
+              workloads::text_corpus(256, 0.5, 2));
+}
+
+TEST(Generators, EntropyOrderingUnderSnappy)
+{
+    const auto low = workloads::text_corpus(32 * 1024, 0.05);
+    const auto mid = workloads::text_corpus(32 * 1024, 0.5);
+    const auto high = workloads::text_corpus(32 * 1024, 1.0);
+    const auto c_low = snappy_compress(low).size();
+    const auto c_mid = snappy_compress(mid).size();
+    const auto c_high = snappy_compress(high).size();
+    EXPECT_LT(c_low, c_mid);
+    EXPECT_LT(c_mid, c_high);
+}
+
+TEST(Generators, WaveformHasPulsesOfRequestedWidths)
+{
+    const Bytes wave = workloads::waveform(50'000, 12);
+    std::uint64_t total = 0;
+    for (unsigned w = 1; w <= 12; ++w)
+        total += PulseTrigger(w).count_triggers_bitwise(wave);
+    EXPECT_GT(total, 500u);
+}
+
+TEST(Generators, NidsPatternsParse)
+{
+    for (const bool complex : {false, true}) {
+        const auto pats = workloads::nids_patterns(40, complex);
+        EXPECT_EQ(pats.size(), 40u);
+        for (const auto &p : pats)
+            EXPECT_NO_THROW(parse_regex(p)) << p;
+    }
+}
+
+TEST(Generators, PayloadsContainPlantedPatterns)
+{
+    const auto pats = workloads::nids_patterns(10, false);
+    const Bytes payload = workloads::packet_payloads(200'000, pats, 0.05);
+    std::vector<const RegexNode *> asts;
+    std::vector<std::unique_ptr<RegexNode>> storage;
+    for (const auto &p : pats) {
+        storage.push_back(parse_regex(p));
+        asts.push_back(storage.back().get());
+    }
+    const Nfa nfa = build_multi_nfa(asts);
+    EXPECT_GT(nfa.count_matches(payload), 0u);
+}
+
+} // namespace
+} // namespace udp

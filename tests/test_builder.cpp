@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for ProgramBuilder: IR validation, action-block sharing, attach
+ * addressing modes, and emitted Program invariants.
+ */
+#include "assembler/builder.hpp"
+#include "assembler/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+/// Two-state toggle over the binary alphabet.
+Program
+toggle_program()
+{
+    ProgramBuilder b;
+    const StateId s0 = b.add_state();
+    const StateId s1 = b.add_state();
+    b.on_symbol(s0, 0, s0);
+    b.on_symbol(s0, 1, s1);
+    b.on_symbol(s1, 0, s1);
+    b.on_symbol(s1, 1, s0);
+    b.set_entry(s0);
+    b.set_initial_symbol_bits(1);
+    return b.build();
+}
+
+TEST(Builder, TogglesBuildAndValidate)
+{
+    const Program p = toggle_program();
+    EXPECT_EQ(p.states.size(), 2u);
+    EXPECT_EQ(p.layout.num_states, 2u);
+    EXPECT_EQ(p.layout.num_transitions, 4u);
+    EXPECT_GE(p.layout.used_words, 4u);
+    EXPECT_EQ(p.initial_symbol_bits, 1u);
+    // validate() ran inside build(); re-run explicitly.
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Builder, DisassemblerProducesListing)
+{
+    const Program p = toggle_program();
+    const std::string listing = disassemble(p);
+    EXPECT_NE(listing.find("labeled"), std::string::npos);
+    EXPECT_NE(listing.find("state @"), std::string::npos);
+}
+
+TEST(Builder, RejectsMalformedIR)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    EXPECT_THROW(b.on_symbol(s, 0, 99), UdpError);     // unknown target
+    b.on_symbol(s, 0, s);
+    EXPECT_THROW(b.on_symbol(s, 0, s), UdpError);      // duplicate symbol
+    EXPECT_THROW(b.on_any(s, s), UdpError);            // common vs labeled
+    EXPECT_THROW(b.build(), UdpError);                 // no entry
+    b.set_entry(s);
+    EXPECT_NO_THROW(b.build());
+    EXPECT_THROW(b.set_initial_symbol_bits(0), UdpError);
+    EXPECT_THROW(b.set_initial_symbol_bits(33), UdpError);
+}
+
+TEST(Builder, RefillBitsLimitedToThreeBits)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    EXPECT_THROW(b.on_symbol_refill(s, 0, s, 8), UdpError);
+    EXPECT_NO_THROW(b.on_symbol_refill(s, 1, s, 7));
+}
+
+TEST(Builder, ActionBlocksAreShared)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    // Two identical blocks added separately must be merged in the image.
+    const BlockId b1 = b.add_block({act_imm(Opcode::Addi, 1, 1, 1, true)});
+    const BlockId b2 = b.add_block({act_imm(Opcode::Addi, 1, 1, 1, true)});
+    b.on_symbol(s, 0, s, b1);
+    b.on_symbol(s, 1, s, b2);
+    b.set_entry(s);
+    b.set_initial_symbol_bits(1);
+    const Program p = b.build();
+    EXPECT_EQ(p.actions.size(), 1u); // one shared word
+
+    const Transition t0 =
+        decode_transition(p.dispatch[p.states[0].base + 0]);
+    const Transition t1 =
+        decode_transition(p.dispatch[p.states[0].base + 1]);
+    EXPECT_EQ(t0.attach, t1.attach);
+    EXPECT_EQ(t0.attach_mode, AttachMode::Direct);
+}
+
+TEST(Builder, ManyBlocksSpillIntoScaledRegion)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    // 300 distinct one-action blocks cannot all fit direct refs (0..254).
+    std::vector<StateId> targets;
+    for (int i = 0; i < 300; ++i) {
+        const StateId t = b.add_state();
+        b.on_any(t, s);
+        targets.push_back(t);
+    }
+    for (int i = 0; i < 300; ++i) {
+        b.on_symbol(s, static_cast<Word>(i), targets[i],
+                    b.add_block({act_imm(Opcode::Movi, 1, 0, i, true)}));
+    }
+    b.set_entry(s);
+    b.set_initial_symbol_bits(16);
+    const Program p = b.build();
+
+    bool saw_scaled = false;
+    const auto &meta = p.states[0];
+    for (Word sym = 0; sym < 300; ++sym) {
+        const Transition t = decode_transition(p.dispatch[meta.base + sym]);
+        if (t.attach_mode == AttachMode::ScaledOffset)
+            saw_scaled = true;
+    }
+    EXPECT_TRUE(saw_scaled);
+    EXPECT_GT(p.actions.size(), 255u);
+}
+
+TEST(Builder, AuxChainOrderCommonMajorityDefault)
+{
+    ProgramBuilder b;
+    const StateId s0 = b.add_state();
+    const StateId s1 = b.add_state();
+    b.on_symbol(s1, 0, s0);
+    b.on_majority(s1, s0);
+    b.on_default(s1, s1);
+    b.on_symbol(s0, 0, s1);
+    b.set_entry(s0);
+    b.set_initial_symbol_bits(1);
+    const Program p = b.build();
+
+    const StateMeta *m1 = p.find_state(p.states[1].base);
+    ASSERT_NE(m1, nullptr);
+    EXPECT_EQ(m1->aux_count, 2u);
+    const Transition a1 = decode_transition(p.dispatch[m1->base - 1]);
+    const Transition a2 = decode_transition(p.dispatch[m1->base - 2]);
+    EXPECT_EQ(a1.type, TransitionType::Majority);
+    EXPECT_EQ(a2.type, TransitionType::Default);
+}
+
+TEST(Builder, FlaggedArcsComeFromRegSourceStates)
+{
+    ProgramBuilder b;
+    const StateId r = b.add_state(/*reg_source=*/true);
+    const StateId s = b.add_state();
+    b.on_symbol(r, 3, s);
+    b.on_symbol(s, 0, r);
+    b.set_entry(r);
+    b.set_initial_symbol_bits(4);
+    const Program p = b.build();
+    const StateMeta *mr = p.find_state(p.entry);
+    ASSERT_NE(mr, nullptr);
+    EXPECT_TRUE(mr->reg_source);
+    const Transition t = decode_transition(p.dispatch[mr->base + 3]);
+    EXPECT_EQ(t.type, TransitionType::Flagged);
+}
+
+} // namespace
+} // namespace udp

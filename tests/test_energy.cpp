@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests of the power/area/energy model (Table 3 calibration and the
+ * derived metrics used by Figs 13-22).
+ */
+#include "core/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+TEST(CostModel, Table3SystemTotalsAreConsistent)
+{
+    const UdpCostModel m;
+    // System power: components must sum to the reported total (Table 3).
+    const double sum_mw = m.lanes64_mw + m.vector_regs_mw +
+                          m.dlt_engine_mw + m.local_mem_mw;
+    EXPECT_NEAR(sum_mw, m.system_mw, 0.01);
+    const double sum_mm2 = m.lanes64_mm2 + m.vector_regs_mm2 +
+                           m.dlt_engine_mm2 + m.local_mem_mm2;
+    EXPECT_NEAR(sum_mm2, m.system_mm2, 0.01);
+}
+
+TEST(CostModel, LaneUnitsRoughlySumToLaneTotal)
+{
+    const UdpCostModel m;
+    const double sum = m.dispatch_unit_mw + m.sbp_unit_mw +
+                       m.stream_buffer_mw + m.action_unit_mw;
+    EXPECT_NEAR(sum, m.lane_total_mw, 0.05);
+    // 64 lanes must cost ~64x one lane.
+    EXPECT_NEAR(64 * m.lane_total_mw, m.lanes64_mw, 1.0);
+}
+
+TEST(CostModel, MemoryDominatesSystemPower)
+{
+    // Paper: "Most of the power (82.8%) is consumed by local memory."
+    const UdpCostModel m;
+    EXPECT_NEAR(m.local_mem_mw / m.system_mw, 0.828, 0.005);
+}
+
+TEST(CostModel, UdpIsTinyNextToTheCpu)
+{
+    const UdpCostModel m;
+    // One-tenth the power of a Westmere-EP core+L1 ...
+    EXPECT_LT(m.system_mw, m.cpu_core_l1_mw / 10.0);
+    // ... and half its area.
+    EXPECT_LT(m.system_mm2, m.cpu_core_l1_mm2 / 2.0);
+}
+
+TEST(CostModel, TputPerWattRatioMatchesPowerRatio)
+{
+    const UdpCostModel m;
+    const double t = 1000.0; // MB/s, arbitrary
+    const double udp = tput_per_watt(m, t);
+    const double cpu = cpu_tput_per_watt(m, t);
+    // Same throughput => efficiency advantage equals the power ratio
+    // (80 W / 0.864 W ~ 92.6x).
+    EXPECT_NEAR(udp / cpu, m.cpu_tdp_w / m.system_power_w(), 1e-9);
+    EXPECT_NEAR(udp / cpu, 92.6, 0.3);
+}
+
+TEST(RunEnergy, ScalesWithWorkAndMode)
+{
+    const UdpCostModel m;
+    LaneStats s;
+    s.cycles = 1'000'000;
+    s.mem_reads = 500'000;
+    s.mem_writes = 100'000;
+    s.dispatch_reads = 1'000'000;
+
+    const double local =
+        run_energy_joules(m, s, s.cycles, 1, AddressingMode::Local);
+    const double global =
+        run_energy_joules(m, s, s.cycles, 1, AddressingMode::Global);
+    EXPECT_GT(global, local);
+
+    LaneStats s2 = s;
+    s2.cycles *= 2;
+    s2.mem_reads *= 2;
+    const double more = run_energy_joules(m, s2, s2.cycles, 1,
+                                          AddressingMode::Local);
+    EXPECT_GT(more, local);
+    EXPECT_EQ(run_energy_joules(m, s, 0, 0, AddressingMode::Local), 0.0);
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the columnar store and the Figure 1 ETL loaders.
+ */
+#include "etl/loader.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+using namespace etl;
+
+TEST(Columnar, TypedAppendAndStats)
+{
+    Table t("t", {{"a", ColType::Int64},
+                  {"b", ColType::Double},
+                  {"c", ColType::Text},
+                  {"d", ColType::Date}});
+    t.append_raw({"42", "3.5", "hello", "01/15/2016"});
+    t.append_raw({"-7", "0.25", "hello", "2016-01-15"});
+    EXPECT_EQ(t.num_rows(), 2u);
+    EXPECT_EQ(t.col(0).ints[1], -7);
+    EXPECT_DOUBLE_EQ(t.col(1).doubles[0], 3.5);
+    EXPECT_EQ(t.col(2).dict.size(), 1u); // dictionary-shared "hello"
+    EXPECT_EQ(t.col(3).ints[0], t.col(3).ints[1]); // same date
+    EXPECT_GT(t.bytes(), 0u);
+}
+
+TEST(Columnar, DeserializationValidates)
+{
+    Table t("t", {{"a", ColType::Int64}});
+    EXPECT_THROW(t.append_raw({"12x"}), UdpError);
+    EXPECT_THROW(t.append_raw({""}), UdpError);
+    EXPECT_THROW(t.append_raw({"1", "2"}), UdpError);
+    Table d("d", {{"a", ColType::Date}});
+    EXPECT_THROW(d.append_raw({"13/40/2016"}), UdpError);
+    EXPECT_THROW(d.append_raw({"not a date"}), UdpError);
+}
+
+TEST(Columnar, DateArithmetic)
+{
+    EXPECT_EQ(parse_date("1970-01-01"), 0);
+    EXPECT_EQ(parse_date("1970-01-02"), 1);
+    EXPECT_EQ(parse_date("01/01/1971"), 365);
+    EXPECT_EQ(parse_date("1996-02-29"), parse_date("02/29/1996"));
+}
+
+TEST(EtlLoad, CpuPipelineLoadsLineitem)
+{
+    const std::string csv = lineitem_csv(0.05); // 300 rows
+    const Bytes comp = compress_for_load(csv);
+    EXPECT_LT(comp.size(), csv.size()); // compresses
+
+    Table t("lineitem", lineitem_schema());
+    const LoadBreakdown bd = load_cpu(comp, t);
+    EXPECT_EQ(t.num_rows(), 300u);
+    EXPECT_EQ(bd.rows, 300u);
+    EXPECT_EQ(bd.csv_bytes, csv.size());
+    EXPECT_GT(bd.cpu_seconds(), 0.0);
+    // The paper's Fig 1b point: CPU time dwarfs modeled SSD time.
+    EXPECT_GT(bd.cpu_seconds(), bd.io);
+}
+
+TEST(EtlLoad, UdpOffloadProducesIdenticalTable)
+{
+    const std::string csv = lineitem_csv(0.05);
+    const Bytes comp = compress_for_load(csv);
+
+    Table cpu_t("lineitem", lineitem_schema());
+    load_cpu(comp, cpu_t);
+
+    Machine m(AddressingMode::Restricted);
+    Table udp_t("lineitem", lineitem_schema());
+    const LoadBreakdown bd = load_udp_offload(m, comp, udp_t, 8);
+
+    ASSERT_EQ(udp_t.num_rows(), cpu_t.num_rows());
+    for (std::size_t c = 0; c < cpu_t.num_cols(); ++c) {
+        EXPECT_EQ(udp_t.col(c).ints, cpu_t.col(c).ints) << c;
+        EXPECT_EQ(udp_t.col(c).doubles, cpu_t.col(c).doubles) << c;
+        EXPECT_EQ(udp_t.col(c).codes, cpu_t.col(c).codes) << c;
+    }
+    EXPECT_GT(bd.decompress, 0.0);
+    EXPECT_GT(bd.parse, 0.0);
+}
+
+TEST(EtlLoad, OffloadScalesWithLanes)
+{
+    const std::string csv = lineitem_csv(0.1);
+    const Bytes comp = compress_for_load(csv);
+    Machine m(AddressingMode::Restricted);
+
+    Table t1("l", lineitem_schema());
+    const LoadBreakdown b1 = load_udp_offload(m, comp, t1, 1);
+    Table t8("l", lineitem_schema());
+    const LoadBreakdown b8 = load_udp_offload(m, comp, t8, 8);
+    // 8 lanes should cut simulated accelerator time substantially.
+    EXPECT_LT(b8.decompress, b1.decompress / 3);
+    EXPECT_LT(b8.parse, b1.parse / 3);
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for .udpbin serialization: round-trips, corruption detection,
+ * and execution equivalence of reloaded programs.
+ */
+#include "assembler/textasm.hpp"
+#include "core/image.hpp"
+#include "core/lane.hpp"
+#include "kernels/csv.hpp"
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+Program
+sample_program()
+{
+    return assemble(R"(
+        .symbits 8
+        .entry s
+        state s:
+            'a' -> t { addi r1, r1, 1 }
+            majority -> s
+        state t [reg]:
+            common -> s { outi 'X' }
+    )");
+}
+
+TEST(Image, RoundTripPreservesEverything)
+{
+    const Program p = sample_program();
+    const Bytes img = save_program(p);
+    const Program q = load_program(img);
+
+    EXPECT_EQ(q.dispatch, p.dispatch);
+    EXPECT_EQ(q.actions, p.actions);
+    EXPECT_EQ(q.entry, p.entry);
+    EXPECT_EQ(q.initial_symbol_bits, p.initial_symbol_bits);
+    EXPECT_EQ(q.addressing, p.addressing);
+    ASSERT_EQ(q.states.size(), p.states.size());
+    for (std::size_t i = 0; i < p.states.size(); ++i) {
+        EXPECT_EQ(q.states[i].base, p.states[i].base);
+        EXPECT_EQ(q.states[i].reg_source, p.states[i].reg_source);
+        EXPECT_EQ(q.states[i].aux_count, p.states[i].aux_count);
+        EXPECT_EQ(q.states[i].max_symbol, p.states[i].max_symbol);
+    }
+}
+
+TEST(Image, ReloadedProgramRunsIdentically)
+{
+    const Program p = kernels::csv_parser_program();
+    const Program q = load_program(save_program(p));
+
+    const std::string text = workloads::crimes_csv(20);
+    const Bytes data(text.begin(), text.end());
+
+    Machine m1(AddressingMode::Restricted);
+    Machine m2(AddressingMode::Restricted);
+    // Run the original and the reloaded program through the harness by
+    // hand (run_csv_kernel builds its own static program).
+    auto run = [&](Machine &m, const Program &prog) {
+        m.stage(0, data);
+        Lane &lane = m.lane(0);
+        lane.load(prog);
+        lane.set_input(data);
+        lane.set_reg(5, kernels::kCsvOutBase);
+        lane.run();
+        return std::make_tuple(lane.reg(7), lane.reg(8),
+                               lane.stats().cycles);
+    };
+    EXPECT_EQ(run(m1, p), run(m2, q));
+}
+
+TEST(Image, DetectsCorruption)
+{
+    const Program p = sample_program();
+    Bytes img = save_program(p);
+
+    Bytes flipped = img;
+    flipped[20] ^= 0x40;
+    EXPECT_THROW(load_program(flipped), UdpError);
+
+    Bytes truncated(img.begin(), img.begin() + img.size() / 2);
+    EXPECT_THROW(load_program(truncated), UdpError);
+
+    Bytes bad_magic = img;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_THROW(load_program(bad_magic), UdpError);
+
+    EXPECT_THROW(load_program(Bytes{1, 2, 3}), UdpError);
+}
+
+TEST(Image, FileRoundTrip)
+{
+    const Program p = sample_program();
+    const std::string path = "/tmp/udp_image_test.udpbin";
+    save_program_file(p, path);
+    const Program q = load_program_file(path);
+    EXPECT_EQ(q.dispatch, p.dispatch);
+    EXPECT_THROW(load_program_file("/nonexistent/x.udpbin"), UdpError);
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Integration tests: every UDP kernel computes the same function as its
+ * CPU baseline (the core claim behind the paper's rate comparisons).
+ */
+#include "baselines/csv.hpp"
+#include "baselines/dictionary.hpp"
+#include "baselines/histogram.hpp"
+#include "baselines/huffman.hpp"
+#include "baselines/snappy.hpp"
+#include "baselines/trigger.hpp"
+#include "kernels/csv.hpp"
+#include "kernels/dictionary.hpp"
+#include "kernels/histogram.hpp"
+#include "kernels/huffman.hpp"
+#include "kernels/pattern.hpp"
+#include "kernels/snappy.hpp"
+#include "kernels/trigger.hpp"
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+using namespace kernels;
+
+Bytes
+bytes_of(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+struct KernelFixture : ::testing::Test {
+    Machine m{AddressingMode::Restricted};
+};
+
+// --- CSV ---------------------------------------------------------------
+
+TEST_F(KernelFixture, CsvCountsMatchBaselineOnAllDatasets)
+{
+    for (const auto &text :
+         {workloads::crimes_csv(60), workloads::taxi_csv(60),
+          workloads::food_inspection_csv(12)}) {
+        const Bytes data = bytes_of(text);
+        ASSERT_LE(data.size(), kCsvOutBase);
+        const auto base = baselines::parse_csv(data);
+        const auto res = run_csv_kernel(m, 0, data, 0);
+        EXPECT_EQ(res.rows, base.rows);
+        EXPECT_EQ(res.fields, base.fields);
+    }
+}
+
+TEST_F(KernelFixture, CsvFieldStreamReconstructsUnquotedFields)
+{
+    const Bytes data = bytes_of(workloads::crimes_csv(40));
+    std::string expect;
+    baselines::CsvParser p(
+        [&](const char *d, std::size_t n) {
+            expect.append(d, n);
+            expect.push_back('\n');
+        },
+        [&] { expect.push_back(0x1E); });
+    p.feed(data);
+    p.finish();
+
+    const auto res = run_csv_kernel(m, 0, data, 0);
+    const std::string got(res.field_stream.begin(),
+                          res.field_stream.end());
+    EXPECT_EQ(got, expect);
+}
+
+TEST_F(KernelFixture, CsvQuotedAndCrlfEdgeCases)
+{
+    const Bytes data =
+        bytes_of("\"a,b\",\"x\"\"y\"\r\nplain,,\"\"\r\nlast,row\n");
+    const auto base = baselines::parse_csv(data);
+    const auto res = run_csv_kernel(m, 0, data, 0);
+    EXPECT_EQ(res.rows, base.rows);
+    EXPECT_EQ(res.fields, base.fields);
+}
+
+TEST_F(KernelFixture, CsvDispatchDominatesCycles)
+{
+    // The hot path must be ~1 dispatch per byte (multi-way dispatch is
+    // the paper's core claim for CSV).
+    const Bytes data = bytes_of(workloads::crimes_csv(50));
+    const auto res = run_csv_kernel(m, 0, data, 0);
+    EXPECT_EQ(res.stats.dispatches, data.size());
+    EXPECT_LT(res.stats.cycles, 4 * data.size());
+}
+
+// --- Huffman -------------------------------------------------------------
+
+TEST_F(KernelFixture, HuffmanEncoderMatchesBaselineBitstream)
+{
+    const Bytes data = workloads::text_corpus(4096, 0.5);
+    const auto code = baselines::build_huffman(data);
+    const Bytes expect = baselines::huffman_encode(data, code);
+
+    const Program prog = huffman_encoder(code);
+    Lane &lane = m.lane(0);
+    lane.load(prog);
+    lane.set_input(data);
+    EXPECT_EQ(lane.run(), LaneStatus::Done);
+    lane.finish_output();
+    EXPECT_EQ(lane.output(), expect);
+}
+
+TEST_F(KernelFixture, HuffmanDecodersRoundTripAllDesigns)
+{
+    const Bytes data = workloads::text_corpus(2048, 0.5);
+    const auto code = baselines::build_huffman(data);
+    Bytes enc = baselines::huffman_encode(data, code);
+    enc.push_back(0); // pad so trailing symbols decode (see kernel docs)
+    enc.push_back(0);
+
+    for (const auto design : {VarSymDesign::SsF, VarSymDesign::SsT,
+                              VarSymDesign::SsReg, VarSymDesign::SsRef}) {
+        const HuffmanDecodeKernel k = huffman_decoder(code, design);
+        Lane &lane = m.lane(0);
+        if (!k.lut.empty())
+            m.stage(0, k.lut);
+        lane.load(k.program);
+        lane.set_input(enc);
+        lane.set_window_base(0);
+        for (const auto &[r, v] : k.init_regs)
+            lane.set_reg(r, v);
+        const LaneStatus st = lane.run();
+        EXPECT_NE(st, LaneStatus::Running);
+        ASSERT_GE(lane.output().size(), data.size())
+            << var_sym_name(design);
+        const Bytes got(lane.output().begin(),
+                        lane.output().begin() + data.size());
+        EXPECT_EQ(got, data) << var_sym_name(design);
+    }
+}
+
+TEST_F(KernelFixture, HuffmanDesignTradeoffsMatchFig8)
+{
+    const Bytes data = workloads::text_corpus(32 * 1024, 0.5);
+    const auto code = baselines::build_huffman(data);
+
+    const auto ssf = huffman_decoder(code, VarSymDesign::SsF);
+    const auto sst = huffman_decoder(code, VarSymDesign::SsT);
+    const auto ssreg = huffman_decoder(code, VarSymDesign::SsReg);
+    const auto ssref = huffman_decoder(code, VarSymDesign::SsRef);
+
+    // Code size: SsF explodes; the others are compact (Fig 8b).
+    EXPECT_GT(ssf.code_bytes, 5 * sst.code_bytes);
+    EXPECT_GT(ssf.code_bytes, 5 * ssref.code_bytes);
+
+    // Parallelism is limited by code footprint.
+    EXPECT_LT(achievable_parallelism(ssf.code_bytes),
+              achievable_parallelism(ssref.code_bytes));
+    EXPECT_EQ(achievable_parallelism(2000), 64u);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+TEST_F(KernelFixture, HistogramMatchesBaselineUniform)
+{
+    for (const unsigned kind : {0u, 1u, 2u}) {
+        const auto xs = workloads::fp_values(4000, kind);
+        const double lo = *std::min_element(xs.begin(), xs.end());
+        const double hi = *std::max_element(xs.begin(), xs.end()) + 1e-9;
+        const unsigned bins = kind == 2 ? 4 : 10;
+
+        auto h = baselines::Histogram::uniform(bins, lo, hi);
+        h.add_all(xs);
+
+        const Program prog = histogram_program(h.edges());
+        const Bytes packed = pack_fp_stream(xs);
+        const auto res =
+            run_histogram_kernel(m, 0, prog, packed, bins, 0);
+        EXPECT_EQ(res.counts, h.counts()) << "kind " << kind;
+    }
+}
+
+TEST_F(KernelFixture, HistogramMatchesBaselinePercentile)
+{
+    const auto xs = workloads::fp_values(6000, 2);
+    auto h = baselines::Histogram::percentile(4, xs);
+    h.add_all(xs);
+
+    const Program prog = histogram_program(h.edges());
+    const auto res =
+        run_histogram_kernel(m, 0, prog, pack_fp_stream(xs), 4, 0);
+    EXPECT_EQ(res.counts, h.counts());
+}
+
+TEST_F(KernelFixture, HistogramHandlesExactEdgeValues)
+{
+    const std::vector<double> edges = {0.0, 1.0, 2.0, 3.0};
+    auto h = baselines::Histogram::uniform(3, 0.0, 3.0);
+    const std::vector<double> xs = {-5, 0.0, 1.0, 1.5, 2.0, 2.999, 7.0};
+    h.add_all(xs);
+    const Program prog = histogram_program(h.edges());
+    const auto res =
+        run_histogram_kernel(m, 0, prog, pack_fp_stream(xs), 3, 0);
+    EXPECT_EQ(res.counts, h.counts());
+}
+
+// --- Dictionary --------------------------------------------------------------
+
+TEST_F(KernelFixture, DictionaryIdsMatchBaseline)
+{
+    const auto rows = workloads::zipf_attribute(2000, 40);
+    const auto base = baselines::dictionary_encode(rows);
+
+    const Program prog = dictionary_program(base.dict);
+    const Bytes input = dict_input(rows);
+    const auto res = run_dict_kernel(m, 0, prog, input, false);
+    EXPECT_EQ(res.ids, base.ids);
+}
+
+TEST_F(KernelFixture, DictionaryRleRunsMatchBaseline)
+{
+    const auto rows = workloads::runny_attribute(3000, 30, 6.0);
+    const auto base = baselines::dictionary_rle_encode(rows);
+
+    const Program prog = dictionary_rle_program(base.dict);
+    const Bytes input = dict_input(rows);
+    const auto res = run_dict_kernel(m, 0, prog, input, true);
+    EXPECT_EQ(res.runs, base.runs);
+}
+
+TEST_F(KernelFixture, DictionaryRleUsesFlaggedDispatch)
+{
+    const auto rows = workloads::runny_attribute(500, 10, 4.0);
+    const auto base = baselines::dictionary_rle_encode(rows);
+    const Program prog = dictionary_rle_program(base.dict);
+    bool has_flagged = false;
+    for (const Word w : prog.dispatch) {
+        if (decode_transition(w).type == TransitionType::Flagged)
+            has_flagged = true;
+    }
+    EXPECT_TRUE(has_flagged);
+}
+
+// --- Snappy -----------------------------------------------------------------
+
+TEST_F(KernelFixture, SnappyKernelDecompressesBaselineStreams)
+{
+    for (const auto &f : workloads::corpus_suite(8 * 1024)) {
+        if (f.data.size() > kSnapOutBase)
+            continue;
+        const Bytes comp = baselines::snappy_compress(f.data);
+        // Strip the varint header for the kernel.
+        std::size_t pos = 0;
+        while (comp[pos] & 0x80)
+            ++pos;
+        ++pos;
+        const BytesView block =
+            BytesView(comp).subspan(pos, comp.size() - pos);
+
+        static const Program prog = snappy_decompress_program();
+        const auto res = run_snappy_decompress(m, 0, prog, block, 0);
+        EXPECT_EQ(res.data, f.data) << f.name;
+    }
+}
+
+TEST_F(KernelFixture, SnappyKernelCompressionIsBaselineDecodable)
+{
+    static const Program prog = snappy_compress_program();
+    for (const double entropy : {0.05, 0.4, 0.7, 1.0}) {
+        const Bytes data = workloads::text_corpus(12 * 1024, entropy, 77);
+        const auto res = run_snappy_compress(m, 0, prog, data, 0);
+        EXPECT_EQ(baselines::snappy_decompress(res.data), data)
+            << "entropy " << entropy;
+        if (entropy <= 0.05) {
+            EXPECT_LT(res.data.size(), data.size() / 4);
+        }
+    }
+}
+
+TEST_F(KernelFixture, SnappyKernelsRoundTripTogether)
+{
+    static const Program comp_prog = snappy_compress_program();
+    static const Program dec_prog = snappy_decompress_program();
+    const Bytes data = workloads::text_corpus(10 * 1024, 0.5, 99);
+    const auto comp = run_snappy_compress(m, 0, comp_prog, data, 0);
+
+    std::size_t pos = 0;
+    while (comp.data[pos] & 0x80)
+        ++pos;
+    ++pos;
+    const BytesView block =
+        BytesView(comp.data).subspan(pos, comp.data.size() - pos);
+    const auto back =
+        run_snappy_decompress(m, 1, dec_prog, block, kCsvWindowBytes);
+    EXPECT_EQ(back.data, data);
+}
+
+// --- Trigger -----------------------------------------------------------------
+
+TEST_F(KernelFixture, TriggerCountsMatchBaseline)
+{
+    const Bytes packed = workloads::waveform(40'000, 16);
+    const Bytes samples = samples_from_bits(packed);
+    for (unsigned w = 2; w <= 13; ++w) {
+        const baselines::PulseTrigger base(w);
+        const std::uint64_t expect =
+            base.count_triggers_bitwise(packed);
+
+        const Program prog = trigger_program(w);
+        Lane &lane = m.lane(0);
+        lane.load(prog);
+        lane.set_input(samples);
+        EXPECT_EQ(lane.run(), LaneStatus::Done);
+        EXPECT_EQ(lane.accept_count(), expect) << "p" << w;
+    }
+}
+
+// --- Pattern matching ---------------------------------------------------------
+
+TEST_F(KernelFixture, PatternGroupsCoverAllPatternsAcrossLanes)
+{
+    const auto pats = workloads::nids_patterns(24, false);
+    const Bytes payload = workloads::packet_payloads(30'000, pats, 0.02);
+
+    for (const auto model : {FaModel::Adfa, FaModel::Nfa}) {
+        const auto groups = pattern_groups(pats, model, 8);
+        std::uint64_t udp_total = 0, sw_total = 0;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            Lane &lane = m.lane(static_cast<unsigned>(g));
+            lane.load(groups[g].program);
+            lane.set_input(payload);
+            const LaneStatus st = groups[g].nfa_mode
+                                      ? lane.run_nfa()
+                                      : lane.run();
+            EXPECT_EQ(st, LaneStatus::Done);
+            udp_total += lane.accept_count();
+            sw_total += software_matches(groups[g].patterns, payload);
+        }
+        EXPECT_EQ(udp_total, sw_total) << fa_model_name(model);
+        EXPECT_GT(udp_total, 0u);
+    }
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Lane execution tests: multi-way dispatch semantics, the seven
+ * transition types, the action unit, variable-size symbols with refill,
+ * flagged (register) dispatch, NFA multi-state activation, and the cycle
+ * model.
+ */
+#include "assembler/builder.hpp"
+#include "core/lane.hpp"
+#include "core/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace udp {
+namespace {
+
+Bytes
+bytes_of(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+struct LaneFixture : ::testing::Test {
+    LocalMemory mem{AddressingMode::Restricted};
+    Lane lane{0, mem};
+};
+
+/// "ab" occurrence counter over the byte alphabet using majority arcs.
+Program
+ab_counter()
+{
+    ProgramBuilder b;
+    const StateId s0 = b.add_state();
+    const StateId sa = b.add_state();
+    const BlockId hit = b.add_block({act_imm(Opcode::Accept, 0, 0, 1, true)});
+    b.on_symbol(s0, 'a', sa);
+    b.on_majority(s0, s0);
+    b.on_symbol(sa, 'a', sa);
+    b.on_symbol(sa, 'b', s0, hit);
+    b.on_majority(sa, s0);
+    b.set_entry(s0);
+    return b.build();
+}
+
+TEST_F(LaneFixture, CountsPatternOccurrences)
+{
+    const Program p = ab_counter();
+    const Bytes input = bytes_of("abxxabab_aab");
+    lane.load(p);
+    lane.set_input(input);
+    EXPECT_EQ(lane.run(), LaneStatus::Done);
+    EXPECT_EQ(lane.accept_count(), 4u);
+    EXPECT_EQ(lane.stats().dispatches, input.size());
+}
+
+TEST_F(LaneFixture, SignatureMissCostsOneExtraCycle)
+{
+    const Program p = ab_counter();
+    // 'x' misses the labeled slot and falls back to majority: 2 cycles;
+    // 'a' hits: 1 cycle.
+    lane.load(p);
+    const Bytes xs = bytes_of("xxxx");
+    lane.set_input(xs);
+    lane.run();
+    EXPECT_EQ(lane.stats().cycles, 8u);
+    EXPECT_EQ(lane.stats().sig_misses, 4u);
+
+    lane.load(p); // reload resets stats
+    const Bytes as = bytes_of("aaaa");
+    lane.set_input(as);
+    lane.run();
+    EXPECT_EQ(lane.stats().cycles, 4u);
+    EXPECT_EQ(lane.stats().sig_misses, 0u);
+}
+
+TEST_F(LaneFixture, RejectsWhenNoTransitionMatches)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    b.on_symbol(s, 'a', s);
+    b.set_entry(s);
+    const Program p = b.build();
+    lane.load(p);
+    const Bytes input = bytes_of("ab");
+    lane.set_input(input);
+    EXPECT_EQ(lane.run(), LaneStatus::Reject);
+}
+
+TEST_F(LaneFixture, CommonTransitionConsumesAndFires)
+{
+    // A state with only a common arc: every symbol takes it.
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    const BlockId blk = b.add_block({act_imm(Opcode::Addi, 1, 1, 1, true)});
+    b.on_any(s, s, blk);
+    b.set_entry(s);
+    const Program p = b.build();
+    lane.load(p);
+    const Bytes input = bytes_of("zzzz");
+    lane.set_input(input);
+    EXPECT_EQ(lane.run(), LaneStatus::Done);
+    EXPECT_EQ(lane.reg(1), 4u);
+    EXPECT_EQ(lane.stats().dispatches, 4u);
+}
+
+TEST_F(LaneFixture, ActionChainArithmeticAndMemory)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    const BlockId blk = b.add_block({
+        act_imm(Opcode::Movi, 1, 0, 100),
+        act_imm(Opcode::Addi, 2, 1, 23),      // r2 = 123
+        act_reg(Opcode::Add, 3, 1, 2),        // r3 = 223
+        act_imm(Opcode::Shli, 3, 3, 2),       // r3 = 892
+        act_imm(Opcode::Stw, 3, 0, 0x40),     // mem[r0+0x40] = r3
+        act_imm(Opcode::Ldw, 4, 0, 0x40),     // r4 = 892
+        act_imm(Opcode::Halt, 0, 0, 0, true),
+    });
+    b.on_any(s, s, blk);
+    b.set_entry(s);
+    const Program p = b.build();
+    lane.load(p);
+    const Bytes input = bytes_of("x");
+    lane.set_input(input);
+    EXPECT_EQ(lane.run(), LaneStatus::Done);
+    EXPECT_EQ(lane.reg(4), 892u);
+    EXPECT_EQ(mem.read32(0x40), 892u);
+    EXPECT_EQ(lane.stats().mem_writes, 1u);
+    EXPECT_EQ(lane.stats().mem_reads, 1u);
+}
+
+TEST_F(LaneFixture, WindowBaseRelocatesMemoryAccesses)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    const BlockId blk = b.add_block({
+        act_imm(Opcode::Movi, 1, 0, 77),
+        act_imm(Opcode::Stb, 1, 0, 0),
+        act_imm(Opcode::Halt, 0, 0, 0, true),
+    });
+    b.on_any(s, s, blk);
+    b.set_entry(s);
+    const Program p = b.build();
+    lane.load(p);
+    lane.set_window_base(5 * kBankBytes);
+    const Bytes input = bytes_of("x");
+    lane.set_input(input);
+    lane.run();
+    EXPECT_EQ(mem.read8(5 * kBankBytes), 77u);
+}
+
+TEST_F(LaneFixture, VariableSymbolsWithRefillDecodeHuffmanTree)
+{
+    // Figure 7 tree: codes 00->A, 01->B, 10->C, 110->D, 111->E.
+    // Root dispatches 3 bits (SsRef); 2-bit codes refill 1 bit.
+    ProgramBuilder b;
+    const StateId root = b.add_state();
+    auto emit = [&](char c) {
+        return b.add_block({act_imm(Opcode::Outi, 0, 0, c, true)});
+    };
+    // Symbols are 3-bit values; 2-bit code 00 covers 000 and 001.
+    b.on_symbol_refill(root, 0b000, root, 1, emit('A'));
+    b.on_symbol_refill(root, 0b001, root, 1, emit('A'));
+    b.on_symbol_refill(root, 0b010, root, 1, emit('B'));
+    b.on_symbol_refill(root, 0b011, root, 1, emit('B'));
+    b.on_symbol_refill(root, 0b100, root, 1, emit('C'));
+    b.on_symbol_refill(root, 0b101, root, 1, emit('C'));
+    b.on_symbol(root, 0b110, root, emit('D'));
+    b.on_symbol(root, 0b111, root, emit('E'));
+    b.set_entry(root);
+    b.set_initial_symbol_bits(3);
+    const Program p = b.build();
+
+    // Encode "ABCDE" = 00 01 10 110 111 = 0001 1011 0111 (12 bits).
+    const Bytes input{0b00011011, 0b01110000};
+    lane.load(p);
+    lane.set_input(input);
+    lane.run();
+    const std::string out(lane.output().begin(), lane.output().end());
+    // After 12 bits, 4 zero-pad bits remain: 000 decodes one extra 'A',
+    // then 1 bit remains (< 3) and the lane completes.
+    EXPECT_EQ(out.substr(0, 5), "ABCDE");
+    EXPECT_EQ(lane.run(), LaneStatus::Done);
+}
+
+TEST_F(LaneFixture, FlaggedDispatchBranchesOnRegister)
+{
+    // r0-driven three-way branch: r0=2 -> writes 22, else path unused.
+    ProgramBuilder b;
+    const StateId start = b.add_state();
+    const StateId sw = b.add_state(/*reg_source=*/true);
+    auto leaf = [&](int v) {
+        const StateId s = b.add_state(/*reg_source=*/true);
+        b.on_any(s, s,
+                 b.add_block({act_imm(Opcode::Movi, 5, 0, v),
+                              act_imm(Opcode::Halt, 0, 0, 0, true)}));
+        return s;
+    };
+    // First consume one stream byte, computing r0 = byte - '0'.
+    b.on_any(start, sw,
+             b.add_block({act_imm(Opcode::Movi, 1, 0, '2'),
+                          act_imm(Opcode::Movi, 0, 0, 2, true)}));
+    b.on_symbol(sw, 0, leaf(10));
+    b.on_symbol(sw, 1, leaf(11));
+    b.on_symbol(sw, 2, leaf(22));
+    b.set_entry(start);
+    const Program p = b.build();
+    lane.load(p);
+    const Bytes input = bytes_of("2");
+    lane.set_input(input);
+    EXPECT_EQ(lane.run(), LaneStatus::Done);
+    EXPECT_EQ(lane.reg(5), 22u);
+}
+
+TEST_F(LaneFixture, StreamActionsReadSkipTell)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    const BlockId blk = b.add_block({
+        act_imm(Opcode::Read, 1, 0, 8),   // consume 8 bits into r1
+        act_imm(Opcode::Tell, 2, 0, 0),   // r2 = bit position (16)
+        act_imm(Opcode::Skip, 0, 0, 8),   // skip one byte
+        act_imm(Opcode::Mov, 3, 0, 0),
+        act_reg(Opcode::Mov, 3, 0, 15),   // r3 = stream byte index (3)
+        act_imm(Opcode::Halt, 0, 0, 0, true),
+    });
+    b.on_any(s, s, blk);
+    b.set_entry(s);
+    const Program p = b.build();
+    lane.load(p);
+    const Bytes input = bytes_of("WXYZ");
+    lane.set_input(input);
+    lane.run();
+    EXPECT_EQ(lane.reg(1), 'X');
+    EXPECT_EQ(lane.reg(2), 16u);
+    EXPECT_EQ(lane.reg(3), 3u);
+}
+
+TEST_F(LaneFixture, LoopCopyAndCompare)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    const BlockId blk = b.add_block({
+        act_imm(Opcode::Movi, 1, 0, 0),      // src addr
+        act_imm(Opcode::Movi, 2, 0, 64),     // dst addr
+        act_imm(Opcode::Movi, 3, 0, 5),      // length
+        act_reg(Opcode::Loopcpy, 3, 2, 1),   // mem[64..69) = mem[0..5)
+        act_imm(Opcode::Movi, 4, 0, 16),     // bound
+        act_reg(Opcode::Loopcmp, 4, 2, 1),   // r4 = match length
+        act_imm(Opcode::Halt, 0, 0, 0, true),
+    });
+    b.on_any(s, s, blk);
+    b.set_entry(s);
+    const Program p = b.build();
+
+    const Bytes src = bytes_of("hello world!");
+    for (std::size_t i = 0; i < src.size(); ++i)
+        mem.write8(static_cast<ByteAddr>(i), src[i]);
+    lane.load(p);
+    const Bytes input = bytes_of("x");
+    lane.set_input(input);
+    lane.run();
+    EXPECT_EQ(mem.read8(64), 'h');
+    EXPECT_EQ(mem.read8(68), 'o');
+    // mem[64..69)=="hello" matches mem[0..5)=="hello", then mem[69]=0 vs
+    // mem[5]==' ' stops: match length 5.
+    EXPECT_EQ(lane.reg(4), 5u);
+}
+
+TEST_F(LaneFixture, OverlappingLoopCopyReplicates)
+{
+    // LZ77 semantics: copy with distance 1 replicates a byte.
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    const BlockId blk = b.add_block({
+        act_imm(Opcode::Movi, 1, 0, 0),
+        act_imm(Opcode::Movi, 2, 0, 1),
+        act_imm(Opcode::Movi, 3, 0, 7),
+        act_reg(Opcode::Loopcpy, 3, 2, 1),
+        act_imm(Opcode::Halt, 0, 0, 0, true),
+    });
+    b.on_any(s, s, blk);
+    b.set_entry(s);
+    const Program p = b.build();
+    mem.write8(0, 'Q');
+    lane.load(p);
+    const Bytes input = bytes_of("x");
+    lane.set_input(input);
+    lane.run();
+    for (unsigned i = 0; i <= 7; ++i)
+        EXPECT_EQ(mem.read8(i), 'Q') << i;
+}
+
+TEST_F(LaneFixture, OutputBitstreamMsbFirst)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    const BlockId blk = b.add_block({
+        act_imm(Opcode::Movi, 1, 0, 0b101),
+        act_imm(Opcode::Outbits, 0, 1, 3),
+        act_imm(Opcode::Outbits, 0, 1, 3),
+        act_imm(Opcode::Outflush, 0, 0, 0),
+        act_imm(Opcode::Halt, 0, 0, 0, true),
+    });
+    b.on_any(s, s, blk);
+    b.set_entry(s);
+    const Program p = b.build();
+    lane.load(p);
+    const Bytes input = bytes_of("x");
+    lane.set_input(input);
+    lane.run();
+    ASSERT_EQ(lane.output().size(), 1u);
+    EXPECT_EQ(lane.output()[0], 0b10110100u); // 101 101 + 00 pad
+}
+
+TEST_F(LaneFixture, HashActionIsDeterministicAndBounded)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    const BlockId blk = b.add_block({
+        act_imm(Opcode::Movi, 1, 0, 12345),
+        act_imm(Opcode::Hash, 2, 1, 10), // 10-bit table
+        act_imm(Opcode::Halt, 0, 0, 0, true),
+    });
+    b.on_any(s, s, blk);
+    b.set_entry(s);
+    const Program p = b.build();
+    lane.load(p);
+    const Bytes input = bytes_of("x");
+    lane.set_input(input);
+    lane.run();
+    EXPECT_LT(lane.reg(2), 1024u);
+    const Word first = lane.reg(2);
+    lane.load(p);
+    lane.set_input(input);
+    lane.run();
+    EXPECT_EQ(lane.reg(2), first);
+}
+
+TEST_F(LaneFixture, NfaMultiStateActivation)
+{
+    // NFA for (a|b)*ab with an epsilon split start, counting accepts.
+    ProgramBuilder b;
+    const StateId start = b.add_state();
+    const StateId q0 = b.add_state();
+    const StateId q1 = b.add_state();
+    const StateId acc = b.add_state();
+    const BlockId hit = b.add_block({act_imm(Opcode::Accept, 0, 0, 7, true)});
+
+    // start has epsilon to q0 (activation), and loops on anything.
+    b.on_epsilon(start, q0);
+    b.on_default(start, start);
+    b.on_symbol(q0, 'a', q1);
+    b.on_default(q0, q0);
+    b.on_symbol(q1, 'b', acc, hit);
+    b.on_default(q1, q0);
+    b.on_default(acc, acc);
+    b.set_entry(start);
+    const Program p = b.build();
+
+    lane.load(p);
+    const Bytes input = bytes_of("aabab");
+    lane.set_input(input);
+    EXPECT_EQ(lane.run_nfa(), LaneStatus::Done);
+    EXPECT_GE(lane.accept_count(), 2u); // "ab" seen at positions 2 and 4
+    // Multiple states were active simultaneously.
+    EXPECT_GT(lane.stats().dispatches, input.size());
+}
+
+TEST_F(LaneFixture, AcceptEventsRecordPositions)
+{
+    const Program p = ab_counter();
+    lane.load(p);
+    const Bytes input = bytes_of("ab--ab");
+    lane.set_input(input);
+    lane.run();
+    ASSERT_EQ(lane.accepts().size(), 2u);
+    EXPECT_EQ(lane.accepts()[0].stream_bit_pos, 16u);
+    EXPECT_EQ(lane.accepts()[0].id, 1u);
+    EXPECT_EQ(lane.accepts()[1].stream_bit_pos, 48u);
+}
+
+TEST_F(LaneFixture, MaxCyclesBoundsRunawayPrograms)
+{
+    // A register-source common self-loop never consumes input.
+    ProgramBuilder b;
+    const StateId s = b.add_state(/*reg_source=*/true);
+    b.on_any(s, s);
+    b.set_entry(s);
+    const Program p = b.build();
+    lane.load(p);
+    const Bytes input = bytes_of("x");
+    lane.set_input(input);
+    EXPECT_EQ(lane.run(10'000), LaneStatus::Done);
+    EXPECT_GE(lane.stats().cycles, 10'000u);
+}
+
+TEST(MachineTest, ParallelLanesProcessDisjointInputs)
+{
+    Machine m(AddressingMode::Restricted);
+    const Program p = ab_counter();
+    const Bytes input = bytes_of("abababxxab");
+
+    std::vector<JobSpec> jobs(8);
+    for (auto &j : jobs) {
+        j.program = &p;
+        j.input = input;
+    }
+    m.assign(std::move(jobs));
+    const MachineResult r = m.run_parallel();
+    EXPECT_EQ(r.active_lanes, 8u);
+    EXPECT_EQ(r.total.accepts, 8u * 4u);
+    // Wall time is one lane's time; total bytes is 8 lanes' worth.
+    EXPECT_EQ(r.total.stream_bits, 8u * input.size() * 8u);
+    EXPECT_GT(r.throughput_mbps(), 0.0);
+    EXPECT_GT(m.last_run_energy_j(), 0.0);
+}
+
+TEST(MachineTest, LockstepMatchesParallelWhenDisjoint)
+{
+    Machine m(AddressingMode::Restricted);
+    const Program p = ab_counter();
+    const Bytes input = bytes_of("abcabcababab");
+
+    std::vector<JobSpec> jobs(4);
+    for (unsigned i = 0; i < 4; ++i) {
+        jobs[i].program = &p;
+        jobs[i].input = input;
+        jobs[i].window_base = i * kBankBytes;
+    }
+    m.assign(jobs);
+    const MachineResult a = m.run_parallel();
+
+    m.assign(jobs);
+    const MachineResult b = m.run_lockstep();
+    EXPECT_EQ(a.total.accepts, b.total.accepts);
+    EXPECT_EQ(a.total.dispatches, b.total.dispatches);
+}
+
+TEST(MachineTest, StageAndUnstageRoundTrip)
+{
+    Machine m;
+    const Bytes data = bytes_of("staging-test");
+    m.stage(1000, data);
+    EXPECT_EQ(m.unstage(1000, data.size()), data);
+    EXPECT_THROW(m.stage(kLocalMemBytes - 1, data), UdpError);
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the banked local memory, addressing modes (Figure 10)
+ * and the bank arbiter ("detect and stall" consistency).
+ */
+#include "core/local_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+TEST(LocalMemory, LocalModeConfinesLaneToOwnBank)
+{
+    LocalMemory mem(AddressingMode::Local);
+    EXPECT_EQ(mem.translate(0, 0, 0), 0u);
+    EXPECT_EQ(mem.translate(1, 0, 0), kBankBytes);
+    EXPECT_EQ(mem.translate(63, kBankBytes - 1, 0), kLocalMemBytes - 1);
+    EXPECT_THROW(mem.translate(0, kBankBytes, 0), UdpError);
+}
+
+TEST(LocalMemory, GlobalModeSpansWholeMemory)
+{
+    LocalMemory mem(AddressingMode::Global);
+    EXPECT_EQ(mem.translate(5, 123456, 0), 123456u);
+    EXPECT_THROW(mem.translate(0, kLocalMemBytes, 0), UdpError);
+}
+
+TEST(LocalMemory, RestrictedModeAddsWindowBase)
+{
+    LocalMemory mem(AddressingMode::Restricted);
+    EXPECT_EQ(mem.translate(0, 100, 3 * kBankBytes),
+              3 * kBankBytes + 100);
+    // A lane may reach any bank by moving its base register.
+    EXPECT_EQ(mem.translate(0, 0, 63 * kBankBytes), 63 * kBankBytes);
+    EXPECT_THROW(mem.translate(0, kBankBytes, 63 * kBankBytes), UdpError);
+}
+
+TEST(LocalMemory, ReadWriteRoundTrip)
+{
+    LocalMemory mem;
+    mem.write32(0x100, 0xDEADBEEF);
+    EXPECT_EQ(mem.read32(0x100), 0xDEADBEEFu);
+    EXPECT_EQ(mem.read8(0x100), 0xEFu); // little-endian
+    mem.write8(0x103, 0x12);
+    EXPECT_EQ(mem.read32(0x100), 0x12ADBEEFu);
+    EXPECT_THROW(mem.read32(kLocalMemBytes - 2), UdpError);
+}
+
+TEST(LocalMemory, BankOfMatchesGeometry)
+{
+    EXPECT_EQ(LocalMemory::bank_of(0), 0u);
+    EXPECT_EQ(LocalMemory::bank_of(kBankBytes), 1u);
+    EXPECT_EQ(LocalMemory::bank_of(kLocalMemBytes - 1), kNumBanks - 1);
+}
+
+TEST(MemoryEnergy, GlobalCostsMoreThanDouble)
+{
+    // Fig 11c: 4.3 pJ/ref banked vs 8.8 pJ/ref global.
+    EXPECT_DOUBLE_EQ(memory_ref_energy_pj(AddressingMode::Local), 4.3);
+    EXPECT_DOUBLE_EQ(memory_ref_energy_pj(AddressingMode::Restricted), 4.3);
+    EXPECT_DOUBLE_EQ(memory_ref_energy_pj(AddressingMode::Global), 8.8);
+    EXPECT_GT(memory_ref_energy_pj(AddressingMode::Global),
+              2 * memory_ref_energy_pj(AddressingMode::Local));
+}
+
+TEST(BankArbiter, FirstAccessIsFree)
+{
+    BankArbiter arb;
+    arb.begin_cycle();
+    EXPECT_EQ(arb.request(0, false), 0u);
+    EXPECT_EQ(arb.request(1, false), 0u);
+    EXPECT_EQ(arb.request(0, true), 0u); // separate write port
+}
+
+TEST(BankArbiter, ConflictsSerialize)
+{
+    BankArbiter arb;
+    arb.begin_cycle();
+    EXPECT_EQ(arb.request(7, false), 0u);
+    EXPECT_EQ(arb.request(7, false), 1u);
+    EXPECT_EQ(arb.request(7, false), 2u);
+    EXPECT_EQ(arb.total_stalls(), 3u);
+    arb.begin_cycle();
+    EXPECT_EQ(arb.request(7, false), 0u); // new cycle, port free again
+}
+
+TEST(BankArbiter, RejectsBadBank)
+{
+    BankArbiter arb;
+    arb.begin_cycle();
+    EXPECT_THROW(arb.request(kNumBanks, false), UdpError);
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Machine-level tests: 64-lane data-parallel kernels, bank-conflict
+ * stalls under global addressing, window isolation under restricted
+ * addressing, energy accounting, and failure injection.
+ */
+#include "assembler/builder.hpp"
+#include "baselines/csv.hpp"
+#include "kernels/csv.hpp"
+#include "kernels/histogram.hpp"
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+using namespace kernels;
+
+Bytes
+bytes_of(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+TEST(Machine64, ThirtyTwoLanesParseDisjointCsvChunks)
+{
+    // Split a CSV across 32 lanes on row boundaries; the sum of lane
+    // counters must equal the single-parser result (the paper's
+    // data-parallel deployment of Fig 13).
+    const std::string text = workloads::crimes_csv(400);
+    const Bytes data = bytes_of(text);
+    const auto expect = baselines::parse_csv(data);
+
+    Machine m(AddressingMode::Restricted);
+    std::uint64_t fields = 0, rows = 0;
+    Cycles wall = 0;
+    std::size_t off = 0;
+    unsigned lane = 0;
+    std::uint64_t bytes_done = 0;
+    while (off < data.size()) {
+        std::size_t end = std::min(off + 12'000, data.size());
+        if (end < data.size())
+            while (end > off && data[end - 1] != '\n')
+                --end;
+        ASSERT_GT(end, off);
+        const auto res = run_csv_kernel(
+            m, lane % 32, BytesView(data).subspan(off, end - off),
+            static_cast<ByteAddr>((lane % 32) * kCsvWindowBytes));
+        fields += res.fields;
+        rows += res.rows;
+        wall = std::max(wall, res.stats.cycles);
+        bytes_done += end - off;
+        off = end;
+        ++lane;
+    }
+    EXPECT_EQ(bytes_done, data.size());
+    EXPECT_EQ(fields, expect.fields);
+    EXPECT_EQ(rows, expect.rows);
+}
+
+TEST(Machine64, AllLanesRunHistogramShards)
+{
+    // 64 lanes x disjoint value shards; merged counts == CPU histogram.
+    const auto xs = workloads::fp_values(64 * 500, 0);
+    auto h = baselines::Histogram::uniform(10, 41.2, 42.5);
+    h.add_all(xs);
+
+    const Program prog = histogram_program(h.edges());
+    Machine m(AddressingMode::Restricted);
+
+    std::vector<Bytes> shards(kNumLanes);
+    for (unsigned l = 0; l < kNumLanes; ++l) {
+        const std::vector<double> part(xs.begin() + l * 500,
+                                       xs.begin() + (l + 1) * 500);
+        shards[l] = pack_fp_stream(part);
+    }
+    std::vector<JobSpec> jobs(kNumLanes);
+    for (unsigned l = 0; l < kNumLanes; ++l) {
+        jobs[l].program = &prog;
+        jobs[l].input = shards[l];
+        jobs[l].window_base = l * kBankBytes;
+    }
+    m.assign(std::move(jobs));
+    const MachineResult res = m.run_parallel();
+    EXPECT_EQ(res.active_lanes, kNumLanes);
+
+    std::vector<std::uint64_t> merged(10, 0);
+    for (unsigned l = 0; l < kNumLanes; ++l)
+        for (unsigned b = 0; b < 10; ++b)
+            merged[b] += m.memory().read32(l * kBankBytes + b * 4);
+    EXPECT_EQ(merged, h.counts());
+
+    // Aggregate throughput must exceed one lane's rate substantially.
+    EXPECT_GT(res.throughput_mbps(), 20 * 500.0);
+    EXPECT_GT(m.last_run_energy_j(), 0.0);
+}
+
+TEST(MachineLockstep, GlobalAddressingSerializesBankConflicts)
+{
+    // Two lanes hammering the same global bank must stall; the same
+    // program on disjoint restricted windows must not.
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    b.on_any(s, s, b.add_block({
+                 act_imm(Opcode::Ldw, 1, 0, 0x100),
+                 act_imm(Opcode::Stw, 1, 0, 0x104, true),
+             }));
+    b.set_entry(s);
+    b.set_addressing(AddressingMode::Global);
+    const Program prog = b.build();
+
+    const Bytes input(256, 'x');
+
+    Machine g(AddressingMode::Global);
+    std::vector<JobSpec> jobs(4);
+    for (auto &j : jobs) {
+        j.program = &prog;
+        j.input = input;
+    }
+    g.assign(jobs);
+    const MachineResult gr = g.run_lockstep();
+    EXPECT_GT(gr.total.stall_cycles, 0u);
+
+    Machine r(AddressingMode::Restricted);
+    for (unsigned i = 0; i < 4; ++i)
+        jobs[i].window_base = i * kBankBytes;
+    r.assign(jobs);
+    const MachineResult rr = r.run_lockstep();
+    EXPECT_EQ(rr.total.stall_cycles, 0u);
+    // Same work, less time without contention.
+    EXPECT_LE(rr.wall_cycles, gr.wall_cycles);
+    // Global references also cost more energy per access (Fig 11c).
+    EXPECT_GT(g.last_run_energy_j(), r.last_run_energy_j());
+}
+
+TEST(MachineFailure, BadProgramsSurfaceAsErrors)
+{
+    Machine m;
+    // More jobs than lanes.
+    std::vector<JobSpec> too_many(kNumLanes + 1);
+    EXPECT_THROW(m.assign(std::move(too_many)), UdpError);
+
+    // Lane escaping its restricted window.
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    b.on_any(s, s, b.add_block({act_imm(Opcode::Ldw, 1, 0, 0, true)}));
+    b.set_entry(s);
+    const Program prog = b.build();
+    Lane &lane = m.lane(0);
+    lane.load(prog);
+    const Bytes input(4, 'x');
+    lane.set_input(input);
+    lane.set_window_base(kLocalMemBytes - 2); // window beyond memory end
+    EXPECT_THROW(lane.run(), UdpError);
+}
+
+TEST(MachineFailure, CorruptDispatchImageIsRejected)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    b.on_symbol(s, 'a', s);
+    b.set_entry(s);
+    Program prog = b.build();
+
+    // Point the arc at a non-state target: the lane must detect it.
+    Transition t = decode_transition(prog.dispatch[prog.states[0].base +
+                                                   'a']);
+    t.target = static_cast<DispatchAddr>(
+        (prog.states[0].base + 200) % kDispatchWords);
+    prog.dispatch[prog.states[0].base + 'a'] = encode_transition(t);
+
+    LocalMemory mem;
+    Lane lane(0, mem);
+    lane.load(prog);
+    const Bytes input = bytes_of("aa");
+    lane.set_input(input);
+    EXPECT_THROW(lane.run(), UdpError);
+}
+
+TEST(MachineEnergy, EnergyScalesWithActiveLanes)
+{
+    const Program prog = [] {
+        ProgramBuilder b;
+        const StateId s = b.add_state();
+        b.on_majority(s, s);
+        b.set_entry(s);
+        return b.build();
+    }();
+    const Bytes input(4096, 'q');
+
+    auto run_with = [&](unsigned lanes) {
+        Machine m;
+        std::vector<JobSpec> jobs(lanes);
+        for (auto &j : jobs) {
+            j.program = &prog;
+            j.input = input;
+        }
+        m.assign(std::move(jobs));
+        m.run_parallel();
+        return m.last_run_energy_j();
+    };
+    const double e1 = run_with(1);
+    const double e32 = run_with(32);
+    EXPECT_GT(e32, e1); // more active lanes, more energy
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Parameterized property sweeps across the kernel/baseline pairs:
+ * every (workload x configuration) cell must compute the same function
+ * on both sides, for all entropy levels, block sizes, widths and FA
+ * models.
+ */
+#include "baselines/huffman.hpp"
+#include "baselines/snappy.hpp"
+#include "baselines/trigger.hpp"
+#include "kernels/huffman.hpp"
+#include "kernels/pattern.hpp"
+#include "kernels/snappy.hpp"
+#include "kernels/trigger.hpp"
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+using namespace kernels;
+
+// --- Snappy round-trips over (entropy x block size) ------------------------
+
+struct SnappyParam {
+    double entropy;
+    std::size_t size;
+};
+
+class SnappyProperty : public ::testing::TestWithParam<SnappyParam>
+{
+};
+
+TEST_P(SnappyProperty, KernelCompressBaselineDecompress)
+{
+    const auto [entropy, size] = GetParam();
+    const Bytes data = workloads::text_corpus(size, entropy, 1234);
+    static const Program prog = snappy_compress_program();
+    Machine m(AddressingMode::Restricted);
+    const auto res = run_snappy_compress(m, 0, prog, data, 0);
+    EXPECT_EQ(baselines::snappy_decompress(res.data), data);
+}
+
+TEST_P(SnappyProperty, BaselineCompressKernelDecompress)
+{
+    const auto [entropy, size] = GetParam();
+    const Bytes data = workloads::text_corpus(size, entropy, 4321);
+    const Bytes comp = baselines::snappy_compress(data);
+    std::size_t pos = 0;
+    while (comp[pos] & 0x80)
+        ++pos;
+    ++pos;
+    static const Program prog = snappy_decompress_program();
+    Machine m(AddressingMode::Restricted);
+    const auto res = run_snappy_decompress(
+        m, 0, prog, BytesView(comp).subspan(pos, comp.size() - pos), 0);
+    EXPECT_EQ(res.data, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EntropyBySize, SnappyProperty,
+    ::testing::Values(SnappyParam{0.0, 64}, SnappyParam{0.0, 4096},
+                      SnappyParam{0.3, 1024}, SnappyParam{0.5, 8192},
+                      SnappyParam{0.5, 12288}, SnappyParam{0.7, 2048},
+                      SnappyParam{1.0, 512}, SnappyParam{1.0, 10000}),
+    [](const auto &info) {
+        return "e" + std::to_string(int(info.param.entropy * 10)) + "_n" +
+               std::to_string(info.param.size);
+    });
+
+// --- Huffman designs over (design x entropy) -------------------------------
+
+class HuffmanProperty
+    : public ::testing::TestWithParam<std::tuple<VarSymDesign, double>>
+{
+};
+
+TEST_P(HuffmanProperty, DecodeRoundTrips)
+{
+    const auto [design, entropy] = GetParam();
+    const Bytes data = workloads::text_corpus(3000, entropy, 99);
+    const auto code = baselines::build_huffman(data);
+    Bytes enc = baselines::huffman_encode(data, code);
+    enc.push_back(0);
+    enc.push_back(0);
+
+    const auto k = huffman_decoder(code, design);
+    Machine m(AddressingMode::Restricted);
+    Lane &lane = m.lane(0);
+    if (!k.lut.empty())
+        m.stage(0, k.lut);
+    lane.load(k.program);
+    lane.set_input(enc);
+    lane.set_window_base(0);
+    for (const auto &[r, v] : k.init_regs)
+        lane.set_reg(r, v);
+    lane.run();
+    ASSERT_GE(lane.output().size(), data.size());
+    EXPECT_TRUE(std::equal(data.begin(), data.end(),
+                           lane.output().begin()))
+        << var_sym_name(design) << " entropy " << entropy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignByEntropy, HuffmanProperty,
+    ::testing::Combine(::testing::Values(VarSymDesign::SsF,
+                                         VarSymDesign::SsT,
+                                         VarSymDesign::SsReg,
+                                         VarSymDesign::SsRef),
+                       ::testing::Values(0.0, 0.4, 0.8)),
+    [](const auto &info) {
+        return std::string(var_sym_name(std::get<0>(info.param))) + "_e" +
+               std::to_string(int(std::get<1>(info.param) * 10));
+    });
+
+// --- Trigger widths ----------------------------------------------------------
+
+class TriggerProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TriggerProperty, KernelMatchesBitwiseBaseline)
+{
+    const unsigned width = GetParam();
+    const Bytes packed = workloads::waveform(30'000, 18, 70 + width);
+    const Bytes samples = samples_from_bits(packed);
+
+    const Program prog = trigger_program(width);
+    Machine m(AddressingMode::Restricted);
+    Lane &lane = m.lane(0);
+    lane.load(prog);
+    lane.set_input(samples);
+    lane.run();
+    EXPECT_EQ(lane.accept_count(),
+              baselines::PulseTrigger(width).count_triggers_bitwise(
+                  packed));
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthsP1toP16, TriggerProperty,
+                         ::testing::Range(1u, 17u));
+
+// --- Pattern models over group counts ----------------------------------------
+
+struct PatternParam {
+    FaModel model;
+    unsigned groups;
+};
+
+class PatternProperty : public ::testing::TestWithParam<PatternParam>
+{
+};
+
+TEST_P(PatternProperty, PartitionedMatchesSumToSoftwareCount)
+{
+    const auto [model, ngroups] = GetParam();
+    const auto pats = workloads::nids_patterns(12, model == FaModel::Nfa);
+    const Bytes payload = workloads::packet_payloads(20'000, pats, 0.03);
+    const auto groups = pattern_groups(pats, model, ngroups);
+
+    Machine m(AddressingMode::Restricted);
+    std::uint64_t udp_total = 0, sw_total = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        Lane &lane = m.lane(static_cast<unsigned>(g));
+        lane.load(groups[g].program);
+        lane.set_input(payload);
+        if (groups[g].nfa_mode)
+            lane.run_nfa();
+        else
+            lane.run();
+        udp_total += lane.accept_count();
+        sw_total += software_matches(groups[g].patterns, payload);
+    }
+    EXPECT_EQ(udp_total, sw_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByGroups, PatternProperty,
+    ::testing::Values(PatternParam{FaModel::Dfa, 1},
+                      PatternParam{FaModel::Dfa, 4},
+                      PatternParam{FaModel::Adfa, 1},
+                      PatternParam{FaModel::Adfa, 6},
+                      PatternParam{FaModel::Nfa, 2},
+                      PatternParam{FaModel::Nfa, 12}),
+    [](const auto &info) {
+        return std::string(fa_model_name(info.param.model)) + "_g" +
+               std::to_string(info.param.groups);
+    });
+
+} // namespace
+} // namespace udp

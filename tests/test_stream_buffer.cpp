@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit and property tests for the stream buffer (variable-size symbols,
+ * refill push-back; paper Section 3.2.2).
+ */
+#include "core/stream_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace udp {
+namespace {
+
+Bytes
+make_bytes(std::initializer_list<unsigned> v)
+{
+    Bytes b;
+    for (unsigned x : v)
+        b.push_back(static_cast<std::uint8_t>(x));
+    return b;
+}
+
+TEST(StreamBuffer, ByteSymbolsMsbFirst)
+{
+    const Bytes data = make_bytes({0xAB, 0xCD});
+    StreamBuffer sb;
+    sb.attach(data);
+    EXPECT_EQ(sb.read(8), 0xABu);
+    EXPECT_EQ(sb.read(8), 0xCDu);
+    EXPECT_TRUE(sb.exhausted(1));
+}
+
+TEST(StreamBuffer, SubByteSymbols)
+{
+    // 0b10110011 0b01000000
+    const Bytes data = make_bytes({0xB3, 0x40});
+    StreamBuffer sb;
+    sb.attach(data);
+    EXPECT_EQ(sb.read(1), 1u);
+    EXPECT_EQ(sb.read(2), 0b01u);
+    EXPECT_EQ(sb.read(3), 0b100u);
+    EXPECT_EQ(sb.read(4), 0b1101u); // crosses the byte boundary
+    EXPECT_EQ(sb.pos_bits(), 10u);
+}
+
+TEST(StreamBuffer, WideSymbolAcrossBytes)
+{
+    const Bytes data = make_bytes({0x12, 0x34, 0x56, 0x78, 0x9A});
+    StreamBuffer sb;
+    sb.attach(data);
+    sb.skip(4);
+    EXPECT_EQ(sb.read(32), 0x23456789u);
+}
+
+TEST(StreamBuffer, PeekDoesNotConsume)
+{
+    const Bytes data = make_bytes({0xF0});
+    StreamBuffer sb;
+    sb.attach(data);
+    EXPECT_EQ(sb.peek(4), 0xFu);
+    EXPECT_EQ(sb.peek(4), 0xFu);
+    EXPECT_EQ(sb.read(8), 0xF0u);
+}
+
+TEST(StreamBuffer, RefillRestoresBits)
+{
+    const Bytes data = make_bytes({0b10110000});
+    StreamBuffer sb;
+    sb.attach(data);
+    EXPECT_EQ(sb.read(3), 0b101u);
+    sb.refill(2);
+    EXPECT_EQ(sb.pos_bits(), 1u);
+    EXPECT_EQ(sb.read(2), 0b01u);
+}
+
+TEST(StreamBuffer, ErrorsOnOverruns)
+{
+    const Bytes data = make_bytes({0xFF});
+    StreamBuffer sb;
+    sb.attach(data);
+    EXPECT_THROW(sb.read(9), UdpError);
+    sb.skip(8);
+    EXPECT_THROW(sb.read(1), UdpError);
+    EXPECT_THROW(sb.refill(9), UdpError);
+    EXPECT_THROW(sb.seek_bits(9), UdpError);
+    EXPECT_THROW(sb.read(0), UdpError);
+    EXPECT_THROW(sb.read(33), UdpError);
+}
+
+/// Property: any split of a bit string into variable-size reads
+/// concatenates back to the original bits.
+TEST(StreamBufferProperty, VariableReadsPreserveContent)
+{
+    std::mt19937 rng(7);
+    Bytes data(64);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng());
+
+    for (int trial = 0; trial < 50; ++trial) {
+        StreamBuffer sb;
+        sb.attach(data);
+        std::string got, want;
+        while (!sb.exhausted(1)) {
+            const unsigned w = 1 + rng() % 12;
+            const unsigned take =
+                std::min<std::uint64_t>(w, sb.remaining_bits());
+            const Word v = sb.read(take);
+            for (unsigned i = take; i-- > 0;)
+                got.push_back(((v >> i) & 1) ? '1' : '0');
+        }
+        for (std::size_t i = 0; i < data.size() * 8; ++i)
+            want.push_back((data[i / 8] >> (7 - i % 8)) & 1 ? '1' : '0');
+        EXPECT_EQ(got, want);
+    }
+}
+
+/// Property: read(k) then refill(k) is the identity.
+TEST(StreamBufferProperty, ReadRefillIdentity)
+{
+    std::mt19937 rng(11);
+    Bytes data(32);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng());
+    StreamBuffer sb;
+    sb.attach(data);
+    sb.skip(13);
+    for (int trial = 0; trial < 200; ++trial) {
+        const unsigned w = 1 + rng() % 16;
+        if (sb.remaining_bits() < w)
+            break;
+        const auto pos = sb.pos_bits();
+        const Word v1 = sb.read(w);
+        sb.refill(w);
+        EXPECT_EQ(sb.pos_bits(), pos);
+        EXPECT_EQ(sb.read(w), v1);
+    }
+}
+
+} // namespace
+} // namespace udp

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the textual assembler (.udpasm front-end).
+ */
+#include "assembler/textasm.hpp"
+#include "core/lane.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+struct AsmFixture : ::testing::Test {
+    LocalMemory mem{AddressingMode::Restricted};
+    Lane lane{0, mem};
+
+    LaneStatus run(const Program &p, const std::string &input) {
+        lane.load(p);
+        input_bytes.assign(input.begin(), input.end());
+        lane.set_input(input_bytes);
+        return lane.run();
+    }
+    Bytes input_bytes;
+};
+
+TEST_F(AsmFixture, AssemblesAndRunsCounter)
+{
+    const Program p = assemble(R"(
+        ; count 'a' bytes
+        .symbits 8
+        .entry start
+        state start:
+            'a' -> start { addi r1, r1, 1 }
+            majority -> start
+    )");
+    EXPECT_EQ(run(p, "banana"), LaneStatus::Done);
+    EXPECT_EQ(lane.reg(1), 3u);
+}
+
+TEST_F(AsmFixture, SupportsAllArcKindsAndActions)
+{
+    const Program p = assemble(R"(
+        .symbits 8
+        .entry s0
+        state s0:
+            'x' -> s1 { movi r1, 100 ; outb r1 }
+            '\n' -> s0 { accept 5 }
+            0x41 -> s0           ; 'A'
+            majority -> s0
+        state s1 [reg]:
+            common -> s0 { outi 'Y' ; halt }
+    )");
+    EXPECT_EQ(run(p, "Ax\n"), LaneStatus::Done);
+    ASSERT_EQ(lane.output().size(), 2u);
+    EXPECT_EQ(lane.output()[0], 100);
+    EXPECT_EQ(lane.output()[1], 'Y');
+}
+
+TEST_F(AsmFixture, RefillArcsParse)
+{
+    const Program p = assemble(R"(
+        .symbits 3
+        .entry root
+        state root:
+            0 -> root refill 1 { outi 'A' }
+            1 -> root refill 1 { outi 'A' }
+            2 -> root refill 1 { outi 'B' }
+            3 -> root refill 1 { outi 'B' }
+            4 -> root refill 1 { outi 'C' }
+            5 -> root refill 1 { outi 'C' }
+            6 -> root { outi 'D' }
+            7 -> root { outi 'E' }
+    )");
+    // 00 01 10 110 111 -> ABCDE (Figure 7 code).
+    const Bytes enc{0b00011011, 0b01110000};
+    lane.load(p);
+    lane.set_input(enc);
+    lane.run();
+    const std::string out(lane.output().begin(), lane.output().end());
+    EXPECT_EQ(out.substr(0, 5), "ABCDE");
+}
+
+TEST_F(AsmFixture, RegActionFormsParse)
+{
+    const Program p = assemble(R"(
+        .entry s
+        state s:
+            common -> s { movi r1, 6 ; movi r2, 7 ; mul r3, r1, r2 ; add r4, r3, r1 ; halt }
+    )");
+    run(p, "z");
+    EXPECT_EQ(lane.reg(3), 42u);
+    EXPECT_EQ(lane.reg(4), 48u);
+}
+
+TEST_F(AsmFixture, DiagnosticsCarryLineNumbers)
+{
+    try {
+        assemble(".entry s\nstate s:\n    zzz -> s\n");
+        FAIL() << "expected parse error";
+    } catch (const UdpError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(assemble("state s:\n 'a' -> s\n"), UdpError); // no entry
+    EXPECT_THROW(assemble(".entry s\nstate s:\n 'a' -> nowhere\n"),
+                 UdpError);
+    EXPECT_THROW(assemble(".entry s\n'a' -> s\nstate s:\n"), UdpError);
+    EXPECT_THROW(
+        assemble(".entry s\nstate s:\n 'a' -> s { bogusop r1 }\n"),
+        UdpError);
+    EXPECT_THROW(assemble(".entry s\nstate s:\nstate s:\n"), UdpError);
+}
+
+TEST_F(AsmFixture, CommentsAndLiteralsAreRobust)
+{
+    const Program p = assemble(R"(
+        ; full-line comment with 'quotes' and -> arrows
+        .symbits 8
+        .entry s
+        state s:
+            ';' -> s { addi r1, r1, 1 }  ; semicolon symbol then comment
+            0x20 -> s
+            -0 -> s                       ; weird but legal zero
+            majority -> s
+    )");
+    EXPECT_EQ(run(p, "; ;"), LaneStatus::Done);
+    EXPECT_EQ(lane.reg(1), 2u);
+}
+
+TEST_F(AsmFixture, DirectivesApply)
+{
+    const Program p = assemble(R"(
+        .symbits 4
+        .addressing global
+        .entry s
+        state s:
+            majority -> s
+    )");
+    EXPECT_EQ(p.initial_symbol_bits, 4u);
+    EXPECT_EQ(p.addressing, AddressingMode::Global);
+}
+
+} // namespace
+} // namespace udp
