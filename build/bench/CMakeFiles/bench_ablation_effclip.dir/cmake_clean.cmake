@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_effclip.dir/bench_ablation_effclip.cpp.o"
+  "CMakeFiles/bench_ablation_effclip.dir/bench_ablation_effclip.cpp.o.d"
+  "bench_ablation_effclip"
+  "bench_ablation_effclip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_effclip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

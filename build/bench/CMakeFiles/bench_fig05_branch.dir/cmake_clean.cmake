@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_branch.dir/bench_fig05_branch.cpp.o"
+  "CMakeFiles/bench_fig05_branch.dir/bench_fig05_branch.cpp.o.d"
+  "bench_fig05_branch"
+  "bench_fig05_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_varsym.cpp" "bench/CMakeFiles/bench_fig08_varsym.dir/bench_fig08_varsym.cpp.o" "gcc" "bench/CMakeFiles/bench_fig08_varsym.dir/bench_fig08_varsym.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/udp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/etl/CMakeFiles/udp_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/udp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/udp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/udp_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/udp_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/udp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

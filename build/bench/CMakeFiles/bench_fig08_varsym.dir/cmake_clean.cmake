@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_varsym.dir/bench_fig08_varsym.cpp.o"
+  "CMakeFiles/bench_fig08_varsym.dir/bench_fig08_varsym.cpp.o.d"
+  "bench_fig08_varsym"
+  "bench_fig08_varsym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_varsym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_dispatch_source.dir/bench_fig09_dispatch_source.cpp.o"
+  "CMakeFiles/bench_fig09_dispatch_source.dir/bench_fig09_dispatch_source.cpp.o.d"
+  "bench_fig09_dispatch_source"
+  "bench_fig09_dispatch_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_dispatch_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

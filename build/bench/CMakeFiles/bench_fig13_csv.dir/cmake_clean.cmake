@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_csv.dir/bench_fig13_csv.cpp.o"
+  "CMakeFiles/bench_fig13_csv.dir/bench_fig13_csv.cpp.o.d"
+  "bench_fig13_csv"
+  "bench_fig13_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_huffenc.dir/bench_fig14_huffenc.cpp.o"
+  "CMakeFiles/bench_fig14_huffenc.dir/bench_fig14_huffenc.cpp.o.d"
+  "bench_fig14_huffenc"
+  "bench_fig14_huffenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_huffenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_huffdec.dir/bench_fig15_huffdec.cpp.o"
+  "CMakeFiles/bench_fig15_huffdec.dir/bench_fig15_huffdec.cpp.o.d"
+  "bench_fig15_huffdec"
+  "bench_fig15_huffdec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_huffdec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_snappy_decomp.dir/bench_fig20_snappy_decomp.cpp.o"
+  "CMakeFiles/bench_fig20_snappy_decomp.dir/bench_fig20_snappy_decomp.cpp.o.d"
+  "bench_fig20_snappy_decomp"
+  "bench_fig20_snappy_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_snappy_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

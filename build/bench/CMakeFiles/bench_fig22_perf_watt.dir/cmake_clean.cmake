@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_perf_watt.dir/bench_fig22_perf_watt.cpp.o"
+  "CMakeFiles/bench_fig22_perf_watt.dir/bench_fig22_perf_watt.cpp.o.d"
+  "bench_fig22_perf_watt"
+  "bench_fig22_perf_watt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_perf_watt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_coverage.dir/bench_tab01_coverage.cpp.o"
+  "CMakeFiles/bench_tab01_coverage.dir/bench_tab01_coverage.cpp.o.d"
+  "bench_tab01_coverage"
+  "bench_tab01_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

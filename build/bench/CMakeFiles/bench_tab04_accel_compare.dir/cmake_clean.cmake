@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_accel_compare.dir/bench_tab04_accel_compare.cpp.o"
+  "CMakeFiles/bench_tab04_accel_compare.dir/bench_tab04_accel_compare.cpp.o.d"
+  "bench_tab04_accel_compare"
+  "bench_tab04_accel_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_accel_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

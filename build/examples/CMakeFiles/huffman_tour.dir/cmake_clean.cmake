@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huffman_tour.dir/huffman_tour.cpp.o"
+  "CMakeFiles/huffman_tour.dir/huffman_tour.cpp.o.d"
+  "huffman_tour"
+  "huffman_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huffman_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

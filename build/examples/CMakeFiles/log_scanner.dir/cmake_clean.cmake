@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_scanner.dir/log_scanner.cpp.o"
+  "CMakeFiles/log_scanner.dir/log_scanner.cpp.o.d"
+  "log_scanner"
+  "log_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udpasm_tool.dir/udpasm_tool.cpp.o"
+  "CMakeFiles/udpasm_tool.dir/udpasm_tool.cpp.o.d"
+  "udpasm_tool"
+  "udpasm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udpasm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/builder.cpp" "src/assembler/CMakeFiles/udp_asm.dir/builder.cpp.o" "gcc" "src/assembler/CMakeFiles/udp_asm.dir/builder.cpp.o.d"
+  "/root/repo/src/assembler/disasm.cpp" "src/assembler/CMakeFiles/udp_asm.dir/disasm.cpp.o" "gcc" "src/assembler/CMakeFiles/udp_asm.dir/disasm.cpp.o.d"
+  "/root/repo/src/assembler/effclip.cpp" "src/assembler/CMakeFiles/udp_asm.dir/effclip.cpp.o" "gcc" "src/assembler/CMakeFiles/udp_asm.dir/effclip.cpp.o.d"
+  "/root/repo/src/assembler/textasm.cpp" "src/assembler/CMakeFiles/udp_asm.dir/textasm.cpp.o" "gcc" "src/assembler/CMakeFiles/udp_asm.dir/textasm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/udp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

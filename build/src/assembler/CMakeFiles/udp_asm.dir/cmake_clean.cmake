@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_asm.dir/builder.cpp.o"
+  "CMakeFiles/udp_asm.dir/builder.cpp.o.d"
+  "CMakeFiles/udp_asm.dir/disasm.cpp.o"
+  "CMakeFiles/udp_asm.dir/disasm.cpp.o.d"
+  "CMakeFiles/udp_asm.dir/effclip.cpp.o"
+  "CMakeFiles/udp_asm.dir/effclip.cpp.o.d"
+  "CMakeFiles/udp_asm.dir/textasm.cpp.o"
+  "CMakeFiles/udp_asm.dir/textasm.cpp.o.d"
+  "libudp_asm.a"
+  "libudp_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/adfa.cpp" "src/automata/CMakeFiles/udp_automata.dir/adfa.cpp.o" "gcc" "src/automata/CMakeFiles/udp_automata.dir/adfa.cpp.o.d"
+  "/root/repo/src/automata/compile.cpp" "src/automata/CMakeFiles/udp_automata.dir/compile.cpp.o" "gcc" "src/automata/CMakeFiles/udp_automata.dir/compile.cpp.o.d"
+  "/root/repo/src/automata/dfa.cpp" "src/automata/CMakeFiles/udp_automata.dir/dfa.cpp.o" "gcc" "src/automata/CMakeFiles/udp_automata.dir/dfa.cpp.o.d"
+  "/root/repo/src/automata/nfa.cpp" "src/automata/CMakeFiles/udp_automata.dir/nfa.cpp.o" "gcc" "src/automata/CMakeFiles/udp_automata.dir/nfa.cpp.o.d"
+  "/root/repo/src/automata/regex.cpp" "src/automata/CMakeFiles/udp_automata.dir/regex.cpp.o" "gcc" "src/automata/CMakeFiles/udp_automata.dir/regex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembler/CMakeFiles/udp_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/udp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

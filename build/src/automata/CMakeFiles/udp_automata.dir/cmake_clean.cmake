@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_automata.dir/adfa.cpp.o"
+  "CMakeFiles/udp_automata.dir/adfa.cpp.o.d"
+  "CMakeFiles/udp_automata.dir/compile.cpp.o"
+  "CMakeFiles/udp_automata.dir/compile.cpp.o.d"
+  "CMakeFiles/udp_automata.dir/dfa.cpp.o"
+  "CMakeFiles/udp_automata.dir/dfa.cpp.o.d"
+  "CMakeFiles/udp_automata.dir/nfa.cpp.o"
+  "CMakeFiles/udp_automata.dir/nfa.cpp.o.d"
+  "CMakeFiles/udp_automata.dir/regex.cpp.o"
+  "CMakeFiles/udp_automata.dir/regex.cpp.o.d"
+  "libudp_automata.a"
+  "libudp_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

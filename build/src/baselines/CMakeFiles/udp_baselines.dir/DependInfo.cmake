@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/branch_profile.cpp" "src/baselines/CMakeFiles/udp_baselines.dir/branch_profile.cpp.o" "gcc" "src/baselines/CMakeFiles/udp_baselines.dir/branch_profile.cpp.o.d"
+  "/root/repo/src/baselines/csv.cpp" "src/baselines/CMakeFiles/udp_baselines.dir/csv.cpp.o" "gcc" "src/baselines/CMakeFiles/udp_baselines.dir/csv.cpp.o.d"
+  "/root/repo/src/baselines/dictionary.cpp" "src/baselines/CMakeFiles/udp_baselines.dir/dictionary.cpp.o" "gcc" "src/baselines/CMakeFiles/udp_baselines.dir/dictionary.cpp.o.d"
+  "/root/repo/src/baselines/histogram.cpp" "src/baselines/CMakeFiles/udp_baselines.dir/histogram.cpp.o" "gcc" "src/baselines/CMakeFiles/udp_baselines.dir/histogram.cpp.o.d"
+  "/root/repo/src/baselines/huffman.cpp" "src/baselines/CMakeFiles/udp_baselines.dir/huffman.cpp.o" "gcc" "src/baselines/CMakeFiles/udp_baselines.dir/huffman.cpp.o.d"
+  "/root/repo/src/baselines/snappy.cpp" "src/baselines/CMakeFiles/udp_baselines.dir/snappy.cpp.o" "gcc" "src/baselines/CMakeFiles/udp_baselines.dir/snappy.cpp.o.d"
+  "/root/repo/src/baselines/trigger.cpp" "src/baselines/CMakeFiles/udp_baselines.dir/trigger.cpp.o" "gcc" "src/baselines/CMakeFiles/udp_baselines.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/udp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/udp_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/udp_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_baselines.dir/branch_profile.cpp.o"
+  "CMakeFiles/udp_baselines.dir/branch_profile.cpp.o.d"
+  "CMakeFiles/udp_baselines.dir/csv.cpp.o"
+  "CMakeFiles/udp_baselines.dir/csv.cpp.o.d"
+  "CMakeFiles/udp_baselines.dir/dictionary.cpp.o"
+  "CMakeFiles/udp_baselines.dir/dictionary.cpp.o.d"
+  "CMakeFiles/udp_baselines.dir/histogram.cpp.o"
+  "CMakeFiles/udp_baselines.dir/histogram.cpp.o.d"
+  "CMakeFiles/udp_baselines.dir/huffman.cpp.o"
+  "CMakeFiles/udp_baselines.dir/huffman.cpp.o.d"
+  "CMakeFiles/udp_baselines.dir/snappy.cpp.o"
+  "CMakeFiles/udp_baselines.dir/snappy.cpp.o.d"
+  "CMakeFiles/udp_baselines.dir/trigger.cpp.o"
+  "CMakeFiles/udp_baselines.dir/trigger.cpp.o.d"
+  "libudp_baselines.a"
+  "libudp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/udp_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/image.cpp" "src/core/CMakeFiles/udp_core.dir/image.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/image.cpp.o.d"
+  "/root/repo/src/core/isa.cpp" "src/core/CMakeFiles/udp_core.dir/isa.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/isa.cpp.o.d"
+  "/root/repo/src/core/lane.cpp" "src/core/CMakeFiles/udp_core.dir/lane.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/lane.cpp.o.d"
+  "/root/repo/src/core/local_memory.cpp" "src/core/CMakeFiles/udp_core.dir/local_memory.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/local_memory.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/core/CMakeFiles/udp_core.dir/machine.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/machine.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/udp_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/program.cpp.o.d"
+  "/root/repo/src/core/stream_buffer.cpp" "src/core/CMakeFiles/udp_core.dir/stream_buffer.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/stream_buffer.cpp.o.d"
+  "/root/repo/src/core/vector_regfile.cpp" "src/core/CMakeFiles/udp_core.dir/vector_regfile.cpp.o" "gcc" "src/core/CMakeFiles/udp_core.dir/vector_regfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_core.dir/energy.cpp.o"
+  "CMakeFiles/udp_core.dir/energy.cpp.o.d"
+  "CMakeFiles/udp_core.dir/image.cpp.o"
+  "CMakeFiles/udp_core.dir/image.cpp.o.d"
+  "CMakeFiles/udp_core.dir/isa.cpp.o"
+  "CMakeFiles/udp_core.dir/isa.cpp.o.d"
+  "CMakeFiles/udp_core.dir/lane.cpp.o"
+  "CMakeFiles/udp_core.dir/lane.cpp.o.d"
+  "CMakeFiles/udp_core.dir/local_memory.cpp.o"
+  "CMakeFiles/udp_core.dir/local_memory.cpp.o.d"
+  "CMakeFiles/udp_core.dir/machine.cpp.o"
+  "CMakeFiles/udp_core.dir/machine.cpp.o.d"
+  "CMakeFiles/udp_core.dir/program.cpp.o"
+  "CMakeFiles/udp_core.dir/program.cpp.o.d"
+  "CMakeFiles/udp_core.dir/stream_buffer.cpp.o"
+  "CMakeFiles/udp_core.dir/stream_buffer.cpp.o.d"
+  "CMakeFiles/udp_core.dir/vector_regfile.cpp.o"
+  "CMakeFiles/udp_core.dir/vector_regfile.cpp.o.d"
+  "libudp_core.a"
+  "libudp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_etl.dir/columnar.cpp.o"
+  "CMakeFiles/udp_etl.dir/columnar.cpp.o.d"
+  "CMakeFiles/udp_etl.dir/loader.cpp.o"
+  "CMakeFiles/udp_etl.dir/loader.cpp.o.d"
+  "libudp_etl.a"
+  "libudp_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

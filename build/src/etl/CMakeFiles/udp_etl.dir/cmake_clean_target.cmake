@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libudp_etl.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/csv.cpp" "src/kernels/CMakeFiles/udp_kernels.dir/csv.cpp.o" "gcc" "src/kernels/CMakeFiles/udp_kernels.dir/csv.cpp.o.d"
+  "/root/repo/src/kernels/dictionary.cpp" "src/kernels/CMakeFiles/udp_kernels.dir/dictionary.cpp.o" "gcc" "src/kernels/CMakeFiles/udp_kernels.dir/dictionary.cpp.o.d"
+  "/root/repo/src/kernels/histogram.cpp" "src/kernels/CMakeFiles/udp_kernels.dir/histogram.cpp.o" "gcc" "src/kernels/CMakeFiles/udp_kernels.dir/histogram.cpp.o.d"
+  "/root/repo/src/kernels/huffman.cpp" "src/kernels/CMakeFiles/udp_kernels.dir/huffman.cpp.o" "gcc" "src/kernels/CMakeFiles/udp_kernels.dir/huffman.cpp.o.d"
+  "/root/repo/src/kernels/pattern.cpp" "src/kernels/CMakeFiles/udp_kernels.dir/pattern.cpp.o" "gcc" "src/kernels/CMakeFiles/udp_kernels.dir/pattern.cpp.o.d"
+  "/root/repo/src/kernels/snappy.cpp" "src/kernels/CMakeFiles/udp_kernels.dir/snappy.cpp.o" "gcc" "src/kernels/CMakeFiles/udp_kernels.dir/snappy.cpp.o.d"
+  "/root/repo/src/kernels/trigger.cpp" "src/kernels/CMakeFiles/udp_kernels.dir/trigger.cpp.o" "gcc" "src/kernels/CMakeFiles/udp_kernels.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/udp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/udp_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/udp_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/udp_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_kernels.dir/csv.cpp.o"
+  "CMakeFiles/udp_kernels.dir/csv.cpp.o.d"
+  "CMakeFiles/udp_kernels.dir/dictionary.cpp.o"
+  "CMakeFiles/udp_kernels.dir/dictionary.cpp.o.d"
+  "CMakeFiles/udp_kernels.dir/histogram.cpp.o"
+  "CMakeFiles/udp_kernels.dir/histogram.cpp.o.d"
+  "CMakeFiles/udp_kernels.dir/huffman.cpp.o"
+  "CMakeFiles/udp_kernels.dir/huffman.cpp.o.d"
+  "CMakeFiles/udp_kernels.dir/pattern.cpp.o"
+  "CMakeFiles/udp_kernels.dir/pattern.cpp.o.d"
+  "CMakeFiles/udp_kernels.dir/snappy.cpp.o"
+  "CMakeFiles/udp_kernels.dir/snappy.cpp.o.d"
+  "CMakeFiles/udp_kernels.dir/trigger.cpp.o"
+  "CMakeFiles/udp_kernels.dir/trigger.cpp.o.d"
+  "libudp_kernels.a"
+  "libudp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

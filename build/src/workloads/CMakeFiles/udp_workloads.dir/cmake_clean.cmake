@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_workloads.dir/generators.cpp.o"
+  "CMakeFiles/udp_workloads.dir/generators.cpp.o.d"
+  "libudp_workloads.a"
+  "libudp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/test_core.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/test_core.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_local_memory.cpp" "tests/CMakeFiles/test_core.dir/test_local_memory.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_local_memory.cpp.o.d"
+  "/root/repo/tests/test_stream_buffer.cpp" "tests/CMakeFiles/test_core.dir/test_stream_buffer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_stream_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assembler/CMakeFiles/udp_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/udp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_energy.cpp.o"
+  "CMakeFiles/test_core.dir/test_energy.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_isa.cpp.o"
+  "CMakeFiles/test_core.dir/test_isa.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_local_memory.cpp.o"
+  "CMakeFiles/test_core.dir/test_local_memory.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_stream_buffer.cpp.o"
+  "CMakeFiles/test_core.dir/test_stream_buffer.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_etl.dir/test_etl.cpp.o"
+  "CMakeFiles/test_etl.dir/test_etl.cpp.o.d"
+  "test_etl"
+  "test_etl.pdb"
+  "test_etl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lane.dir/test_lane_exec.cpp.o"
+  "CMakeFiles/test_lane.dir/test_lane_exec.cpp.o.d"
+  "test_lane"
+  "test_lane.pdb"
+  "test_lane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

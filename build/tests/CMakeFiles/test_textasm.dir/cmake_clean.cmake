@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textasm.dir/test_textasm.cpp.o"
+  "CMakeFiles/test_textasm.dir/test_textasm.cpp.o.d"
+  "test_textasm"
+  "test_textasm.pdb"
+  "test_textasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
