@@ -10,11 +10,12 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
+    MetricsRecorder rec("bench_ablation_effclip", argc, argv);
     print_header("EffCLiP vs naive tables (NIDS DFAs)",
                  {"patterns", "DFA states", "naive KB", "EffCLiP KB",
                   "ratio", "fill %"});
@@ -43,6 +44,10 @@ main()
                            double(p1.layout.code_bytes()),
                        1),
                    fmt(100 * p1.layout.fill_ratio(), 0)});
+        rec.add_metric("naive_over_effclip_" + std::to_string(npat) +
+                           "pat",
+                       double(p2.layout.code_bytes()) /
+                           double(p1.layout.code_bytes()));
     }
 
     print_header("Majority-threshold sweep (8-pattern DFA)",
@@ -71,9 +76,12 @@ main()
         print_row({std::to_string(thr),
                    fmt(double(p.layout.code_bytes()) / 1024.0, 1),
                    fmt(lane.stats().rate_mbps())});
+        rec.add_metric("majority_thr_" + std::to_string(thr) +
+                           "_lane_mbps",
+                       lane.stats().rate_mbps());
     }
     std::printf("\ntakeaway: majority folding trades a signature-miss "
                 "cycle on cold symbols for an order-of-magnitude code "
                 "reduction - the enabler of 64-lane parallelism\n");
-    return 0;
+    return rec.finish();
 }

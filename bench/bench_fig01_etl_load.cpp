@@ -9,12 +9,13 @@
 #include "etl/loader.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::etl;
 
+    MetricsRecorder rec("bench_fig01_etl_load", argc, argv);
     print_header("Figure 1a: ETL load time by scale factor "
                  "(rows = SF x 6000; paper SF x 6M)",
                  {"SF", "csv MB", "load s", "decomp s", "parse s",
@@ -27,6 +28,8 @@ main()
         Table t("lineitem", lineitem_schema());
         const LoadBreakdown bd = load_cpu(comp, t);
         cpu_fracs.push_back(bd.cpu_seconds() / bd.total_seconds());
+        rec.add_metric("cpu_fraction_sf_" + fmt(sf, 1),
+                       cpu_fracs.back());
         print_row({fmt(sf, 1), fmt(double(bd.csv_bytes) / 1e6, 2),
                    fmt(bd.total_seconds(), 3), fmt(bd.decompress, 3),
                    fmt(bd.parse, 3), fmt(bd.deserialize, 3),
@@ -62,5 +65,7 @@ main()
                fmt(udp_bd.decompress + udp_bd.parse, 4)});
     std::printf("\npaper shape: >99.5%% of load wall-clock is CPU "
                 "transformation, not IO\n");
-    return 0;
+    rec.add_metric("cpu_accelerable_s", cpu_bd.decompress + cpu_bd.parse);
+    rec.add_metric("udp_accelerable_s", udp_bd.decompress + udp_bd.parse);
+    return rec.finish();
 }

@@ -65,12 +65,13 @@ pattern_dfa()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::baselines;
 
+    MetricsRecorder rec("bench_fig05_branch", argc, argv);
     struct KernelCase {
         std::string name;
         Dfa dfa;
@@ -103,6 +104,10 @@ main()
         const BranchProfile bi = profile_bi(c.dfa, c.input);
         print_row({c.name, fmt(100 * bo.mispredict_fraction()),
                    fmt(100 * bi.mispredict_fraction())});
+        rec.add_metric(c.name + " bo_mispredict_pct",
+                       100 * bo.mispredict_fraction());
+        rec.add_metric(c.name + " bi_mispredict_pct",
+                       100 * bi.mispredict_fraction());
     }
 
     print_header("Figure 5b: effective branch rate (normalized to BO; "
@@ -123,6 +128,8 @@ main()
         print_row({c.name, fmt(1.0, 2),
                    fmt(bo.cycles_per_symbol() / bi.cycles_per_symbol(), 2),
                    fmt(bo.cycles_per_symbol() / udp_cps, 2)});
+        rec.add_metric(c.name + " mwd_branch_rate_vs_bo",
+                       bo.cycles_per_symbol() / udp_cps);
     }
 
     print_header("Figure 5c: code size (bytes)",
@@ -143,5 +150,5 @@ main()
     std::printf("\npaper shape: 32-86%% mispredict cycles; MWD 2-12x "
                 "effective branch rate; MWD code far smaller than "
                 "BI tables\n");
-    return 0;
+    return rec.finish();
 }

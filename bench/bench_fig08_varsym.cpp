@@ -13,11 +13,13 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::kernels;
+
+    MetricsRecorder rec("bench_fig08_varsym", argc, argv);
 
     // --- Huffman decoding ------------------------------------------------
     const Bytes data = workloads::text_corpus(96 * 1024, 0.5, 21);
@@ -51,6 +53,12 @@ main()
         print_row({std::string(var_sym_name(d)), fmt(rate),
                    fmt(double(k.code_bytes) / 1024.0),
                    std::to_string(lanes), fmt(rate * lanes)});
+        WorkloadPerf p;
+        p.name = "huffdec " + std::string(var_sym_name(d));
+        p.udp_lane_mbps = rate;
+        p.parallelism = lanes;
+        attach_sim(p, lane.stats());
+        rec.add_workload(p);
     }
 
     // --- Histogram (static symbol size) -----------------------------------
@@ -94,5 +102,5 @@ main()
     std::printf("\npaper shape: SsF fastest per lane but code-size "
                 "explosion caps parallelism; SsReg/SsRef keep full 64-way "
                 "throughput\n");
-    return 0;
+    return rec.finish();
 }

@@ -8,12 +8,15 @@
 #include "support.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
+    MetricsRecorder rec("bench_fig09_dispatch_source", argc, argv);
     const auto all = measure_all();
+    for (const auto &p : all)
+        rec.add_workload(p);
     // Kernels whose UDP programs require scalar-register dispatch.
     const auto needs_scalar = [](const WorkloadPerf &p) {
         return p.name == "Dictionary-RLE" ||
@@ -39,5 +42,7 @@ main()
     std::printf("\npaper shape: adding the scalar dispatch source "
                 "dramatically improves the geomean by covering the "
                 "memory/hash-based kernels\n");
-    return 0;
+    rec.add_metric("geomean_speedup_stream_only", geomean(stream_only));
+    rec.add_metric("geomean_speedup_with_scalar", geomean(with_scalar));
+    return rec.finish();
 }

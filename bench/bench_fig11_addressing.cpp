@@ -14,12 +14,13 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::kernels;
 
+    MetricsRecorder rec("bench_fig11_addressing", argc, argv);
     static const Program prog = snappy_compress_program();
     const Bytes text = workloads::text_corpus(16 * 1024, 0.45, 31);
 
@@ -40,6 +41,12 @@ main()
             1 + ceil_div(block.size() + 4096, kBankBytes));
         print_row({std::to_string(kb), fmt(rate), fmt(ratio, 3),
                    fmt(rate * ratio), std::to_string(64 / banks)});
+        WorkloadPerf p;
+        p.name = "snappy_comp_block_" + std::to_string(kb) + "kb";
+        p.udp_lane_mbps = rate;
+        p.parallelism = 64 / banks;
+        attach_sim(p, res.stats);
+        rec.add_workload(p);
     }
 
     print_header("Figure 11c: memory reference energy (1MB, 64 banks)",
@@ -49,9 +56,12 @@ main()
           AddressingMode::Global}) {
         print_row({std::string(addressing_mode_name(mode)),
                    fmt(memory_ref_energy_pj(mode), 1)});
+        rec.add_metric(std::string(addressing_mode_name(mode)) +
+                           "_ref_energy_pj",
+                       memory_ref_energy_pj(mode));
     }
     std::printf("\npaper shape: ratio rises with block size (net "
                 "benefit can differ ~50%%); local/restricted 4.3 pJ/ref "
                 "vs global 8.8\n");
-    return 0;
+    return rec.finish();
 }

@@ -2,18 +2,43 @@
  * @file
  * Figure 13: CSV file parsing - per-dataset CPU-thread rate vs UDP lane
  * rate, full-UDP throughput, and throughput/watt ratio.
+ *
+ * Observability flags (docs/OBSERVABILITY.md):
+ *   --json <path>    machine-readable metrics
+ *   --trace <path>   Chrome trace_event JSON of the first dataset's run
+ *   --profile        hot-state / hot-action report for the same run
  */
 #include "support.hpp"
 
+#include "assembler/disasm.hpp"
 #include "baselines/csv.hpp"
+#include "core/profile.hpp"
+#include "core/trace.hpp"
 #include "kernels/csv.hpp"
 #include "workloads/generators.hpp"
 
+#include <cstring>
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
+
+    MetricsRecorder rec("bench_fig13_csv", argc, argv);
+    std::string trace_path;
+    bool want_profile = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --trace requires a path\n",
+                             argv[0]);
+                return 2;
+            }
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--profile") == 0)
+            want_profile = true;
+    }
 
     const UdpCostModel cost;
     struct Ds {
@@ -30,22 +55,54 @@ main()
                  {"dataset", "CPU MB/s", "UDP lane MB/s", "lane/thread",
                   "UDP32 MB/s", "TPut/W ratio"});
 
+    Tracer tracer;
+    Profiler profiler;
+    bool first = true;
     for (const auto &ds : sets) {
         const Bytes data(ds.text.begin(), ds.text.end());
         WorkloadPerf p;
+        p.name = std::string("CSV ") + ds.name;
         p.cpu_mbps = time_cpu_mbps(
             [&] { baselines::parse_csv(data); }, data.size());
+        // Instrument only the first dataset, on a separate machine, so
+        // the flags never perturb the reported rates.
+        if (first && (!trace_path.empty() || want_profile)) {
+            Machine probe(AddressingMode::Restricted);
+            probe.set_tracer(&tracer);
+            probe.set_profiler(&profiler);
+            kernels::run_csv_kernel(probe, 0, data, 0);
+        }
         Machine m(AddressingMode::Restricted);
         const auto res = kernels::run_csv_kernel(m, 0, data, 0);
         p.udp_lane_mbps = res.stats.rate_mbps();
         p.parallelism = 32; // two-bank windows
+        attach_sim(p, res.stats);
 
         print_row({ds.name, fmt(p.cpu_mbps), fmt(p.udp_lane_mbps),
                    fmt(p.udp_lane_mbps / p.cpu_mbps, 2),
                    fmt(p.udp64_mbps()),
                    fmt(p.perf_watt_ratio(cost), 0)});
+        rec.add_workload(p);
+        first = false;
     }
     std::printf("\npaper shape: one lane 195-222 MB/s, >4x one thread; "
                 ">1000x TPut/W vs CPU\n");
-    return 0;
+
+    if (!trace_path.empty()) {
+        if (write_chrome_trace_file(trace_path, tracer))
+            std::printf("trace: wrote %s (load in chrome://tracing)\n",
+                        trace_path.c_str());
+        else {
+            std::fprintf(stderr, "trace: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+    }
+    if (want_profile) {
+        const Program prog = kernels::csv_parser_program();
+        std::printf("\n%s",
+                    profiler.report(10, make_state_symbolizer(prog))
+                        .c_str());
+    }
+    return rec.finish();
 }

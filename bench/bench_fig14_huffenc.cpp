@@ -9,11 +9,12 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
+    MetricsRecorder rec("bench_fig14_huffenc", argc, argv);
     const UdpCostModel cost;
     print_header("Figure 14: Huffman Encoding",
                  {"file", "CPU MB/s", "UDP lane MB/s", "lane/thread",
@@ -23,6 +24,7 @@ main()
     for (const auto &f : workloads::corpus_suite(64 * 1024)) {
         const auto code = baselines::build_huffman(f.data);
         WorkloadPerf p;
+        p.name = "huffenc " + f.name;
         p.cpu_mbps = time_cpu_mbps(
             [&] { baselines::huffman_encode(f.data, code); },
             f.data.size());
@@ -34,6 +36,8 @@ main()
         lane.set_input(f.data);
         lane.run();
         p.udp_lane_mbps = lane.stats().rate_mbps();
+        attach_sim(p, lane.stats());
+        rec.add_workload(p);
 
         ratios.push_back(p.perf_watt_ratio(cost));
         print_row({f.name, fmt(p.cpu_mbps), fmt(p.udp_lane_mbps),
@@ -44,5 +48,6 @@ main()
     std::printf("\ngeomean TPut/W ratio: %.0fx (paper: ~6000x at 112 "
                 "MB/s/lane, 11x one thread)\n",
                 geomean(ratios));
-    return 0;
+    rec.add_metric("geomean_tput_per_watt_ratio", geomean(ratios));
+    return rec.finish();
 }

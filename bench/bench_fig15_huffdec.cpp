@@ -11,11 +11,12 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
+    MetricsRecorder rec("bench_fig15_huffdec", argc, argv);
     const UdpCostModel cost;
     print_header("Figure 15: Huffman Decoding (SsRef)",
                  {"file", "CPU MB/s", "UDP lane MB/s", "lanes",
@@ -27,6 +28,7 @@ main()
         Bytes enc = baselines::huffman_encode(f.data, code);
 
         WorkloadPerf p;
+        p.name = "huffdec " + f.name;
         p.cpu_mbps = time_cpu_mbps(
             [&] { baselines::huffman_decode(enc, f.data.size(), code); },
             enc.size());
@@ -43,6 +45,8 @@ main()
         p.udp_lane_mbps = lane.stats().rate_mbps();
         p.parallelism = std::min(
             64u, kernels::achievable_parallelism(k.code_bytes));
+        attach_sim(p, lane.stats());
+        rec.add_workload(p);
 
         ratios.push_back(p.perf_watt_ratio(cost));
         print_row({f.name, fmt(p.cpu_mbps), fmt(p.udp_lane_mbps),
@@ -52,5 +56,6 @@ main()
     std::printf("\ngeomean TPut/W ratio: %.0fx (paper: ~18300x at 366 "
                 "MB/s/lane, 24x one thread)\n",
                 geomean(ratios));
-    return 0;
+    rec.add_metric("geomean_tput_per_watt_ratio", geomean(ratios));
+    return rec.finish();
 }

@@ -10,12 +10,13 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::kernels;
 
+    MetricsRecorder rec("bench_fig16_pattern", argc, argv);
     const UdpCostModel cost;
     print_header("Figure 16: Pattern Matching",
                  {"set", "CPU MB/s", "UDP lane MB/s", "lane/thread",
@@ -23,6 +24,7 @@ main()
 
     for (const bool complex_set : {false, true}) {
         const WorkloadPerf p = measure_pattern_matching(complex_set);
+        rec.add_workload(p);
         print_row({complex_set ? "complex (NFA)" : "simple (aDFA)",
                    fmt(p.cpu_mbps), fmt(p.udp_lane_mbps),
                    fmt(p.udp_lane_mbps / p.cpu_mbps, 2),
@@ -49,9 +51,15 @@ main()
                    std::to_string(groups[0].program.layout.code_bytes()),
                    fmt(lane.stats().rate_mbps()),
                    std::to_string(lane.accept_count())});
+        rec.add_metric(std::string(fa_model_name(model)) +
+                           "_lane_mbps",
+                       lane.stats().rate_mbps());
+        rec.add_metric(std::string(fa_model_name(model)) +
+                           "_code_bytes",
+                       double(groups[0].program.layout.code_bytes()));
     }
     std::printf("\npaper shape: 1 lane ~7x one thread, 800-350 MB/s; "
                 "~1780x TPut/W; aDFA small+fast, NFA smallest, DFA "
                 "largest\n");
-    return 0;
+    return rec.finish();
 }

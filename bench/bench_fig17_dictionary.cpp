@@ -10,12 +10,13 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::kernels;
 
+    MetricsRecorder rec("bench_fig17_dictionary", argc, argv);
     const UdpCostModel cost;
     print_header("Figure 17: Dictionary / Dictionary-RLE",
                  {"attribute", "mode", "CPU MB/s", "UDP lane MB/s",
@@ -58,8 +59,12 @@ main()
             const auto res = run_dict_kernel(m, 0, prog, input, rle);
 
             WorkloadPerf p;
+            p.name = std::string(a.name) +
+                     (rle ? " dict-RLE" : " dict");
             p.cpu_mbps = cpu;
             p.udp_lane_mbps = res.stats.rate_mbps();
+            attach_sim(p, res.stats);
+            rec.add_workload(p);
             print_row({a.name, rle ? "dict-RLE" : "dict", fmt(cpu),
                        fmt(p.udp_lane_mbps),
                        fmt(p.udp_lane_mbps / cpu, 2),
@@ -68,5 +73,5 @@ main()
     }
     std::printf("\npaper shape: ~6x rate per lane; >4190x (RLE) / "
                 ">4440x (dict) TPut/W\n");
-    return 0;
+    return rec.finish();
 }

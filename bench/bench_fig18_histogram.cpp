@@ -10,12 +10,13 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::kernels;
 
+    MetricsRecorder rec("bench_fig18_histogram", argc, argv);
     const UdpCostModel cost;
     print_header("Figure 18: Histogram",
                  {"column", "bins", "CPU MB/s", "UDP lane MB/s",
@@ -58,8 +59,12 @@ main()
                 run_histogram_kernel(m, 0, prog, packed, c.bins, 0);
 
             WorkloadPerf p;
+            p.name = std::string(c.name) +
+                     (percentile ? " (pct)" : " (uni)");
             p.cpu_mbps = cpu;
             p.udp_lane_mbps = res.stats.rate_mbps();
+            attach_sim(p, res.stats);
+            rec.add_workload(p);
             print_row({std::string(c.name) +
                            (percentile ? " (pct)" : " (uni)"),
                        std::to_string(c.bins), fmt(cpu),
@@ -70,5 +75,5 @@ main()
     }
     std::printf("\npaper shape: one lane ~400 MB/s, parity with one "
                 "thread; 876x TPut/W\n");
-    return 0;
+    return rec.finish();
 }

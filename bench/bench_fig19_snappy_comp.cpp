@@ -10,12 +10,13 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::kernels;
 
+    MetricsRecorder rec("bench_fig19_snappy_comp", argc, argv);
     const UdpCostModel cost;
     static const Program prog = snappy_compress_program();
 
@@ -36,9 +37,12 @@ main()
         const auto res = run_snappy_compress(m, 0, prog, block, 0);
 
         WorkloadPerf p;
+        p.name = "snappy_comp " + f.name;
         p.cpu_mbps = cpu;
         p.udp_lane_mbps = res.stats.rate_mbps();
         p.parallelism = 32;
+        attach_sim(p, res.stats);
+        rec.add_workload(p);
         ratios.push_back(p.perf_watt_ratio(cost));
         print_row(
             {f.name, fmt(cpu), fmt(p.udp_lane_mbps),
@@ -53,5 +57,6 @@ main()
     std::printf("\ngeomean TPut/W ratio: %.0fx (paper: 276x; lane rate "
                 "70-400 MB/s tracking entropy)\n",
                 geomean(ratios));
-    return 0;
+    rec.add_metric("geomean_tput_per_watt_ratio", geomean(ratios));
+    return rec.finish();
 }

@@ -9,12 +9,13 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::kernels;
 
+    MetricsRecorder rec("bench_fig20_snappy_decomp", argc, argv);
     const UdpCostModel cost;
     static const Program prog = snappy_decompress_program();
 
@@ -42,9 +43,12 @@ main()
             0);
 
         WorkloadPerf p;
+        p.name = "snappy_decomp " + f.name;
         p.cpu_mbps = cpu;
         p.udp_lane_mbps = res.stats.rate_mbps();
         p.parallelism = 32;
+        attach_sim(p, res.stats);
+        rec.add_workload(p);
         ratios.push_back(p.perf_watt_ratio(cost));
         print_row({f.name, fmt(cpu), fmt(p.udp_lane_mbps),
                    fmt(p.udp_lane_mbps / cpu, 2),
@@ -53,5 +57,6 @@ main()
     std::printf("\ngeomean TPut/W ratio: %.0fx (paper: 327x; lane "
                 "400-1450 MB/s, parity with one thread)\n",
                 geomean(ratios));
-    return 0;
+    rec.add_metric("geomean_tput_per_watt_ratio", geomean(ratios));
+    return rec.finish();
 }

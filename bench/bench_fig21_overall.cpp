@@ -11,12 +11,15 @@
 #include "workloads/generators.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
+    MetricsRecorder rec("bench_fig21_overall", argc, argv);
     const auto all = measure_all();
+    for (const auto &p : all)
+        rec.add_workload(p);
     print_header("Figure 21: UDP (full) speedup vs 8 CPU threads",
                  {"workload", "CPU 8T MB/s", "UDP MB/s", "speedup"});
     std::vector<double> speedups;
@@ -27,6 +30,7 @@ main()
     }
     std::printf("\ngeomean speedup: %.1fx (paper: 20x, range 8-197x)\n",
                 geomean(speedups));
+    rec.add_metric("geomean_speedup_vs_8t", geomean(speedups));
 
     // Section 5.7: constant trigger rate across p2..p13.
     print_header("Section 5.7: signal triggering p2..p13 (one lane)",
@@ -47,8 +51,10 @@ main()
         print_row({"p" + std::to_string(w),
                    fmt(lane.stats().rate_mbps()), fmt(cpu),
                    std::to_string(lane.accept_count())});
+        rec.add_metric("trigger_p" + std::to_string(w) + "_lane_mbps",
+                       lane.stats().rate_mbps());
     }
     std::printf("\npaper shape: constant ~1055 MB/s per lane across "
                 "p2-p13, ~4x the 275 MB/s CPU\n");
-    return 0;
+    return rec.finish();
 }

@@ -6,13 +6,16 @@
 #include "support.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
+    MetricsRecorder rec("bench_fig22_perf_watt", argc, argv);
     const UdpCostModel cost;
     const auto all = measure_all();
+    for (const auto &p : all)
+        rec.add_workload(p);
 
     print_header("Figure 22: throughput per watt vs CPU",
                  {"workload", "UDP MB/s/W", "CPU MB/s/W", "ratio"});
@@ -27,5 +30,6 @@ main()
     std::printf("\ngeomean TPut/W ratio: %.0fx (paper: 1900x, range "
                 "276x-18300x)\n",
                 geomean(ratios));
-    return 0;
+    rec.add_metric("geomean_tput_per_watt_ratio", geomean(ratios));
+    return rec.finish();
 }

@@ -15,12 +15,13 @@
 #include <chrono>
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
     using namespace udp::baselines;
 
+    MetricsRecorder rec("bench_tab02_workloads", argc, argv);
     print_header("Table 2: workloads and CPU challenges",
                  {"workload", "dataset (synthetic)", "challenge",
                   "measured"});
@@ -41,6 +42,8 @@ main()
                    "poor locality / big tables",
                    fmt(100 * prof.mispredict_fraction()) +
                        "% mispredict cycles"});
+        rec.add_metric("pattern_bi_mispredict_pct",
+                       100 * prof.mispredict_fraction());
     }
     {
         const std::string csv = workloads::crimes_csv(100);
@@ -68,6 +71,8 @@ main()
                    fmt(100 * hash_time / total, 0) +
                        "% of encode runtime is hashing" +
                        (acc == 0 ? "!" : "")});
+        rec.add_metric("dict_hash_runtime_pct",
+                       100 * hash_time / total);
         print_row({"Histogram", "lat/long/fare FP columns",
                    "branchy binary search", "edge-compare chains"});
         print_row({"Huffman enc/dec", "Canterbury/BDBench-like",
@@ -77,5 +82,5 @@ main()
         print_row({"Signal triggering", "Keysight-like waveform",
                    "mem indirection + addr calc", "LUT-chain dependency"});
     }
-    return 0;
+    return rec.finish();
 }

@@ -7,12 +7,19 @@
 #include "support.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
+    MetricsRecorder rec("bench_tab03_power_area", argc, argv);
     const UdpCostModel m;
+    rec.add_metric("system_mw", m.system_mw);
+    rec.add_metric("system_mm2", m.system_mm2);
+    rec.add_metric("lane_total_mw", m.lane_total_mw);
+    rec.add_metric("lane_total_mm2", m.lane_total_mm2);
+    rec.add_metric("local_mem_mw", m.local_mem_mw);
+    rec.add_metric("clock_ghz", m.clock_ghz);
     print_header("Table 3: UDP lane breakdown",
                  {"component", "power mW", "frac %", "area mm2",
                   "frac %"});
@@ -46,5 +53,5 @@ main()
     print_row({"64-lane logic",
                fmt(m.lanes64_mw, 1) + " mW / " + fmt(m.lanes64_mm2, 2) +
                    " mm2"});
-    return 0;
+    return rec.finish();
 }

@@ -8,11 +8,12 @@
 #include "support.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace udp;
     using namespace udp::bench;
 
+    MetricsRecorder rec("bench_tab04_accel_compare", argc, argv);
     const UdpCostModel cost;
 
     // Measured UDP sides.
@@ -21,6 +22,8 @@ main()
     const auto comp = measure_snappy_compress();
     const auto deco = measure_snappy_decompress();
     const auto csv = measure_csv_parsing();
+    for (const auto &p : {pat, rex, comp, deco, csv})
+        rec.add_workload(p);
 
     struct Row {
         const char *accel;
@@ -64,6 +67,9 @@ main()
         }
         print_row({r.accel, r.algo, fmt(r.accel_gbps, 1), fmt(rel, 2),
                    eff});
+        rec.add_metric(std::string(r.accel) + " " + r.algo +
+                           " rel_perf",
+                       rel);
     }
     std::printf("\npaper shape: relative perf 0.4x-13x, relative "
                 "efficiency 0.32x-9.8x (accelerator numbers are "
@@ -79,5 +85,5 @@ main()
                "multi-bank windows per lane"});
     print_row({"actions", "logic/bit-field",
                "rich arithmetic + memory ops"});
-    return 0;
+    return rec.finish();
 }

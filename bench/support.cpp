@@ -4,6 +4,8 @@
  */
 #include "support.hpp"
 
+#include "core/metrics_json.hpp"
+
 #include "baselines/csv.hpp"
 #include "baselines/dictionary.hpp"
 #include "baselines/histogram.hpp"
@@ -22,6 +24,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 namespace udp::bench {
 
@@ -88,6 +93,102 @@ fmt(double v, int prec)
 }
 
 // ---------------------------------------------------------------------------
+// Machine-readable metrics (--json).
+// ---------------------------------------------------------------------------
+
+void
+attach_sim(WorkloadPerf &p, const LaneStats &stats, AddressingMode mode)
+{
+    attach_sim(p, stats, stats.cycles, 1, mode);
+}
+
+void
+attach_sim(WorkloadPerf &p, const LaneStats &total, Cycles wall,
+           unsigned active_lanes, AddressingMode mode)
+{
+    p.lane_stats = total;
+    p.energy_j =
+        run_energy_joules(UdpCostModel{}, total, wall, active_lanes, mode);
+}
+
+MetricsRecorder::MetricsRecorder(std::string bench, int argc, char **argv)
+    : bench_(std::move(bench))
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --json requires a path\n",
+                             bench_.c_str());
+                std::exit(2);
+            }
+            path_ = argv[++i];
+        }
+    }
+}
+
+int
+MetricsRecorder::finish() const
+{
+    if (path_.empty())
+        return 0;
+
+    std::ofstream os(path_);
+    if (!os) {
+        std::fprintf(stderr, "%s: cannot open %s for writing\n",
+                     bench_.c_str(), path_.c_str());
+        return 1;
+    }
+
+    JsonWriter w(os, /*pretty=*/true);
+    w.begin_object();
+    w.field("bench", bench_);
+    w.field("clock_hz", kClockHz);
+
+    LaneStats total;
+    double energy_total = 0;
+    w.key("workloads");
+    w.begin_array();
+    for (const auto &p : workloads_) {
+        w.begin_object();
+        w.field("name", p.name);
+        w.field("cpu_mbps", p.cpu_mbps);
+        w.field("udp_lane_mbps", p.udp_lane_mbps);
+        w.field("parallelism", p.parallelism);
+        w.field("udp64_mbps", p.udp64_mbps());
+        w.field("speedup_vs_8t", p.speedup_vs_8t());
+        w.field("tput_per_watt_ratio", p.perf_watt_ratio(UdpCostModel{}));
+        w.field("energy_j", p.energy_j);
+        w.key("lane_stats");
+        write_lane_stats(w, p.lane_stats);
+        w.end_object();
+        total.add(p.lane_stats);
+        energy_total += p.energy_j;
+    }
+    w.end_array();
+
+    w.key("lane_stats_total");
+    write_lane_stats(w, total);
+    w.field("energy_j_total", energy_total);
+
+    w.key("metrics");
+    w.begin_object();
+    for (const auto &[k, v] : metrics_)
+        w.field(k, v);
+    w.end_object();
+
+    w.end_object();
+    w.done();
+    os << "\n";
+    if (!os) {
+        std::fprintf(stderr, "%s: write to %s failed\n", bench_.c_str(),
+                     path_.c_str());
+        return 1;
+    }
+    std::printf("\nmetrics: wrote %s\n", path_.c_str());
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
 // Workload measurements.
 // ---------------------------------------------------------------------------
 
@@ -124,6 +225,7 @@ measure_csv_parsing()
     const auto res = run_csv_kernel(m, 0, data, 0);
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     p.parallelism = 32; // two-bank windows (input + field output)
+    attach_sim(p, res.stats);
     return p;
 }
 
@@ -145,6 +247,7 @@ measure_huffman_encode()
     lane.set_input(data);
     lane.run();
     p.udp_lane_mbps = lane_rate_mbps(lane.stats());
+    attach_sim(p, lane.stats());
     return p;
 }
 
@@ -171,6 +274,7 @@ measure_huffman_decode()
     lane.run();
     p.udp_lane_mbps = lane_rate_mbps(lane.stats());
     p.parallelism = std::min(64u, achievable_parallelism(k.code_bytes));
+    attach_sim(p, lane.stats());
     return p;
 }
 
@@ -203,6 +307,7 @@ measure_pattern_matching(bool complex_set)
     Machine m(AddressingMode::Restricted);
     Cycles max_cycles = 0;
     std::uint64_t bytes = 0;
+    LaneStats group_total;
     for (std::size_t g = 0; g < groups.size(); ++g) {
         Lane &lane = m.lane(static_cast<unsigned>(g));
         lane.load(groups[g].program);
@@ -213,11 +318,14 @@ measure_pattern_matching(bool complex_set)
             lane.run();
         max_cycles = std::max(max_cycles, lane.stats().cycles);
         bytes += payload.size();
+        group_total.add(lane.stats());
     }
     // Each group scans the whole stream; the partitioned set behaves as
     // one lane handling the stream at the slowest group's rate.
     p.udp_lane_mbps =
         double(payload.size()) / (double(max_cycles) / kClockHz) / 1e6;
+    attach_sim(p, group_total, max_cycles,
+               static_cast<unsigned>(groups.size()));
     return p;
 }
 
@@ -244,6 +352,7 @@ measure_dictionary(bool rle)
     Machine m(AddressingMode::Restricted);
     const auto res = run_dict_kernel(m, 0, prog, input, rle);
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    attach_sim(p, res.stats);
     return p;
 }
 
@@ -267,6 +376,7 @@ measure_histogram()
     Machine m(AddressingMode::Restricted);
     const auto res = run_histogram_kernel(m, 0, prog, packed, 10, 0);
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    attach_sim(p, res.stats);
     return p;
 }
 
@@ -285,6 +395,7 @@ measure_snappy_compress()
     const auto res = run_snappy_compress(m, 0, prog, block, 0);
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     p.parallelism = 32; // two-bank windows (input + hash table)
+    attach_sim(p, res.stats);
     return p;
 }
 
@@ -310,6 +421,7 @@ measure_snappy_decompress()
         m, 0, prog, BytesView(comp).subspan(pos, comp.size() - pos), 0);
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     p.parallelism = 32; // two-bank windows (input + output)
+    attach_sim(p, res.stats);
     return p;
 }
 
@@ -332,6 +444,7 @@ measure_trigger()
     lane.set_input(samples);
     lane.run();
     p.udp_lane_mbps = lane_rate_mbps(lane.stats());
+    attach_sim(p, lane.stats());
     return p;
 }
 

@@ -29,6 +29,8 @@ struct WorkloadPerf {
     double cpu_mbps = 0;       ///< one CPU thread, measured
     double udp_lane_mbps = 0;  ///< one UDP lane, simulated
     unsigned parallelism = 64; ///< lanes the program footprint allows
+    LaneStats lane_stats;      ///< simulated lane counters (summed)
+    double energy_j = 0;       ///< modeled energy of the simulated run
 
     double udp64_mbps() const { return udp_lane_mbps * parallelism; }
     double speedup_vs_8t() const {
@@ -39,6 +41,46 @@ struct WorkloadPerf {
         const double cpu = 8 * cpu_mbps / m.cpu_tdp_w;
         return cpu > 0 ? udp / cpu : 0;
     }
+};
+
+/// Record simulated counters + modeled energy on `p` (single-lane run).
+void attach_sim(WorkloadPerf &p, const LaneStats &stats,
+                AddressingMode mode = AddressingMode::Restricted);
+
+/// Multi-lane variant: `total` summed over lanes, `wall` the machine time.
+void attach_sim(WorkloadPerf &p, const LaneStats &total, Cycles wall,
+                unsigned active_lanes,
+                AddressingMode mode = AddressingMode::Restricted);
+
+/**
+ * Machine-readable benchmark output (`--json <path>`).
+ *
+ * Every bench main constructs one from argv, feeds it the workloads /
+ * scalar metrics it prints, and returns `finish()` as its exit code.
+ * Without `--json` on the command line this is a no-op.  The schema is
+ * documented in docs/OBSERVABILITY.md.
+ */
+class MetricsRecorder
+{
+  public:
+    MetricsRecorder(std::string bench, int argc, char **argv);
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    void add_workload(const WorkloadPerf &p) { workloads_.push_back(p); }
+    void add_metric(const std::string &key, double value) {
+        metrics_.emplace_back(key, value);
+    }
+
+    /// Write the JSON file if --json was given. Returns a main() exit code.
+    int finish() const;
+
+  private:
+    std::string bench_;
+    std::string path_;
+    std::vector<WorkloadPerf> workloads_;
+    std::vector<std::pair<std::string, double>> metrics_;
 };
 
 /// Wall-clock MB/s of `fn` over `bytes` of input (repeats for stability).

@@ -4,6 +4,7 @@
  */
 #include "disasm.hpp"
 
+#include <map>
 #include <sstream>
 
 namespace udp {
@@ -52,6 +53,37 @@ format_action(const Action &a)
 }
 
 std::string
+state_label(const Program &prog, std::uint32_t base)
+{
+    std::ostringstream os;
+    os << "state @0x" << std::hex << base << std::dec;
+    for (const auto &st : prog.states) {
+        if (st.base == base) {
+            if (st.reg_source)
+                os << " [r0-dispatch]";
+            break;
+        }
+    }
+    return os.str();
+}
+
+StateSymbolizer
+make_state_symbolizer(const Program &prog)
+{
+    std::map<std::uint32_t, std::string> labels;
+    for (const auto &st : prog.states)
+        labels.emplace(st.base, state_label(prog, st.base));
+    return [labels = std::move(labels)](std::uint32_t base) {
+        const auto it = labels.find(base);
+        if (it != labels.end())
+            return it->second;
+        std::ostringstream os;
+        os << "state @0x" << std::hex << base;
+        return os.str();
+    };
+}
+
+std::string
 disassemble(const Program &prog)
 {
     std::ostringstream os;
@@ -61,8 +93,7 @@ disassemble(const Program &prog)
        << prog.entry << std::dec << "\n";
 
     for (const auto &st : prog.states) {
-        os << "state @0x" << std::hex << st.base << std::dec
-           << (st.reg_source ? " [r0-dispatch]" : "") << "\n";
+        os << state_label(prog, st.base) << "\n";
         for (unsigned k = 1; k <= st.aux_count; ++k) {
             const Transition t =
                 decode_transition(prog.dispatch[st.base - k]);

@@ -5,6 +5,7 @@
  */
 #pragma once
 
+#include "core/profile.hpp"
 #include "core/program.hpp"
 
 #include <string>
@@ -16,6 +17,16 @@ std::string format_transition(const Transition &t);
 
 /// One-line rendering of a decoded action.
 std::string format_action(const Action &a);
+
+/// Label for the state whose labeled table starts at `base`, exactly as
+/// it appears in disassemble() listings (e.g. "state @0x1f3" with an
+/// " [r0-dispatch]" suffix for register-sourced states).
+std::string state_label(const Program &prog, std::uint32_t base);
+
+/// Symbolizer for Profiler::report(): resolves dispatch bases to the
+/// same labels disassemble() prints.  Snapshots the state table, so the
+/// returned callable does not reference `prog` afterwards.
+StateSymbolizer make_state_symbolizer(const Program &prog);
 
 /// Full program listing (states, their slots and action blocks).
 std::string disassemble(const Program &prog);

@@ -5,6 +5,9 @@
  */
 #include "lane.hpp"
 
+#include "profile.hpp"
+#include "trace.hpp"
+
 #include <algorithm>
 
 namespace udp {
@@ -120,11 +123,20 @@ Lane::charge_mem(ByteAddr phys, bool is_write)
         ++stats_.mem_writes;
     else
         ++stats_.mem_reads;
+    Cycles stall = 0;
     if (arbiter_) {
-        const Cycles stall =
-            arbiter_(LocalMemory::bank_of(phys), is_write);
+        stall = arbiter_(LocalMemory::bank_of(phys), is_write);
         stats_.stall_cycles += stall;
         stats_.cycles += stall;
+    }
+    if (tracer_) {
+        tracer_->record(id_,
+                        is_write ? TraceEventKind::MemWrite
+                                 : TraceEventKind::MemRead,
+                        stats_.cycles, phys, 0);
+        if (stall != 0)
+            tracer_->record(id_, TraceEventKind::Stall, stats_.cycles,
+                            phys, static_cast<std::uint32_t>(stall));
     }
 }
 
@@ -281,6 +293,10 @@ Lane::step(const StateMeta &meta, std::vector<DispatchAddr> *activations)
         ++stats_.dispatches;
         ++stats_.cycles;
         ++stats_.dispatch_reads;
+        if (tracer_)
+            tracer_->record(id_, TraceEventKind::Dispatch, stats_.cycles,
+                            static_cast<std::uint32_t>(base),
+                            last_symbol_);
         taken = common;
         have = true;
     } else {
@@ -304,6 +320,9 @@ Lane::step(const StateMeta &meta, std::vector<DispatchAddr> *activations)
         // Multi-way dispatch: one cycle, slot = base + symbol.
         ++stats_.dispatches;
         ++stats_.cycles;
+        if (tracer_)
+            tracer_->record(id_, TraceEventKind::Dispatch, stats_.cycles,
+                            static_cast<std::uint32_t>(base), sym);
         const std::size_t slot = base + sym;
         if (slot < prog_->dispatch.size() && sym <= meta.max_symbol) {
             const Transition t = decode_transition(dispatch_word(slot));
@@ -321,6 +340,10 @@ Lane::step(const StateMeta &meta, std::vector<DispatchAddr> *activations)
             // cycle, the paper's majority/default fallback penalty).
             ++stats_.sig_misses;
             ++stats_.cycles;
+            if (tracer_)
+                tracer_->record(id_, TraceEventKind::SigMiss,
+                                stats_.cycles,
+                                static_cast<std::uint32_t>(base), sym);
             for (unsigned k = 1; k <= meta.aux_count; ++k) {
                 const Transition t =
                     decode_transition(dispatch_word(base - k));
@@ -389,6 +412,13 @@ Lane::exec_actions(std::size_t addr)
         const Action a = decode_action(img[addr]);
         ++stats_.actions;
         ++stats_.cycles;
+        if (tracer_)
+            tracer_->record(id_, TraceEventKind::Action, stats_.cycles,
+                            static_cast<std::uint32_t>(addr),
+                            static_cast<std::uint32_t>(a.op));
+        // Extra cycles charged inside the switch (loop ops, stalls) are
+        // attributed to this opcode via the delta from here.
+        const Cycles act_start = stats_.cycles;
 
         const Word rs = (a.src == kRegStreamIdx)
                             ? static_cast<Word>(sb_.pos_bytes())
@@ -524,6 +554,9 @@ Lane::exec_actions(std::size_t addr)
             for (unsigned i = 0; i < count; ++i)
                 out_byte(mem_.read8(mem_translate(entry + 1 + i)));
             ++stats_.mem_reads; // one 8-byte-wide entry fetch
+            if (tracer_)
+                tracer_->record(id_, TraceEventKind::MemRead,
+                                stats_.cycles, entry, 0);
             break;
           }
           case Opcode::Hash:
@@ -587,14 +620,26 @@ Lane::exec_actions(std::size_t addr)
 
           case Opcode::Accept:
             ++stats_.accepts;
+            if (tracer_)
+                tracer_->record(id_, TraceEventKind::Accept,
+                                stats_.cycles,
+                                static_cast<std::uint32_t>(a.imm), 0);
             if (accepts_.size() < accept_capacity_) {
                 accepts_.push_back(
                     {sb_.pos_bits(), static_cast<Word>(a.imm)});
             }
             break;
-          case Opcode::Halt: return LaneStatus::Done;
-          case Opcode::Fail: return LaneStatus::Reject;
+          case Opcode::Halt:
+            if (profiler_)
+                profiler_->record_action(a.op, 1);
+            return LaneStatus::Done;
+          case Opcode::Fail:
+            if (profiler_)
+                profiler_->record_action(a.op, 1);
+            return LaneStatus::Reject;
           case Opcode::Gotoact:
+            if (profiler_)
+                profiler_->record_action(a.op, 1);
             addr = static_cast<std::size_t>(a.imm);
             continue; // `last` is irrelevant on a taken goto
           case Opcode::Nop: break;
@@ -603,6 +648,9 @@ Lane::exec_actions(std::size_t addr)
             throw UdpError("Lane: unimplemented opcode");
         }
 
+        if (profiler_)
+            profiler_->record_action(a.op,
+                                     1 + (stats_.cycles - act_start));
         if (a.last)
             return LaneStatus::Running;
         ++addr;
@@ -630,7 +678,22 @@ Lane::run_steps(std::uint64_t n)
         if (!meta)
             throw UdpError("Lane: dispatch into unknown state base " +
                            std::to_string(cur_state_));
-        const StepResult r = step(*meta, nullptr);
+        StepResult r;
+        if (profiler_) {
+            // Everything the step charges (dispatch, miss penalty,
+            // attached actions, stalls) is attributed to this state.
+            const Cycles c0 = stats_.cycles;
+            const std::uint64_t m0 = stats_.sig_misses;
+            const std::uint64_t s0 = stats_.stall_cycles;
+            r = step(*meta, nullptr);
+            if (stats_.cycles != c0) // zero delta = end-of-stream probe
+                profiler_->record_state(
+                    static_cast<std::uint32_t>(cur_state_),
+                    stats_.cycles - c0, stats_.sig_misses - m0,
+                    stats_.stall_cycles - s0);
+        } else {
+            r = step(*meta, nullptr);
+        }
         if (r.status != LaneStatus::Running) {
             halted_ = true;
             halt_status_ = r.status;
@@ -695,6 +758,13 @@ Lane::run_nfa(std::uint64_t max_cycles)
                     ++stats_.cycles;
                     ++stats_.dispatches;
                     ++stats_.dispatch_reads;
+                    if (tracer_)
+                        tracer_->record(
+                            id_, TraceEventKind::Dispatch, stats_.cycles,
+                            static_cast<std::uint32_t>(tgt), 0);
+                    if (profiler_)
+                        profiler_->record_state(
+                            static_cast<std::uint32_t>(tgt), 1, 0, 0);
                     stamp[tgt] = generation;
                     set.push_back(tgt);
                     std::size_t act;
@@ -722,8 +792,16 @@ Lane::run_nfa(std::uint64_t max_cycles)
             const std::size_t base = meta->base;
             const std::uint8_t sig = state_signature(meta->base);
 
+            const Cycles prof_c0 = stats_.cycles;
+            const std::uint64_t prof_m0 = stats_.sig_misses;
+            const std::uint64_t prof_s0 = stats_.stall_cycles;
+
             ++stats_.dispatches;
             ++stats_.cycles;
+            if (tracer_)
+                tracer_->record(id_, TraceEventKind::Dispatch,
+                                stats_.cycles,
+                                static_cast<std::uint32_t>(base), sym);
 
             Transition taken;
             bool have = false;
@@ -740,6 +818,11 @@ Lane::run_nfa(std::uint64_t max_cycles)
             if (!have) {
                 ++stats_.sig_misses;
                 ++stats_.cycles;
+                if (tracer_)
+                    tracer_->record(id_, TraceEventKind::SigMiss,
+                                    stats_.cycles,
+                                    static_cast<std::uint32_t>(base),
+                                    sym);
                 for (unsigned k = 1; k <= meta->aux_count; ++k) {
                     const Transition t =
                         decode_transition(dispatch_word(base - k));
@@ -754,19 +837,25 @@ Lane::run_nfa(std::uint64_t max_cycles)
                     }
                 }
             }
-            if (!have)
-                continue; // this activation dies
-
-            const std::size_t tgt = dispatch_base_ + taken.target;
-            if (stamp[tgt] != generation) {
-                stamp[tgt] = generation;
-                next.push_back(tgt);
-                // Activation happens once per step; arc actions fire with
-                // the first arc that activates the target.
-                std::size_t act;
-                if (attach_addr(taken, act))
-                    exec_actions(act);
+            if (have) {
+                const std::size_t tgt = dispatch_base_ + taken.target;
+                if (stamp[tgt] != generation) {
+                    stamp[tgt] = generation;
+                    next.push_back(tgt);
+                    // Activation happens once per step; arc actions fire
+                    // with the first arc that activates the target.
+                    std::size_t act;
+                    if (attach_addr(taken, act))
+                        exec_actions(act);
+                }
             }
+            // `have == false`: this activation dies, after charging the
+            // dispatch + miss cycles profiled below.
+            if (profiler_)
+                profiler_->record_state(
+                    static_cast<std::uint32_t>(base),
+                    stats_.cycles - prof_c0, stats_.sig_misses - prof_m0,
+                    stats_.stall_cycles - prof_s0);
         }
         close(next);
         // close() bumps the generation; re-stamp for the swap below is

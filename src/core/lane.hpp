@@ -32,6 +32,9 @@
 
 namespace udp {
 
+class Tracer;   // trace.hpp
+class Profiler; // profile.hpp
+
 /// Terminal status of a lane run.
 enum class LaneStatus : std::uint8_t {
     Done,     ///< consumed the whole stream, or executed Halt
@@ -104,6 +107,15 @@ class Lane
     using ArbiterHook = std::function<Cycles(unsigned bank, bool is_write)>;
     void set_arbiter(ArbiterHook hook) { arbiter_ = std::move(hook); }
 
+    /// Attach an event tracer (nullptr = off, the default; survives
+    /// reset()/load() like the arbiter — it is run configuration).
+    void set_tracer(Tracer *t) { tracer_ = t; }
+    Tracer *tracer() const { return tracer_; }
+
+    /// Attach a profiling aggregator (nullptr = off, the default).
+    void set_profiler(Profiler *p) { profiler_ = p; }
+    Profiler *profiler() const { return profiler_; }
+
   private:
     // Dispatch outcome for one step of one active state.
     struct StepResult {
@@ -157,6 +169,8 @@ class Lane
     std::vector<AcceptEvent> accepts_;
     std::size_t accept_capacity_ = 1 << 16;
     ArbiterHook arbiter_;
+    Tracer *tracer_ = nullptr;     ///< event sink; off when null
+    Profiler *profiler_ = nullptr; ///< aggregation sink; off when null
     std::size_t cur_state_ = 0;   ///< full base of the active state
     bool started_ = false;
     bool halted_ = false;

@@ -4,6 +4,9 @@
  */
 #include "machine.hpp"
 
+#include "profile.hpp"
+#include "trace.hpp"
+
 #include <algorithm>
 
 namespace udp {
@@ -21,6 +24,22 @@ Machine::lane(unsigned idx)
     if (idx >= lanes_.size())
         throw UdpError("Machine: lane index out of range");
     return *lanes_[idx];
+}
+
+void
+Machine::set_tracer(Tracer *t)
+{
+    tracer_ = t;
+    for (auto &ln : lanes_)
+        ln->set_tracer(t);
+}
+
+void
+Machine::set_profiler(Profiler *p)
+{
+    profiler_ = p;
+    for (auto &ln : lanes_)
+        ln->set_profiler(p);
 }
 
 void

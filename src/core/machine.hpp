@@ -46,9 +46,7 @@ struct MachineResult {
 
     /// Aggregate throughput in MB/s at the nominal clock.
     double throughput_mbps() const {
-        if (wall_cycles == 0)
-            return 0.0;
-        return total.input_bytes() / (double(wall_cycles) / kClockHz) / 1e6;
+        return bytes_per_second(total.input_bytes(), wall_cycles) / 1e6;
     }
 };
 
@@ -84,6 +82,15 @@ class Machine
     /// Energy of the last run, in joules (see run_energy_joules).
     double last_run_energy_j() const { return last_energy_j_; }
 
+    /// Attach an event tracer to every lane (nullptr detaches; see
+    /// core/trace.hpp).  Costs nothing when detached (the default).
+    void set_tracer(Tracer *t);
+    Tracer *tracer() const { return tracer_; }
+
+    /// Attach a profiling aggregator to every lane (core/profile.hpp).
+    void set_profiler(Profiler *p);
+    Profiler *profiler() const { return profiler_; }
+
   private:
     MachineResult collect(Cycles wall);
 
@@ -93,6 +100,8 @@ class Machine
     std::vector<JobSpec> jobs_;
     UdpCostModel cost_;
     double last_energy_j_ = 0.0;
+    Tracer *tracer_ = nullptr;
+    Profiler *profiler_ = nullptr;
 };
 
 } // namespace udp

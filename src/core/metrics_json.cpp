@@ -1,0 +1,440 @@
+/**
+ * @file
+ * JSON writer and validator implementation.
+ */
+#include "metrics_json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace udp {
+
+JsonWriter::JsonWriter(std::ostream &os, bool pretty)
+    : os_(os), pretty_(pretty)
+{
+}
+
+void
+JsonWriter::newline_indent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::before_value(bool is_key)
+{
+    if (done_)
+        throw UdpError("JsonWriter: document already complete");
+    if (stack_.empty()) {
+        // Top-level: a single value, no key allowed.
+        if (is_key)
+            throw UdpError("JsonWriter: key at top level");
+        return;
+    }
+    if (stack_.back() == Ctx::Object) {
+        if (is_key) {
+            if (key_pending_)
+                throw UdpError("JsonWriter: key after key");
+            if (has_items_.back())
+                os_ << ',';
+            newline_indent();
+        } else if (!key_pending_) {
+            throw UdpError("JsonWriter: value in object without key");
+        }
+    } else { // Array
+        if (is_key)
+            throw UdpError("JsonWriter: key inside array");
+        if (has_items_.back())
+            os_ << ',';
+        newline_indent();
+    }
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    before_value(false);
+    if (!stack_.empty())
+        has_items_.back() = true;
+    key_pending_ = false;
+    os_ << '{';
+    stack_.push_back(Ctx::Object);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    if (stack_.empty() || stack_.back() != Ctx::Object || key_pending_)
+        throw UdpError("JsonWriter: unbalanced end_object");
+    const bool had = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had)
+        newline_indent();
+    os_ << '}';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    before_value(false);
+    if (!stack_.empty())
+        has_items_.back() = true;
+    key_pending_ = false;
+    os_ << '[';
+    stack_.push_back(Ctx::Array);
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    if (stack_.empty() || stack_.back() != Ctx::Array)
+        throw UdpError("JsonWriter: unbalanced end_array");
+    const bool had = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had)
+        newline_indent();
+    os_ << ']';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    before_value(true);
+    os_ << '"' << json_escape(k) << "\":";
+    if (pretty_)
+        os_ << ' ';
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    before_value(false);
+    if (!stack_.empty())
+        has_items_.back() = true;
+    key_pending_ = false;
+    os_ << '"' << json_escape(v) << '"';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    before_value(false);
+    if (!stack_.empty())
+        has_items_.back() = true;
+    key_pending_ = false;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    before_value(false);
+    if (!stack_.empty())
+        has_items_.back() = true;
+    key_pending_ = false;
+    os_ << v;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    before_value(false);
+    if (!stack_.empty())
+        has_items_.back() = true;
+    key_pending_ = false;
+    os_ << v;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    before_value(false);
+    if (!stack_.empty())
+        has_items_.back() = true;
+    key_pending_ = false;
+    os_ << (v ? "true" : "false");
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    before_value(false);
+    if (!stack_.empty())
+        has_items_.back() = true;
+    key_pending_ = false;
+    os_ << "null";
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+std::string
+json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Validator: strict recursive-descent over the RFC 8259 grammar.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+    std::string_view text;
+    std::size_t pos = 0;
+    int depth = 0;
+    static constexpr int kMaxDepth = 256;
+
+    bool eof() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    void skip_ws() {
+        while (!eof() && (text[pos] == ' ' || text[pos] == '\t' ||
+                          text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool literal(std::string_view lit) {
+        if (text.substr(pos, lit.size()) != lit)
+            return false;
+        pos += lit.size();
+        return true;
+    }
+
+    bool string() {
+        if (eof() || peek() != '"')
+            return false;
+        ++pos;
+        while (!eof()) {
+            const unsigned char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos;
+                if (eof())
+                    return false;
+                const char e = text[pos];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + i >= text.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text[pos + i])))
+                            return false;
+                    }
+                    pos += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++pos;
+        }
+        return false; // unterminated
+    }
+
+    bool digits() {
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos;
+        return true;
+    }
+
+    bool number() {
+        if (!eof() && peek() == '-')
+            ++pos;
+        if (eof())
+            return false;
+        if (peek() == '0') {
+            ++pos; // no leading zeros
+        } else if (!digits()) {
+            return false;
+        }
+        if (!eof() && peek() == '.') {
+            ++pos;
+            if (!digits())
+                return false;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    bool value() {
+        if (++depth > kMaxDepth)
+            return false;
+        skip_ws();
+        if (eof())
+            return false;
+        bool ok;
+        switch (peek()) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = string(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default: ok = number(); break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool object() {
+        ++pos; // '{'
+        skip_ws();
+        if (!eof() && peek() == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (!string())
+                return false;
+            skip_ws();
+            if (eof() || peek() != ':')
+                return false;
+            ++pos;
+            if (!value())
+                return false;
+            skip_ws();
+            if (eof())
+                return false;
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            if (peek() != ',')
+                return false;
+            ++pos;
+        }
+    }
+
+    bool array() {
+        ++pos; // '['
+        skip_ws();
+        if (!eof() && peek() == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skip_ws();
+            if (eof())
+                return false;
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            if (peek() != ',')
+                return false;
+            ++pos;
+        }
+    }
+};
+
+} // namespace
+
+bool
+json_parse_ok(std::string_view text)
+{
+    Parser p{text};
+    if (!p.value())
+        return false;
+    p.skip_ws();
+    return p.eof();
+}
+
+void
+write_lane_stats(JsonWriter &w, const LaneStats &s)
+{
+    w.begin_object();
+    w.field("cycles", std::uint64_t{s.cycles});
+    w.field("dispatches", s.dispatches);
+    w.field("sig_misses", s.sig_misses);
+    w.field("actions", s.actions);
+    w.field("mem_reads", s.mem_reads);
+    w.field("mem_writes", s.mem_writes);
+    w.field("dispatch_reads", s.dispatch_reads);
+    w.field("stall_cycles", s.stall_cycles);
+    w.field("stream_bits", s.stream_bits);
+    w.field("output_bytes", s.output_bytes);
+    w.field("accepts", s.accepts);
+    w.field("input_bytes", s.input_bytes());
+    w.field("rate_mbps", s.rate_mbps());
+    w.end_object();
+}
+
+} // namespace udp

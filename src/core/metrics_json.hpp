@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal dependency-free JSON support for machine-readable metrics.
+ *
+ * Two halves:
+ *  - `JsonWriter`: a streaming writer over any std::ostream that manages
+ *    commas, nesting and string escaping, so callers can emit structured
+ *    metrics (bench `--json` files, Chrome traces) without string
+ *    concatenation bugs;
+ *  - `json_parse_ok`: a strict syntax validator used by tests to round-trip
+ *    everything the writer produces (and by tooling to sanity-check files)
+ *    without pulling in an external JSON library.
+ *
+ * The writer emits numbers with enough precision to round-trip doubles and
+ * maps non-finite values to `null` (JSON has no NaN/Inf).
+ */
+#pragma once
+
+#include "stats.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace udp {
+
+/**
+ * Streaming JSON writer with automatic comma/indent management.
+ *
+ * Usage:
+ *     JsonWriter w(os);
+ *     w.begin_object();
+ *     w.key("name").value("csv");
+ *     w.key("rates").begin_array().value(1.5).value(2.5).end_array();
+ *     w.end_object();
+ *
+ * Misuse (a value where a key is required, unbalanced end_*) throws
+ * UdpError rather than emitting malformed output.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+
+    JsonWriter &begin_object();
+    JsonWriter &end_object();
+    JsonWriter &begin_array();
+    JsonWriter &end_array();
+
+    /// Emit an object key; must be followed by exactly one value.
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v) {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /// Shorthand for key(k).value(v).
+    template <typename T> JsonWriter &field(std::string_view k, T v) {
+        key(k);
+        return value(v);
+    }
+
+    /// True once the single top-level value is complete.
+    bool done() const { return done_; }
+
+  private:
+    enum class Ctx : std::uint8_t { Object, Array };
+    void before_value(bool is_key);
+    void newline_indent();
+
+    std::ostream &os_;
+    bool pretty_;
+    bool done_ = false;
+    bool key_pending_ = false; ///< key emitted, value required next
+    std::vector<Ctx> stack_;
+    std::vector<bool> has_items_; ///< per nesting level: needs a comma
+};
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+/// Strict validation: true iff `text` is exactly one well-formed JSON
+/// value (with surrounding whitespace allowed).
+bool json_parse_ok(std::string_view text);
+
+/// Emit a LaneStats as a JSON object (all counters, plus derived
+/// input_bytes/rate_mbps), under the writer's current position.
+void write_lane_stats(JsonWriter &w, const LaneStats &s);
+
+} // namespace udp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Profiler implementation.
+ */
+#include "profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace udp {
+
+void
+Profiler::record_state(std::uint32_t base, Cycles cycles,
+                       std::uint64_t sig_misses, std::uint64_t stall_cycles)
+{
+    StateProfile &p = states_[base];
+    ++p.visits;
+    p.cycles += cycles;
+    p.sig_misses += sig_misses;
+    p.stall_cycles += stall_cycles;
+}
+
+void
+Profiler::record_action(Opcode op, Cycles cycles)
+{
+    ActionProfile &p = actions_[op];
+    ++p.count;
+    p.cycles += cycles;
+}
+
+Cycles
+Profiler::total_state_cycles() const
+{
+    Cycles total = 0;
+    for (const auto &[base, p] : states_)
+        total += p.cycles;
+    return total;
+}
+
+std::vector<std::pair<std::uint32_t, StateProfile>>
+Profiler::hot_states(std::size_t top_n) const
+{
+    std::vector<std::pair<std::uint32_t, StateProfile>> out(
+        states_.begin(), states_.end());
+    std::sort(out.begin(), out.end(), [](const auto &x, const auto &y) {
+        if (x.second.cycles != y.second.cycles)
+            return x.second.cycles > y.second.cycles;
+        return x.first < y.first; // deterministic order among ties
+    });
+    if (out.size() > top_n)
+        out.resize(top_n);
+    return out;
+}
+
+std::vector<std::pair<Opcode, ActionProfile>>
+Profiler::hot_actions(std::size_t top_n) const
+{
+    std::vector<std::pair<Opcode, ActionProfile>> out(actions_.begin(),
+                                                      actions_.end());
+    std::sort(out.begin(), out.end(), [](const auto &x, const auto &y) {
+        if (x.second.cycles != y.second.cycles)
+            return x.second.cycles > y.second.cycles;
+        return x.first < y.first;
+    });
+    if (out.size() > top_n)
+        out.resize(top_n);
+    return out;
+}
+
+std::string
+Profiler::report(std::size_t top_n, const StateSymbolizer &sym) const
+{
+    std::ostringstream os;
+    const double total = double(std::max<Cycles>(total_state_cycles(), 1));
+
+    os << "hot states (top " << top_n << " of " << states_.size() << "):\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-32s %12s %6s %12s %9s %12s\n",
+                  "state", "cycles", "cyc%", "visits", "miss%",
+                  "stall cyc");
+    os << buf;
+    for (const auto &[base, p] : hot_states(top_n)) {
+        std::string name;
+        if (sym)
+            name = sym(base);
+        if (name.empty()) {
+            std::snprintf(buf, sizeof(buf), "state @0x%x", base);
+            name = buf;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "  %-32s %12llu %5.1f%% %12llu %8.2f%% %12llu\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(p.cycles),
+                      100.0 * double(p.cycles) / total,
+                      static_cast<unsigned long long>(p.visits),
+                      100.0 * p.sig_miss_rate(),
+                      static_cast<unsigned long long>(p.stall_cycles));
+        os << buf;
+    }
+
+    os << "hot actions (top " << top_n << " of " << actions_.size()
+       << "):\n";
+    std::snprintf(buf, sizeof(buf), "  %-32s %12s %12s\n", "opcode",
+                  "cycles", "count");
+    os << buf;
+    for (const auto &[op, p] : hot_actions(top_n)) {
+        std::snprintf(buf, sizeof(buf), "  %-32s %12llu %12llu\n",
+                      std::string(opcode_name(op)).c_str(),
+                      static_cast<unsigned long long>(p.cycles),
+                      static_cast<unsigned long long>(p.count));
+        os << buf;
+    }
+    return os.str();
+}
+
+void
+Profiler::clear()
+{
+    states_.clear();
+    actions_.clear();
+}
+
+} // namespace udp

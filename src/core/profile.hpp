@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-state and per-action profiling aggregator.
+ *
+ * A `Profiler` attached to lanes (`Lane::set_profiler`) accumulates, per
+ * dispatch state (keyed by the state's full base word address), visits,
+ * cycles spent (dispatch + attached actions + stalls), signature misses
+ * and bank-conflict stall cycles; and per action opcode, execution counts
+ * and cycles.  The aggregator answers the questions the paper's evaluation
+ * asks of the micro-architecture: where do cycles go, which states fall
+ * back to the auxiliary chain, which actions dominate a kernel.
+ *
+ * `hot_states()` ranks states by cycles; `report()` renders a "top-N hot
+ * states" table, resolving state names through a caller-supplied
+ * symbolizer (see `make_state_symbolizer` in assembler/disasm.hpp, which
+ * reuses the disassembler's state labels).
+ *
+ * Like the tracer, the profiler costs nothing when not attached.
+ */
+#pragma once
+
+#include "isa.hpp"
+#include "types.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace udp {
+
+/// Aggregated counters for one dispatch state.
+struct StateProfile {
+    std::uint64_t visits = 0;       ///< dispatches into this state
+    Cycles cycles = 0;              ///< dispatch + action + stall cycles
+    std::uint64_t sig_misses = 0;   ///< aux-chain fallbacks taken here
+    std::uint64_t stall_cycles = 0; ///< bank-conflict stalls charged here
+
+    /// Fraction of visits that missed the labeled-slot signature check.
+    double sig_miss_rate() const {
+        return visits ? double(sig_misses) / double(visits) : 0.0;
+    }
+};
+
+/// Aggregated counters for one action opcode.
+struct ActionProfile {
+    std::uint64_t count = 0; ///< executions
+    Cycles cycles = 0;       ///< cycles charged (incl. loop/mem extras)
+};
+
+/// Resolves a state base address to a display name.
+using StateSymbolizer = std::function<std::string(std::uint32_t base)>;
+
+/// The profiling aggregator.  One per Machine; fed by attached lanes.
+class Profiler
+{
+  public:
+    /// Attribute one dispatch step (and its attached actions) to `base`.
+    void record_state(std::uint32_t base, Cycles cycles,
+                      std::uint64_t sig_misses, std::uint64_t stall_cycles);
+
+    /// Attribute one executed action to its opcode.
+    void record_action(Opcode op, Cycles cycles);
+
+    const std::unordered_map<std::uint32_t, StateProfile> &states() const {
+        return states_;
+    }
+    const std::map<Opcode, ActionProfile> &actions() const {
+        return actions_;
+    }
+
+    /// Cycles attributed across all states.
+    Cycles total_state_cycles() const;
+
+    /// States ranked by cycles, descending; at most `top_n` entries.
+    std::vector<std::pair<std::uint32_t, StateProfile>>
+    hot_states(std::size_t top_n) const;
+
+    /// Action opcodes ranked by cycles, descending; at most `top_n`.
+    std::vector<std::pair<Opcode, ActionProfile>>
+    hot_actions(std::size_t top_n) const;
+
+    /**
+     * Human-readable hot-state report (top `top_n` states and actions).
+     * When `sym` is set, state rows carry its labels; otherwise the raw
+     * "state @0x<base>" form.
+     */
+    std::string report(std::size_t top_n = 10,
+                       const StateSymbolizer &sym = nullptr) const;
+
+    void clear();
+
+  private:
+    std::unordered_map<std::uint32_t, StateProfile> states_;
+    std::map<Opcode, ActionProfile> actions_;
+};
+
+} // namespace udp

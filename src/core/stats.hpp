@@ -16,6 +16,19 @@
 
 namespace udp {
 
+/**
+ * Bytes/second implied by processing `bytes` in `cycles` at the nominal
+ * 1 GHz clock (kClockHz).  Shared by LaneStats::rate_mbps() and
+ * MachineResult::throughput_mbps() so the clock math lives in one place.
+ */
+inline double
+bytes_per_second(double bytes, Cycles cycles)
+{
+    if (cycles == 0)
+        return 0.0;
+    return bytes / (double(cycles) / kClockHz);
+}
+
 /// Counters for one lane (reset per run).
 struct LaneStats {
     Cycles cycles = 0;
@@ -49,9 +62,7 @@ struct LaneStats {
 
     /// Single-stream processing rate in MB/s at the nominal clock.
     double rate_mbps() const {
-        if (cycles == 0)
-            return 0.0;
-        return input_bytes() / (double(cycles) / kClockHz) / 1e6;
+        return bytes_per_second(input_bytes(), cycles) / 1e6;
     }
 };
 

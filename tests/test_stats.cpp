@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Stats-layer tests: the shared bytes_per_second clock math, LaneStats
+ * accumulation over every counter, and lockstep stall accounting.
+ */
+#include "assembler/builder.hpp"
+#include "core/machine.hpp"
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace udp {
+namespace {
+
+TEST(Stats, BytesPerSecondPinsOneGhzClockMath)
+{
+    // 1000 bytes in 1000 cycles at 1 GHz is exactly 1 GB/s.
+    EXPECT_DOUBLE_EQ(bytes_per_second(1000.0, 1000), 1e9);
+    // One byte per cycle = one byte per nanosecond.
+    EXPECT_DOUBLE_EQ(bytes_per_second(1.0, 1), kClockHz);
+    // Zero cycles must not divide by zero.
+    EXPECT_DOUBLE_EQ(bytes_per_second(123.0, 0), 0.0);
+
+    // LaneStats::rate_mbps goes through the same helper: 8000 stream
+    // bits (1000 bytes) over 2000 cycles = 500 MB/s.
+    LaneStats s;
+    s.stream_bits = 8000;
+    s.cycles = 2000;
+    EXPECT_DOUBLE_EQ(s.rate_mbps(), 500.0);
+
+    // MachineResult::throughput_mbps uses wall cycles, not summed lane
+    // cycles: two lanes' bytes over the same wall clock add up.
+    MachineResult r;
+    r.total.stream_bits = 2 * 8000;
+    r.wall_cycles = 2000;
+    EXPECT_DOUBLE_EQ(r.throughput_mbps(), 1000.0);
+}
+
+TEST(Stats, LaneStatsAddCoversEveryField)
+{
+    LaneStats a;
+    a.cycles = 1;
+    a.dispatches = 2;
+    a.sig_misses = 3;
+    a.actions = 4;
+    a.mem_reads = 5;
+    a.mem_writes = 6;
+    a.dispatch_reads = 7;
+    a.stall_cycles = 8;
+    a.stream_bits = 9;
+    a.output_bytes = 10;
+    a.accepts = 11;
+
+    LaneStats b;
+    b.cycles = 100;
+    b.dispatches = 200;
+    b.sig_misses = 300;
+    b.actions = 400;
+    b.mem_reads = 500;
+    b.mem_writes = 600;
+    b.dispatch_reads = 700;
+    b.stall_cycles = 800;
+    b.stream_bits = 900;
+    b.output_bytes = 1000;
+    b.accepts = 1100;
+
+    a.add(b);
+    EXPECT_EQ(a.cycles, 101u);
+    EXPECT_EQ(a.dispatches, 202u);
+    EXPECT_EQ(a.sig_misses, 303u);
+    EXPECT_EQ(a.actions, 404u);
+    EXPECT_EQ(a.mem_reads, 505u);
+    EXPECT_EQ(a.mem_writes, 606u);
+    EXPECT_EQ(a.dispatch_reads, 707u);
+    EXPECT_EQ(a.stall_cycles, 808u);
+    EXPECT_EQ(a.stream_bits, 909u);
+    EXPECT_EQ(a.output_bytes, 1010u);
+    EXPECT_EQ(a.accepts, 1111u);
+}
+
+TEST(Stats, LockstepStallCyclesPopulatedAndInsideWallCycles)
+{
+    // Four lanes hammering one global bank every dispatch step: the
+    // arbiter must charge stalls, and those stalls must be part of both
+    // the per-lane cycle counts and the machine wall clock.
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    b.on_any(s, s, b.add_block({
+                 act_imm(Opcode::Ldw, 1, 0, 0x100),
+                 act_imm(Opcode::Stw, 1, 0, 0x104, true),
+             }));
+    b.set_entry(s);
+    b.set_addressing(AddressingMode::Global);
+    const Program prog = b.build();
+
+    const Bytes input(128, 'x');
+    std::vector<JobSpec> jobs(4);
+    for (auto &j : jobs) {
+        j.program = &prog;
+        j.input = input;
+    }
+
+    Machine contended(AddressingMode::Global);
+    contended.assign(jobs);
+    const MachineResult cr = contended.run_lockstep();
+    ASSERT_GT(cr.total.stall_cycles, 0u);
+
+    // wall_cycles is the max over lanes, and each lane's cycle count
+    // already contains the stalls it was charged.
+    Cycles max_lane = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        max_lane = std::max(max_lane, contended.lane(i).stats().cycles);
+    EXPECT_EQ(cr.wall_cycles, max_lane);
+
+    // The identical workload on disjoint restricted windows runs
+    // stall-free; every contended lane is slower by exactly its stalls.
+    Machine clean(AddressingMode::Restricted);
+    for (unsigned i = 0; i < 4; ++i)
+        jobs[i].window_base = i * kBankBytes;
+    clean.assign(jobs);
+    const MachineResult rr = clean.run_lockstep();
+    ASSERT_EQ(rr.total.stall_cycles, 0u);
+    for (unsigned i = 0; i < 4; ++i) {
+        const LaneStats &c = contended.lane(i).stats();
+        const LaneStats &n = clean.lane(i).stats();
+        EXPECT_EQ(c.cycles, n.cycles + c.stall_cycles);
+    }
+    EXPECT_GT(cr.wall_cycles, rr.wall_cycles);
+}
+
+} // namespace
+} // namespace udp
