@@ -19,6 +19,8 @@
 #include "kernels/pattern.hpp"
 #include "kernels/snappy.hpp"
 #include "kernels/trigger.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/kernel_spec.hpp"
 #include "workloads/generators.hpp"
 
 #include <chrono>
@@ -96,6 +98,43 @@ fmt(double v, int prec)
 // Machine-readable metrics (--json).
 // ---------------------------------------------------------------------------
 
+namespace {
+
+unsigned g_sim_threads = 0;
+
+} // namespace
+
+void
+set_sim_threads(unsigned n)
+{
+    g_sim_threads = n;
+}
+
+unsigned
+sim_threads_option()
+{
+    return g_sim_threads;
+}
+
+runtime::SchedulerOptions
+sched_options()
+{
+    runtime::SchedulerOptions opts;
+    opts.threads = g_sim_threads;
+    return opts;
+}
+
+void
+attach_schedule(WorkloadPerf &p, const runtime::ScheduleReport &rep,
+                std::uint64_t bytes)
+{
+    p.udp64_real_mbps =
+        bytes_per_second(bytes, rep.wall_cycles) / 1e6;
+    p.waves = static_cast<unsigned>(rep.waves.size());
+    p.sim_threads = rep.sim_threads;
+    p.sim_host_seconds = rep.host_seconds;
+}
+
 void
 attach_sim(WorkloadPerf &p, const LaneStats &stats, AddressingMode mode)
 {
@@ -122,6 +161,19 @@ MetricsRecorder::MetricsRecorder(std::string bench, int argc, char **argv)
                 std::exit(2);
             }
             path_ = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --threads requires a count\n",
+                             bench_.c_str());
+                std::exit(2);
+            }
+            const long n = std::strtol(argv[++i], nullptr, 10);
+            if (n < 1 || n > 256) {
+                std::fprintf(stderr, "%s: --threads wants 1..256\n",
+                             bench_.c_str());
+                std::exit(2);
+            }
+            set_sim_threads(static_cast<unsigned>(n));
         }
     }
 }
@@ -143,6 +195,13 @@ MetricsRecorder::finish() const
     w.begin_object();
     w.field("bench", bench_);
     w.field("clock_hz", kClockHz);
+    {
+        // Resolve exactly as the simulation backend does (--threads has
+        // already been folded into the bench option; else env/serial).
+        Machine probe(AddressingMode::Restricted);
+        probe.set_sim_threads(sim_threads_option());
+        w.field("sim_threads", probe.resolved_sim_threads());
+    }
 
     LaneStats total;
     double energy_total = 0;
@@ -155,7 +214,12 @@ MetricsRecorder::finish() const
         w.field("udp_lane_mbps", p.udp_lane_mbps);
         w.field("parallelism", p.parallelism);
         w.field("udp64_mbps", p.udp64_mbps());
+        w.field("udp64_real_mbps", p.udp64_real_mbps);
+        w.field("waves", p.waves);
+        w.field("sim_threads", p.sim_threads);
+        w.field("sim_host_seconds", p.sim_host_seconds);
         w.field("speedup_vs_8t", p.speedup_vs_8t());
+        w.field("speedup_real_vs_8t", p.speedup_real_vs_8t());
         w.field("tput_per_watt_ratio", p.perf_watt_ratio(UdpCostModel{}));
         w.field("energy_j", p.energy_j);
         w.key("lane_stats");
@@ -226,6 +290,15 @@ measure_csv_parsing()
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     p.parallelism = 32; // two-bank windows (input + field output)
     attach_sim(p, res.stats);
+
+    // Full machine: the same text row-chunked over all 32 two-bank
+    // windows and run through the wave scheduler.
+    const auto jobs = runtime::chunk_jobs(
+        csv_kernel_spec(), data,
+        std::max<std::size_t>(1, ceil_div(data.size(), 32)),
+        runtime::align_after_delim('\n'));
+    runtime::Scheduler sched(sched_options());
+    attach_schedule(p, sched.run(jobs), data.size());
     return p;
 }
 
@@ -240,14 +313,17 @@ measure_huffman_encode()
     p.cpu_mbps = time_cpu_mbps(
         [&] { baselines::huffman_encode(data, code); }, data.size());
 
-    const Program prog = huffman_encoder(code);
+    const auto spec = huffman_encoder_spec(code);
     Machine m(AddressingMode::Restricted);
-    Lane &lane = m.lane(0);
-    lane.load(prog);
-    lane.set_input(data);
-    lane.run();
-    p.udp_lane_mbps = lane_rate_mbps(lane.stats());
-    attach_sim(p, lane.stats());
+    const auto res = runtime::run_job_on(m, 0, 0, spec.make_job(data));
+    p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    attach_sim(p, res.stats);
+
+    // Full machine: byte-chunk the corpus over all 64 lanes.
+    const auto jobs = runtime::chunk_jobs(
+        spec, data, std::max<std::size_t>(1, ceil_div(data.size(), 64)));
+    runtime::Scheduler sched(sched_options());
+    attach_schedule(p, sched.run(jobs), data.size());
     return p;
 }
 
@@ -266,15 +342,33 @@ measure_huffman_decode()
 
     enc.push_back(0);
     enc.push_back(0);
-    const auto k = huffman_decoder(code, VarSymDesign::SsRef);
+    const auto spec = huffman_decoder_spec(code, VarSymDesign::SsRef);
     Machine m(AddressingMode::Restricted);
-    Lane &lane = m.lane(0);
-    lane.load(k.program);
-    lane.set_input(enc);
-    lane.run();
-    p.udp_lane_mbps = lane_rate_mbps(lane.stats());
-    p.parallelism = std::min(64u, achievable_parallelism(k.code_bytes));
-    attach_sim(p, lane.stats());
+    const auto res =
+        runtime::run_job_on(m, 0, 0, spec.make_job(std::move(enc)));
+    p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    const auto window_banks =
+        static_cast<unsigned>(ceil_div(spec.window_bytes, kBankBytes));
+    p.parallelism = std::min(64u, kNumBanks / window_banks);
+    attach_sim(p, res.stats);
+
+    // Full machine: codes are bit-packed, so chunk the *plaintext* into
+    // one piece per achievable window and encode each independently.
+    std::vector<runtime::JobPlan> jobs;
+    std::uint64_t sched_bytes = 0;
+    const std::size_t piece =
+        std::max<std::size_t>(1, ceil_div(data.size(), p.parallelism));
+    for (std::size_t off = 0; off < data.size(); off += piece) {
+        const std::size_t n = std::min(piece, data.size() - off);
+        Bytes e = baselines::huffman_encode(
+            BytesView(data).subspan(off, n), code);
+        sched_bytes += e.size();
+        e.push_back(0);
+        e.push_back(0);
+        jobs.push_back(spec.make_job(std::move(e)));
+    }
+    runtime::Scheduler sched(sched_options());
+    attach_schedule(p, sched.run(jobs), sched_bytes);
     return p;
 }
 
@@ -300,32 +394,35 @@ measure_pattern_matching(bool complex_set)
                                payload.size());
 
     // UDP: patterns partitioned over 8 groups, aDFA model (Section 5.3).
-    const auto groups =
-        pattern_groups(pats,
-        complex_set ? FaModel::Nfa : FaModel::Adfa,
+    // One job per group over the full stream; the wave wall is the
+    // slowest group, i.e. the partitioned set's effective lane rate.
+    const auto specs = pattern_group_specs(
+        pats, complex_set ? FaModel::Nfa : FaModel::Adfa,
         complex_set ? 16 : 8);
-    Machine m(AddressingMode::Restricted);
-    Cycles max_cycles = 0;
-    std::uint64_t bytes = 0;
-    LaneStats group_total;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-        Lane &lane = m.lane(static_cast<unsigned>(g));
-        lane.load(groups[g].program);
-        lane.set_input(payload);
-        if (groups[g].nfa_mode)
-            lane.run_nfa();
-        else
-            lane.run();
-        max_cycles = std::max(max_cycles, lane.stats().cycles);
-        bytes += payload.size();
-        group_total.add(lane.stats());
-    }
-    // Each group scans the whole stream; the partitioned set behaves as
-    // one lane handling the stream at the slowest group's rate.
+    std::vector<runtime::JobPlan> set_jobs;
+    for (const auto &s : specs)
+        set_jobs.push_back(s.make_job(payload));
+    runtime::Scheduler sched(sched_options());
+    const auto set_rep = sched.run(set_jobs);
     p.udp_lane_mbps =
-        double(payload.size()) / (double(max_cycles) / kClockHz) / 1e6;
-    attach_sim(p, group_total, max_cycles,
-               static_cast<unsigned>(groups.size()));
+        bytes_per_second(payload.size(), set_rep.wall_cycles) / 1e6;
+    attach_sim(p, set_rep.total, set_rep.wall_cycles,
+               static_cast<unsigned>(specs.size()));
+
+    // Full machine: replicate the group set across the 64 lanes, each
+    // replica scanning its own slice of the stream.
+    const std::size_t sets =
+        std::max<std::size_t>(1, kNumLanes / specs.size());
+    const std::size_t piece =
+        std::max<std::size_t>(1, ceil_div(payload.size(), sets));
+    std::vector<runtime::JobPlan> jobs;
+    for (std::size_t off = 0; off < payload.size(); off += piece) {
+        const std::size_t n = std::min(piece, payload.size() - off);
+        for (const auto &s : specs)
+            jobs.push_back(s.make_job(
+                Bytes(payload.begin() + off, payload.begin() + off + n)));
+    }
+    attach_schedule(p, sched.run(jobs), payload.size());
     return p;
 }
 
@@ -347,12 +444,28 @@ measure_dictionary(bool rle)
     }
 
     const auto base = baselines::dictionary_encode(rows);
-    const Program prog = rle ? dictionary_rle_program(base.dict)
-                             : dictionary_program(base.dict);
+    const auto spec = dictionary_kernel_spec(base.dict, rle);
     Machine m(AddressingMode::Restricted);
-    const auto res = run_dict_kernel(m, 0, prog, input, rle);
+    const auto res = runtime::run_job_on(m, 0, 0, spec.make_job(input));
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     attach_sim(p, res.stats);
+
+    // Full machine: split the column row-wise into one slice per lane
+    // (every slice gets its own end-of-stream sentinel).
+    const std::size_t group =
+        std::max<std::size_t>(1, ceil_div(rows.size(), 64));
+    std::vector<runtime::JobPlan> jobs;
+    std::uint64_t sched_bytes = 0;
+    for (std::size_t r = 0; r < rows.size(); r += group) {
+        const std::vector<std::string> slice(
+            rows.begin() + r,
+            rows.begin() + r + std::min(group, rows.size() - r));
+        Bytes in = dict_input(slice);
+        sched_bytes += in.size();
+        jobs.push_back(spec.make_job(std::move(in)));
+    }
+    runtime::Scheduler sched(sched_options());
+    attach_schedule(p, sched.run(jobs), sched_bytes);
     return p;
 }
 
@@ -371,12 +484,21 @@ measure_histogram()
         },
         xs.size() * 8);
 
-    const Program prog = histogram_program(h.edges());
+    const auto spec = histogram_kernel_spec(h.edges());
     const Bytes packed = pack_fp_stream(xs);
     Machine m(AddressingMode::Restricted);
-    const auto res = run_histogram_kernel(m, 0, prog, packed, 10, 0);
+    const auto res = runtime::run_job_on(m, 0, 0, spec.make_job(packed));
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     attach_sim(p, res.stats);
+
+    // Full machine: shard the packed stream (8 bytes per value) over
+    // all 64 lanes; each lane fills its own bin table.
+    const std::size_t values = packed.size() / 8;
+    const std::size_t shard =
+        std::max<std::size_t>(1, ceil_div(values, 64)) * 8;
+    const auto jobs = runtime::chunk_jobs(spec, packed, shard);
+    runtime::Scheduler sched(sched_options());
+    attach_schedule(p, sched.run(jobs), packed.size());
     return p;
 }
 
@@ -389,13 +511,19 @@ measure_snappy_compress()
     p.cpu_mbps = time_cpu_mbps([&] { baselines::snappy_compress(big); },
                                big.size());
 
-    static const Program prog = snappy_compress_program();
+    const auto spec = snappy_compress_spec();
     const Bytes block = workloads::text_corpus(kSnapMaxInput, 0.5, 16);
     Machine m(AddressingMode::Restricted);
-    const auto res = run_snappy_compress(m, 0, prog, block, 0);
+    const auto res = runtime::run_job_on(m, 0, 0, spec.make_job(block));
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     p.parallelism = 32; // two-bank windows (input + hash table)
     attach_sim(p, res.stats);
+
+    // Full machine: block-chunk the 512 KiB corpus; 33 max-size blocks
+    // over 32 two-bank windows makes this a two-wave run.
+    const auto jobs = runtime::chunk_jobs(spec, big, kSnapMaxInput);
+    runtime::Scheduler sched(sched_options());
+    attach_schedule(p, sched.run(jobs), big.size());
     return p;
 }
 
@@ -409,19 +537,37 @@ measure_snappy_decompress()
     p.cpu_mbps = time_cpu_mbps(
         [&] { baselines::snappy_decompress(comp_big); }, comp_big.size());
 
-    static const Program prog = snappy_decompress_program();
-    const Bytes block = workloads::text_corpus(12 * 1024, 0.5, 17);
-    const Bytes comp = baselines::snappy_compress(block);
-    std::size_t pos = 0;
-    while (comp[pos] & 0x80)
+    const auto spec = snappy_decompress_spec();
+    const auto strip_varint = [](const Bytes &comp) {
+        std::size_t pos = 0;
+        while (comp[pos] & 0x80)
+            ++pos;
         ++pos;
-    ++pos;
+        return Bytes(comp.begin() + pos, comp.end());
+    };
+    const Bytes block = workloads::text_corpus(12 * 1024, 0.5, 17);
     Machine m(AddressingMode::Restricted);
-    const auto res = run_snappy_decompress(
-        m, 0, prog, BytesView(comp).subspan(pos, comp.size() - pos), 0);
+    const auto res = runtime::run_job_on(
+        m, 0, 0, spec.make_job(strip_varint(
+                     baselines::snappy_compress(block))));
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     p.parallelism = 32; // two-bank windows (input + output)
     attach_sim(p, res.stats);
+
+    // Full machine: compress the 512 KiB corpus in 12 KiB frames (one
+    // decompression job per frame; ~43 jobs over 32 windows -> 2 waves).
+    std::vector<runtime::JobPlan> jobs;
+    std::uint64_t sched_bytes = 0;
+    for (std::size_t off = 0; off < big.size(); off += 12 * 1024) {
+        const std::size_t n = std::min<std::size_t>(12 * 1024,
+                                                    big.size() - off);
+        Bytes in = strip_varint(baselines::snappy_compress(
+            BytesView(big).subspan(off, n)));
+        sched_bytes += in.size();
+        jobs.push_back(spec.make_job(std::move(in)));
+    }
+    runtime::Scheduler sched(sched_options());
+    attach_schedule(p, sched.run(jobs), sched_bytes);
     return p;
 }
 
@@ -437,14 +583,18 @@ measure_trigger()
     p.cpu_mbps = time_cpu_mbps(
         [&] { trig.count_triggers_lut4(packed); }, samples.size());
 
-    const Program prog = trigger_program(6);
+    const auto spec = trigger_kernel_spec(6);
     Machine m(AddressingMode::Restricted);
-    Lane &lane = m.lane(0);
-    lane.load(prog);
-    lane.set_input(samples);
-    lane.run();
-    p.udp_lane_mbps = lane_rate_mbps(lane.stats());
-    attach_sim(p, lane.stats());
+    const auto res = runtime::run_job_on(m, 0, 0, spec.make_job(samples));
+    p.udp_lane_mbps = lane_rate_mbps(res.stats);
+    attach_sim(p, res.stats);
+
+    // Full machine: sample-chunk the waveform over all 64 lanes.
+    const auto jobs = runtime::chunk_jobs(
+        spec, samples,
+        std::max<std::size_t>(1, ceil_div(samples.size(), 64)));
+    runtime::Scheduler sched(sched_options());
+    attach_schedule(p, sched.run(jobs), samples.size());
     return p;
 }
 

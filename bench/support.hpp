@@ -16,6 +16,7 @@
 
 #include "core/energy.hpp"
 #include "core/machine.hpp"
+#include "runtime/scheduler.hpp"
 
 #include <functional>
 #include <string>
@@ -32,9 +33,22 @@ struct WorkloadPerf {
     LaneStats lane_stats;      ///< simulated lane counters (summed)
     double energy_j = 0;       ///< modeled energy of the simulated run
 
+    // Full-machine run: the same total input chunked over the lanes and
+    // executed through the wave Scheduler (docs/RUNTIME.md).
+    double udp64_real_mbps = 0; ///< measured from the scheduled run
+    unsigned waves = 0;         ///< scheduler waves of that run
+    unsigned sim_threads = 0;   ///< host threads used to simulate it
+    double sim_host_seconds = 0; ///< host wall-clock of the simulation
+
+    /// Extrapolated 64-lane rate: lane rate x achievable parallelism.
     double udp64_mbps() const { return udp_lane_mbps * parallelism; }
     double speedup_vs_8t() const {
         return cpu_mbps > 0 ? udp64_mbps() / (8 * cpu_mbps) : 0;
+    }
+    double speedup_real_vs_8t() const {
+        return cpu_mbps > 0 && udp64_real_mbps > 0
+                   ? udp64_real_mbps / (8 * cpu_mbps)
+                   : 0;
     }
     double perf_watt_ratio(const UdpCostModel &m) const {
         const double udp = udp64_mbps() / m.system_power_w();
@@ -42,6 +56,22 @@ struct WorkloadPerf {
         return cpu > 0 ? udp / cpu : 0;
     }
 };
+
+/**
+ * Host simulation threads every bench Scheduler run uses.  0 (default)
+ * defers to the machine (UDP_SIM_THREADS env, else serial).  Set from
+ * `--threads N` by MetricsRecorder before any workload runs.
+ */
+void set_sim_threads(unsigned n);
+unsigned sim_threads_option();
+
+/// Scheduler options every bench run starts from (threads prefilled).
+runtime::SchedulerOptions sched_options();
+
+/// Record a scheduled multi-lane run on `p`: real 64-lane throughput
+/// over `bytes` of input, wave count, and host simulation cost.
+void attach_schedule(WorkloadPerf &p, const runtime::ScheduleReport &rep,
+                     std::uint64_t bytes);
 
 /// Record simulated counters + modeled energy on `p` (single-lane run).
 void attach_sim(WorkloadPerf &p, const LaneStats &stats,
@@ -59,6 +89,10 @@ void attach_sim(WorkloadPerf &p, const LaneStats &total, Cycles wall,
  * scalar metrics it prints, and returns `finish()` as its exit code.
  * Without `--json` on the command line this is a no-op.  The schema is
  * documented in docs/OBSERVABILITY.md.
+ *
+ * Also parses `--threads N` (host simulation threads, see
+ * set_sim_threads); the resolved count lands in the JSON as the
+ * top-level `sim_threads` field.
  */
 class MetricsRecorder
 {

@@ -106,6 +106,14 @@ Lane::reset()
     sb_.seek_bits(0);
 }
 
+void
+Lane::hard_reset()
+{
+    window_base_ = 0;
+    sb_.attach(BytesView{});
+    reset();
+}
+
 // ---------------------------------------------------------------------------
 // Memory access with window translation and bank arbitration.
 // ---------------------------------------------------------------------------

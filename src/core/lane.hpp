@@ -103,6 +103,13 @@ class Lane
     /// Reset registers, stats, output and stream position.
     void reset();
 
+    /// Full architectural reset between job batches: reset() plus the
+    /// window base, dispatch window and attached input, so a reassigned
+    /// lane cannot observe any state from the previous wave.  Run
+    /// configuration (tracer, profiler, arbiter, accept capacity) and
+    /// the program binding survive, as for reset().
+    void hard_reset();
+
     /// Hook invoked for each memory reference: (bank, is_write) -> stalls.
     using ArbiterHook = std::function<Cycles(unsigned bank, bool is_write)>;
     void set_arbiter(ArbiterHook hook) { arbiter_ = std::move(hook); }

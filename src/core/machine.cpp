@@ -8,6 +8,11 @@
 #include "trace.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
 
 namespace udp {
 
@@ -59,12 +64,36 @@ Machine::unstage(ByteAddr phys, std::size_t len) const
                  mem_.raw().begin() + phys + len);
 }
 
+unsigned
+Machine::resolved_sim_threads() const
+{
+    // The Profiler aggregates into maps shared by all lanes, so a
+    // profiled run is pinned to the serial backend (docs/RUNTIME.md);
+    // the Tracer's per-lane rings need no such fallback.
+    if (profiler_)
+        return 1;
+    unsigned n = sim_threads_;
+    if (n == 0) {
+        if (const char *env = std::getenv("UDP_SIM_THREADS")) {
+            const long v = std::strtol(env, nullptr, 10);
+            if (v > 0)
+                n = static_cast<unsigned>(std::min<long>(v, 256));
+        }
+    }
+    return n ? n : 1;
+}
+
 void
 Machine::assign(std::vector<JobSpec> jobs)
 {
     if (jobs.size() > kNumLanes)
         throw UdpError("Machine: more jobs than lanes");
     jobs_ = std::move(jobs);
+    // A batch starts from architectural reset on every lane, including
+    // idle ones: wave N+1 must not observe wave N's registers, stream
+    // position, accepts or window bases.
+    for (auto &ln : lanes_)
+        ln->hard_reset();
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
         const JobSpec &j = jobs_[i];
         if (!j.program)
@@ -99,18 +128,60 @@ Machine::collect(Cycles wall)
 MachineResult
 Machine::run_parallel(std::uint64_t max_cycles_per_lane)
 {
-    Cycles wall = 0;
     std::vector<LaneStatus> status(jobs_.size(), LaneStatus::Done);
+    std::vector<std::size_t> runnable;
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
-        const JobSpec &j = jobs_[i];
-        if (!j.program)
+        if (!jobs_[i].program)
             continue;
-        Lane &ln = *lanes_[i];
-        ln.set_arbiter(nullptr); // disjoint windows: no contention
-        status[i] = j.nfa_mode ? ln.run_nfa(max_cycles_per_lane)
-                               : ln.run(max_cycles_per_lane);
-        wall = std::max(wall, ln.stats().cycles);
+        lanes_[i]->set_arbiter(nullptr); // disjoint windows: no contention
+        runnable.push_back(i);
     }
+
+    auto run_lane = [&](std::size_t i) {
+        Lane &ln = *lanes_[i];
+        status[i] = jobs_[i].nfa_mode ? ln.run_nfa(max_cycles_per_lane)
+                                      : ln.run(max_cycles_per_lane);
+    };
+
+    unsigned threads = resolved_sim_threads();
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(std::max<std::size_t>(
+                     runnable.size(), 1)));
+    if (threads <= 1) {
+        for (const std::size_t i : runnable)
+            run_lane(i);
+    } else {
+        // Lanes are trace-independent and their windows disjoint, so
+        // any work distribution yields bit-identical per-lane results;
+        // errors are rethrown lowest-lane-first for determinism.
+        std::atomic<std::size_t> next{0};
+        std::vector<std::exception_ptr> errors(runnable.size());
+        {
+            std::vector<std::jthread> pool;
+            pool.reserve(threads);
+            for (unsigned t = 0; t < threads; ++t)
+                pool.emplace_back([&] {
+                    for (;;) {
+                        const std::size_t k =
+                            next.fetch_add(1, std::memory_order_relaxed);
+                        if (k >= runnable.size())
+                            return;
+                        try {
+                            run_lane(runnable[k]);
+                        } catch (...) {
+                            errors[k] = std::current_exception();
+                        }
+                    }
+                });
+        }
+        for (const std::exception_ptr &e : errors)
+            if (e)
+                std::rethrow_exception(e);
+    }
+
+    Cycles wall = 0;
+    for (const std::size_t i : runnable)
+        wall = std::max(wall, lanes_[i]->stats().cycles);
     MachineResult res = collect(wall);
     res.status = std::move(status);
     return res;

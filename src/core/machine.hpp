@@ -69,12 +69,38 @@ class Machine
     /// Read back a region of local memory.
     Bytes unstage(ByteAddr phys, std::size_t len) const;
 
-    /// Assign one job per lane (at most kNumLanes entries).
+    /// Assign one job per lane (at most kNumLanes entries).  Every lane
+    /// — assigned or idle — is architecturally hard-reset first, so a
+    /// batch can never inherit registers, stream position, accepts or
+    /// window state from the previous one.
     void assign(std::vector<JobSpec> jobs);
 
-    /// Run all assigned lanes to completion, independently.
+    /**
+     * Run all assigned lanes to completion, independently.
+     *
+     * Executes on the configured simulation backend: serial, or a host
+     * thread pool (`set_sim_threads`).  Parallel-mode lanes touch
+     * disjoint memory windows, so the threaded backend is *exact*:
+     * LaneStats, wall cycles and energy are bit-identical to the serial
+     * backend for any thread count.  A run with an attached Profiler
+     * falls back to serial (its aggregation is shared across lanes);
+     * the Tracer's per-lane rings are safe under threads.
+     */
     MachineResult run_parallel(std::uint64_t max_cycles_per_lane =
                                    ~std::uint64_t{0});
+
+    /**
+     * Host threads for run_parallel lane simulation.  0 (the default)
+     * resolves from the UDP_SIM_THREADS environment variable, else 1
+     * (serial).  Purely a host-performance knob — simulated results do
+     * not depend on it.
+     */
+    void set_sim_threads(unsigned n) { sim_threads_ = n; }
+    unsigned sim_threads() const { return sim_threads_; }
+
+    /// The thread count run_parallel will actually use (>= 1; always 1
+    /// while a Profiler is attached).
+    unsigned resolved_sim_threads() const;
 
     /// Run with per-round shared bank arbitration.
     MachineResult run_lockstep(std::uint64_t max_rounds = ~std::uint64_t{0});
@@ -99,6 +125,7 @@ class Machine
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::vector<JobSpec> jobs_;
     UdpCostModel cost_;
+    unsigned sim_threads_ = 0; ///< 0 = resolve from UDP_SIM_THREADS
     double last_energy_j_ = 0.0;
     Tracer *tracer_ = nullptr;
     Profiler *profiler_ = nullptr;

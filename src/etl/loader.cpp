@@ -8,6 +8,7 @@
 #include "baselines/snappy.hpp"
 #include "kernels/csv.hpp"
 #include "kernels/snappy.hpp"
+#include "runtime/scheduler.hpp"
 
 #include <algorithm>
 #include <random>
@@ -228,61 +229,48 @@ load_udp_offload(Machine &m, BytesView compressed, Table &table,
     bd.compressed_bytes = compressed.size();
     bd.io = double(compressed.size()) / kSsdBytesPerSec;
 
-    static const Program dec_prog = kernels::snappy_decompress_program();
+    runtime::SchedulerOptions opts;
+    opts.max_jobs_per_wave = lanes;
+    runtime::Scheduler sched(m, opts);
 
     // --- Stage 1: Snappy decompression on UDP lanes ---------------------
-    std::vector<Cycles> lane_busy(lanes, 0);
-    std::string csv;
-    unsigned next = 0;
+    // One job per compressed frame; the scheduler waves them over the
+    // deployed lanes and charges the wave-summed machine time.
+    const runtime::KernelSpec dec_spec = kernels::snappy_decompress_spec();
+    std::vector<runtime::JobPlan> dec_jobs;
     for_frames(compressed, [&](BytesView frame, std::uint32_t) {
         // Strip the varint preamble.
         std::size_t p = 0;
         while (frame[p] & 0x80)
             ++p;
         ++p;
-        const unsigned lane = next % lanes;
-        ++next;
-        const auto res = kernels::run_snappy_decompress(
-            m, lane, dec_prog, frame.subspan(p, frame.size() - p),
-            static_cast<ByteAddr>(lane * kernels::kCsvWindowBytes));
-        lane_busy[lane] += res.stats.cycles;
+        dec_jobs.push_back(dec_spec.make_job(
+            Bytes(frame.begin() + p, frame.end())));
+    });
+    const runtime::ScheduleReport dec_rep = sched.run(dec_jobs);
+    std::string csv;
+    for (const runtime::JobResult &r : dec_rep.jobs) {
+        const auto res = kernels::decode_snappy_decompress_result(r);
         csv.append(reinterpret_cast<const char *>(res.data.data()),
                    res.data.size());
-    });
-    bd.decompress =
-        double(*std::max_element(lane_busy.begin(), lane_busy.end())) /
-        kClockHz;
+    }
+    bd.decompress = double(dec_rep.wall_cycles) / kClockHz;
     bd.csv_bytes = csv.size();
 
     // --- Stage 2: CSV parse + tokenize on UDP lanes ----------------------
     // Chunk on row boundaries so every lane parses whole rows.
-    std::fill(lane_busy.begin(), lane_busy.end(), 0);
-    next = 0;
+    const std::vector<runtime::JobPlan> csv_jobs = runtime::chunk_jobs(
+        kernels::csv_kernel_spec(),
+        BytesView(reinterpret_cast<const std::uint8_t *>(csv.data()),
+                  csv.size()),
+        kFrameRaw, runtime::align_after_delim('\n'));
+    const runtime::ScheduleReport csv_rep = sched.run(csv_jobs);
     std::string fields;
-    std::size_t off = 0;
-    while (off < csv.size()) {
-        std::size_t end = std::min(off + kFrameRaw, csv.size());
-        if (end < csv.size()) {
-            while (end > off && csv[end - 1] != '\n')
-                --end;
-            if (end == off)
-                throw UdpError("load_udp_offload: row exceeds lane bank");
-        }
-        const unsigned lane = next % lanes;
-        ++next;
-        const auto res = kernels::run_csv_kernel(
-            m, lane,
-            BytesView(reinterpret_cast<const std::uint8_t *>(csv.data()) +
-                          off,
-                      end - off),
-            static_cast<ByteAddr>(lane * kernels::kCsvWindowBytes));
-        lane_busy[lane] += res.stats.cycles;
+    for (const runtime::JobResult &r : csv_rep.jobs) {
+        const auto res = kernels::decode_csv_result(r);
         fields.append(res.field_stream.begin(), res.field_stream.end());
-        off = end;
     }
-    bd.parse =
-        double(*std::max_element(lane_busy.begin(), lane_busy.end())) /
-        kClockHz;
+    bd.parse = double(csv_rep.wall_cycles) / kClockHz;
 
     // --- Stage 3: deserialize on the CPU from the field stream -----------
     const auto t0 = Clock::now();

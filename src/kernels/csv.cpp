@@ -5,6 +5,7 @@
 #include "csv.hpp"
 
 #include "assembler/builder.hpp"
+#include "runtime/executor.hpp"
 
 namespace udp::kernels {
 
@@ -149,33 +150,45 @@ csv_parser_program()
     return b.build();
 }
 
+runtime::KernelSpec
+csv_kernel_spec()
+{
+    static const auto prog =
+        std::make_shared<const Program>(csv_parser_program());
+    runtime::KernelSpec spec;
+    spec.name = "csv";
+    spec.program = prog;
+    spec.window_bytes = kCsvWindowBytes;
+    spec.max_input_bytes = kCsvOutBase;
+    spec.init_regs = {{rOut, kCsvOutBase}};
+    spec.prepare = [](runtime::JobPlan &p) {
+        p.stages.push_back({0, p.input});
+        p.extracts.push_back({kCsvOutBase, 0, rOut});
+    };
+    return spec;
+}
+
+CsvKernelResult
+decode_csv_result(const runtime::JobResult &r)
+{
+    if (r.status == LaneStatus::Reject)
+        throw UdpError("csv kernel: parser rejected input");
+    CsvKernelResult res;
+    res.fields = r.regs[rFields];
+    res.rows = r.regs[rRows];
+    res.stats = r.stats;
+    res.field_stream = r.extracts.at(0);
+    return res;
+}
+
 CsvKernelResult
 run_csv_kernel(Machine &m, unsigned lane_idx, BytesView data,
                ByteAddr window_base)
 {
-    if (data.size() > kCsvOutBase)
-        throw UdpError("run_csv_kernel: input exceeds the input bank");
-
-    static const Program prog = csv_parser_program();
-
-    m.stage(window_base, data);
-    Lane &lane = m.lane(lane_idx);
-    lane.load(prog);
-    lane.set_input(data);
-    lane.set_window_base(window_base);
-    lane.set_reg(rOut, kCsvOutBase);
-    const LaneStatus st = lane.run();
-    if (st == LaneStatus::Reject)
-        throw UdpError("run_csv_kernel: parser rejected input");
-
-    CsvKernelResult res;
-    res.fields = lane.reg(rFields);
-    res.rows = lane.reg(rRows);
-    res.stats = lane.stats();
-    const ByteAddr end = lane.reg(rOut);
-    res.field_stream = m.unstage(window_base + kCsvOutBase,
-                                 end - kCsvOutBase);
-    return res;
+    const runtime::JobPlan job =
+        csv_kernel_spec().make_job(Bytes(data.begin(), data.end()));
+    return decode_csv_result(
+        runtime::run_job_on(m, lane_idx, window_base, job));
 }
 
 } // namespace udp::kernels

@@ -23,6 +23,7 @@
 
 #include "core/machine.hpp"
 #include "core/program.hpp"
+#include "runtime/kernel_spec.hpp"
 
 namespace udp::kernels {
 
@@ -43,6 +44,17 @@ struct CsvKernelResult {
     Bytes field_stream;   ///< '\n'-terminated fields, 0x1E row marks
     LaneStats stats;
 };
+
+/**
+ * Runtime description of the kernel (docs/RUNTIME.md): two-bank window,
+ * input staged at offset 0, fields extracted from [kCsvOutBase, rOut).
+ * One chunk of CSV text (split on row boundaries) per job.
+ */
+runtime::KernelSpec csv_kernel_spec();
+
+/// Unpack counters and the field stream from a runtime JobResult
+/// (throws UdpError when the parser rejected the input).
+CsvKernelResult decode_csv_result(const runtime::JobResult &r);
 
 /**
  * Convenience single-lane harness: stages `data` into the lane window,

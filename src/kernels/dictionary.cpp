@@ -5,6 +5,7 @@
 #include "dictionary.hpp"
 
 #include "assembler/builder.hpp"
+#include "runtime/executor.hpp"
 
 #include <map>
 
@@ -119,24 +120,38 @@ dictionary_rle_program(const baselines::Dictionary &dict)
     return b.build();
 }
 
-DictKernelResult
-run_dict_kernel(Machine &m, unsigned lane_idx, const Program &prog,
-                BytesView input, bool rle)
-{
-    Lane &lane = m.lane(lane_idx);
-    lane.load(prog);
-    lane.set_input(input);
-    if (rle) {
-        lane.set_reg(2, 0xFFFFFFFFu); // sentinel previous id
-        lane.set_reg(3, 0);           // empty run
-    }
-    const LaneStatus st = lane.run();
-    if (st == LaneStatus::Reject)
-        throw UdpError("run_dict_kernel: value not in dictionary");
+namespace {
 
+/// Register initialization of the RLE variant (sentinel id, empty run).
+std::vector<std::pair<unsigned, Word>>
+dict_init_regs(bool rle)
+{
+    if (!rle)
+        return {};
+    return {{2, 0xFFFFFFFFu}, {3, 0}};
+}
+
+} // namespace
+
+runtime::KernelSpec
+dictionary_kernel_spec(const baselines::Dictionary &dict, bool rle)
+{
+    runtime::KernelSpec spec;
+    spec.name = rle ? "dictionary-rle" : "dictionary";
+    spec.program = std::make_shared<const Program>(
+        rle ? dictionary_rle_program(dict) : dictionary_program(dict));
+    spec.init_regs = dict_init_regs(rle);
+    return spec;
+}
+
+DictKernelResult
+decode_dict_result(const runtime::JobResult &r, bool rle)
+{
+    if (r.status == LaneStatus::Reject)
+        throw UdpError("dictionary kernel: value not in dictionary");
     DictKernelResult res;
-    res.stats = lane.stats();
-    const Bytes &out = lane.output();
+    res.stats = r.stats;
+    const Bytes &out = r.output;
     auto u32_at = [&](std::size_t i) {
         return Word{out[i]} | (Word{out[i + 1]} << 8) |
                (Word{out[i + 2]} << 16) | (Word{out[i + 3]} << 24);
@@ -152,6 +167,20 @@ run_dict_kernel(Machine &m, unsigned lane_idx, const Program &prog,
             res.ids.push_back(u32_at(i));
     }
     return res;
+}
+
+DictKernelResult
+run_dict_kernel(Machine &m, unsigned lane_idx, const Program &prog,
+                BytesView input, bool rle)
+{
+    runtime::KernelSpec spec;
+    spec.name = rle ? "dictionary-rle" : "dictionary";
+    spec.program = runtime::borrow_program(prog);
+    spec.init_regs = dict_init_regs(rle);
+    const runtime::JobPlan job =
+        spec.make_job(Bytes(input.begin(), input.end()));
+    return decode_dict_result(
+        runtime::run_job_on(m, lane_idx, 0, job), rle);
 }
 
 } // namespace udp::kernels

@@ -23,6 +23,7 @@
 #include "baselines/dictionary.hpp"
 #include "core/machine.hpp"
 #include "core/program.hpp"
+#include "runtime/kernel_spec.hpp"
 
 namespace udp::kernels {
 
@@ -45,5 +46,16 @@ struct DictKernelResult {
 DictKernelResult run_dict_kernel(Machine &m, unsigned lane,
                                  const Program &prog, BytesView input,
                                  bool rle);
+
+/**
+ * Runtime description (docs/RUNTIME.md): one-bank window (the trie
+ * lives in dispatch memory, not data memory); one '\n'-joined,
+ * 0x00-terminated value block per job (see dict_input).
+ */
+runtime::KernelSpec dictionary_kernel_spec(
+    const baselines::Dictionary &dict, bool rle);
+
+/// Unpack id / (id,run) records from a runtime JobResult.
+DictKernelResult decode_dict_result(const runtime::JobResult &r, bool rle);
 
 } // namespace udp::kernels

@@ -5,6 +5,7 @@
 #include "histogram.hpp"
 
 #include "assembler/builder.hpp"
+#include "runtime/executor.hpp"
 
 #include <algorithm>
 #include <cstring>
@@ -127,29 +128,65 @@ histogram_program(const std::vector<double> &edges)
     return b.build();
 }
 
+namespace {
+
+/// Zero-stage the bin table at offset 0 and extract it after the run.
+void
+prepare_histogram_job(runtime::JobPlan &p, unsigned bins)
+{
+    p.stages.push_back({0, Bytes(bins * 4, 0)});
+    p.extracts.push_back({0, bins * 4u, -1});
+}
+
+} // namespace
+
+runtime::KernelSpec
+histogram_kernel_spec(const std::vector<double> &edges)
+{
+    if (edges.size() < 2)
+        throw UdpError("histogram_kernel_spec: need at least one bin");
+    runtime::KernelSpec spec;
+    spec.name = "histogram";
+    spec.program =
+        std::make_shared<const Program>(histogram_program(edges));
+    const unsigned bins = static_cast<unsigned>(edges.size() - 1);
+    spec.prepare = [bins](runtime::JobPlan &p) {
+        prepare_histogram_job(p, bins);
+    };
+    return spec;
+}
+
+HistKernelResult
+decode_histogram_result(const runtime::JobResult &r)
+{
+    if (r.status == LaneStatus::Reject)
+        throw UdpError("histogram kernel: automaton rejected input");
+    HistKernelResult res;
+    res.stats = r.stats;
+    const Bytes &table = r.extracts.at(0);
+    res.counts.resize(table.size() / 4);
+    for (std::size_t i = 0; i < res.counts.size(); ++i)
+        res.counts[i] = Word{table[i * 4]} | (Word{table[i * 4 + 1]} << 8) |
+                        (Word{table[i * 4 + 2]} << 16) |
+                        (Word{table[i * 4 + 3]} << 24);
+    return res;
+}
+
 HistKernelResult
 run_histogram_kernel(Machine &m, unsigned lane_idx, const Program &prog,
                      BytesView packed, unsigned bins,
                      ByteAddr window_base)
 {
-    // Zero the bin table.
-    const Bytes zeros(bins * 4, 0);
-    m.stage(window_base, zeros);
-
-    Lane &lane = m.lane(lane_idx);
-    lane.load(prog);
-    lane.set_input(packed);
-    lane.set_window_base(window_base);
-    const LaneStatus st = lane.run();
-    if (st == LaneStatus::Reject)
-        throw UdpError("run_histogram_kernel: automaton rejected input");
-
-    HistKernelResult res;
-    res.stats = lane.stats();
-    res.counts.resize(bins);
-    for (unsigned i = 0; i < bins; ++i)
-        res.counts[i] = m.memory().read32(window_base + i * 4);
-    return res;
+    runtime::KernelSpec spec;
+    spec.name = "histogram";
+    spec.program = runtime::borrow_program(prog);
+    spec.prepare = [bins](runtime::JobPlan &p) {
+        prepare_histogram_job(p, bins);
+    };
+    const runtime::JobPlan job =
+        spec.make_job(Bytes(packed.begin(), packed.end()));
+    return decode_histogram_result(
+        runtime::run_job_on(m, lane_idx, window_base, job));
 }
 
 } // namespace udp::kernels

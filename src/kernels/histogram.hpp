@@ -18,6 +18,7 @@
 #include "baselines/histogram.hpp"
 #include "core/machine.hpp"
 #include "core/program.hpp"
+#include "runtime/kernel_spec.hpp"
 
 namespace udp::kernels {
 
@@ -40,5 +41,15 @@ HistKernelResult run_histogram_kernel(Machine &m, unsigned lane,
                                       const Program &prog,
                                       BytesView packed, unsigned bins,
                                       ByteAddr window_base);
+
+/**
+ * Runtime description (docs/RUNTIME.md): one-bank window holding the
+ * zero-staged bin table at offset 0; one packed-value shard per job.
+ * Shard counts merge by addition.
+ */
+runtime::KernelSpec histogram_kernel_spec(const std::vector<double> &edges);
+
+/// Unpack per-bin counts from a runtime JobResult.
+HistKernelResult decode_histogram_result(const runtime::JobResult &r);
 
 } // namespace udp::kernels

@@ -341,4 +341,36 @@ huffman_encoder(const HuffmanCode &code)
     return b.build();
 }
 
+runtime::KernelSpec
+huffman_encoder_spec(const HuffmanCode &code)
+{
+    runtime::KernelSpec spec;
+    spec.name = "huffman-encode";
+    spec.program = std::make_shared<const Program>(huffman_encoder(code));
+    return spec;
+}
+
+runtime::KernelSpec
+huffman_decoder_spec(const HuffmanCode &code, VarSymDesign design,
+                     unsigned max_windows)
+{
+    auto kernel = std::make_shared<HuffmanDecodeKernel>(
+        huffman_decoder(code, design, max_windows));
+    runtime::KernelSpec spec;
+    spec.name = std::string("huffman-decode-") +
+                std::string(var_sym_name(design));
+    // Alias into the shared kernel so the program and LUT share one
+    // lifetime with every job built from this spec.
+    spec.program = std::shared_ptr<const Program>(kernel, &kernel->program);
+    spec.window_bytes =
+        std::max<std::size_t>(1, ceil_div(kernel->code_bytes, kBankBytes)) *
+        kBankBytes;
+    spec.init_regs = kernel->init_regs;
+    spec.prepare = [kernel](runtime::JobPlan &p) {
+        if (!kernel->lut.empty())
+            p.stages.push_back({0, kernel->lut});
+    };
+    return spec;
+}
+
 } // namespace udp::kernels

@@ -28,6 +28,7 @@
 
 #include "baselines/huffman.hpp"
 #include "core/program.hpp"
+#include "runtime/kernel_spec.hpp"
 
 namespace udp::kernels {
 
@@ -64,5 +65,17 @@ Program huffman_encoder(const baselines::HuffmanCode &code);
 /// Achievable lane parallelism for a kernel footprint: each lane needs
 /// ceil(footprint/16KiB) banks of the 64 (Fig 8b's code-size limit).
 unsigned achievable_parallelism(std::size_t code_bytes);
+
+/**
+ * Runtime descriptions (docs/RUNTIME.md).  The encoder touches no data
+ * memory (one bank).  The decoder's window spans the banks its code
+ * footprint requires (Fig 8b's parallelism limit falls out of wave
+ * packing); the SsF emit LUT is staged at the window base.  Decoder
+ * inputs must carry 2 trailing zero pad bytes, as for manual harnesses.
+ */
+runtime::KernelSpec huffman_encoder_spec(const baselines::HuffmanCode &code);
+runtime::KernelSpec huffman_decoder_spec(const baselines::HuffmanCode &code,
+                                         VarSymDesign design,
+                                         unsigned max_windows = 16);
 
 } // namespace udp::kernels

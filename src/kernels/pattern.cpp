@@ -70,4 +70,22 @@ software_matches(const std::vector<std::string> &patterns, BytesView input)
     return nfa.count_matches(input);
 }
 
+std::vector<runtime::KernelSpec>
+pattern_group_specs(const std::vector<std::string> &patterns,
+                    FaModel model, unsigned groups)
+{
+    auto compiled = pattern_groups(patterns, model, groups);
+    std::vector<runtime::KernelSpec> specs;
+    specs.reserve(compiled.size());
+    for (std::size_t g = 0; g < compiled.size(); ++g) {
+        runtime::KernelSpec spec;
+        spec.name = "pattern/g" + std::to_string(g);
+        spec.program = std::make_shared<const Program>(
+            std::move(compiled[g].program));
+        spec.nfa_mode = compiled[g].nfa_mode;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
 } // namespace udp::kernels

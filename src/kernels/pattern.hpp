@@ -12,6 +12,7 @@
 
 #include "automata/compile.hpp"
 #include "core/program.hpp"
+#include "runtime/kernel_spec.hpp"
 
 #include <string>
 #include <vector>
@@ -36,6 +37,16 @@ struct PatternGroup {
  * @throws UdpError when a group's automaton does not fit a lane window.
  */
 std::vector<PatternGroup> pattern_groups(
+    const std::vector<std::string> &patterns, FaModel model,
+    unsigned groups);
+
+/**
+ * Runtime descriptions (docs/RUNTIME.md): one spec per compiled lane
+ * group, `nfa_mode` set per the FA model.  Every group must scan the
+ * same stream, so a full-set scan is one job per group over one input
+ * chunk; match ids arrive as AcceptEvents in the JobResult.
+ */
+std::vector<runtime::KernelSpec> pattern_group_specs(
     const std::vector<std::string> &patterns, FaModel model,
     unsigned groups);
 

@@ -5,6 +5,7 @@
 #include "snappy.hpp"
 
 #include "assembler/builder.hpp"
+#include "runtime/executor.hpp"
 
 namespace udp::kernels {
 
@@ -262,65 +263,100 @@ snappy_compress_program()
 // Harnesses.
 // ---------------------------------------------------------------------------
 
+runtime::KernelSpec
+snappy_decompress_spec()
+{
+    static const auto prog =
+        std::make_shared<const Program>(snappy_decompress_program());
+    runtime::KernelSpec spec;
+    spec.name = "snappy-decompress";
+    spec.program = prog;
+    spec.window_bytes = 2 * kBankBytes;
+    spec.max_input_bytes = kSnapOutBase;
+    spec.init_regs = {{5, kSnapOutBase}}; // output cursor
+    spec.prepare = [](runtime::JobPlan &p) {
+        p.stages.push_back({0, p.input});
+        p.extracts.push_back({kSnapOutBase, 0, 5});
+    };
+    return spec;
+}
+
+runtime::KernelSpec
+snappy_compress_spec()
+{
+    static const auto prog =
+        std::make_shared<const Program>(snappy_compress_program());
+    runtime::KernelSpec spec;
+    spec.name = "snappy-compress";
+    spec.program = prog;
+    spec.window_bytes = 2 * kBankBytes;
+    spec.max_input_bytes = kSnapMaxInput;
+    spec.prepare = [](runtime::JobPlan &p) {
+        if (p.input.size() < 8)
+            throw UdpError("snappy-compress: input too small");
+        p.stages.push_back({0, p.input});
+        p.stages.push_back(
+            {kSnapHashBase, Bytes(4096, 0)}); // 1024-entry hash table
+        p.init_regs.emplace_back(
+            10, static_cast<Word>(p.input.size() - 4)); // scan limit
+        p.init_regs.emplace_back(14, static_cast<Word>(p.input.size()));
+    };
+    return spec;
+}
+
+SnapKernelResult
+decode_snappy_decompress_result(const runtime::JobResult &r)
+{
+    if (r.status == LaneStatus::Reject)
+        throw UdpError("snappy-decompress: bad element stream");
+    SnapKernelResult res;
+    res.stats = r.stats;
+    res.data = r.extracts.at(0);
+    return res;
+}
+
+SnapKernelResult
+decode_snappy_compress_result(const runtime::JobResult &r)
+{
+    if (r.status == LaneStatus::Reject)
+        throw UdpError("snappy-compress: kernel rejected");
+    SnapKernelResult res;
+    res.stats = r.stats;
+    // Prepend the varint header for format compatibility.  r14 holds
+    // the raw input size (initialized by the spec, read-only in the
+    // kernel).
+    std::uint32_t v = r.regs[14];
+    while (v >= 0x80) {
+        res.data.push_back(static_cast<std::uint8_t>(v | 0x80));
+        v >>= 7;
+    }
+    res.data.push_back(static_cast<std::uint8_t>(v));
+    res.data.insert(res.data.end(), r.output.begin(), r.output.end());
+    return res;
+}
+
 SnapKernelResult
 run_snappy_decompress(Machine &m, unsigned lane_idx, const Program &prog,
                       BytesView block, ByteAddr window_base)
 {
-    if (block.size() > kSnapOutBase)
-        throw UdpError("run_snappy_decompress: block exceeds input bank");
-    m.stage(window_base, block);
-
-    Lane &lane = m.lane(lane_idx);
-    lane.load(prog);
-    lane.set_input(block);
-    lane.set_window_base(window_base);
-    lane.set_reg(5, kSnapOutBase); // output cursor
-    const LaneStatus st = lane.run();
-    if (st == LaneStatus::Reject)
-        throw UdpError("run_snappy_decompress: bad element stream");
-
-    SnapKernelResult res;
-    res.stats = lane.stats();
-    const ByteAddr end = lane.reg(5);
-    res.data = m.unstage(window_base + kSnapOutBase, end - kSnapOutBase);
-    return res;
+    runtime::KernelSpec spec = snappy_decompress_spec();
+    spec.program = runtime::borrow_program(prog);
+    const runtime::JobPlan job =
+        spec.make_job(Bytes(block.begin(), block.end()));
+    return decode_snappy_decompress_result(
+        runtime::run_job_on(m, lane_idx, window_base, job));
 }
 
 SnapKernelResult
 run_snappy_compress(Machine &m, unsigned lane_idx, const Program &prog,
                     BytesView input, ByteAddr window_base)
 {
-    if (input.size() > kSnapMaxInput)
-        throw UdpError("run_snappy_compress: input exceeds input bank");
-    if (input.size() < 8)
-        throw UdpError("run_snappy_compress: input too small");
-
-    m.stage(window_base, input);
-    const Bytes zeros(4096, 0); // 1024-entry hash table
-    m.stage(window_base + kSnapHashBase, zeros);
-
-    Lane &lane = m.lane(lane_idx);
-    lane.load(prog);
-    lane.set_input(input);
-    lane.set_window_base(window_base);
-    lane.set_reg(10, static_cast<Word>(input.size() - 4)); // scan limit
-    lane.set_reg(14, static_cast<Word>(input.size()));
-    const LaneStatus st = lane.run();
-    if (st == LaneStatus::Reject)
-        throw UdpError("run_snappy_compress: kernel rejected");
-
-    SnapKernelResult res;
-    res.stats = lane.stats();
-    // Prepend the varint header for format compatibility.
-    std::uint32_t v = static_cast<std::uint32_t>(input.size());
-    while (v >= 0x80) {
-        res.data.push_back(static_cast<std::uint8_t>(v | 0x80));
-        v >>= 7;
-    }
-    res.data.push_back(static_cast<std::uint8_t>(v));
-    res.data.insert(res.data.end(), lane.output().begin(),
-                    lane.output().end());
-    return res;
+    runtime::KernelSpec spec = snappy_compress_spec();
+    spec.program = runtime::borrow_program(prog);
+    const runtime::JobPlan job =
+        spec.make_job(Bytes(input.begin(), input.end()));
+    return decode_snappy_compress_result(
+        runtime::run_job_on(m, lane_idx, window_base, job));
 }
 
 } // namespace udp::kernels

@@ -27,6 +27,7 @@
 
 #include "core/machine.hpp"
 #include "core/program.hpp"
+#include "runtime/kernel_spec.hpp"
 
 namespace udp::kernels {
 
@@ -55,5 +56,20 @@ SnapKernelResult run_snappy_decompress(Machine &m, unsigned lane,
 SnapKernelResult run_snappy_compress(Machine &m, unsigned lane,
                                      const Program &prog, BytesView input,
                                      ByteAddr window_base);
+
+/**
+ * Runtime descriptions (docs/RUNTIME.md): two-bank windows; one Snappy
+ * block per job.  Decompress expects the varint header already stripped;
+ * compress wants 8..kSnapMaxInput raw bytes.
+ */
+runtime::KernelSpec snappy_decompress_spec();
+runtime::KernelSpec snappy_compress_spec();
+
+/// Unpack the decompressed block from a runtime JobResult.
+SnapKernelResult decode_snappy_decompress_result(
+    const runtime::JobResult &r);
+
+/// Unpack a full Snappy stream (varint header re-attached).
+SnapKernelResult decode_snappy_compress_result(const runtime::JobResult &r);
 
 } // namespace udp::kernels

@@ -50,4 +50,14 @@ samples_from_bits(BytesView packed, std::uint8_t high, std::uint8_t low)
     return out;
 }
 
+runtime::KernelSpec
+trigger_kernel_spec(unsigned width)
+{
+    runtime::KernelSpec spec;
+    spec.name = "trigger-p" + std::to_string(width);
+    spec.program =
+        std::make_shared<const Program>(trigger_program(width));
+    return spec;
+}
+
 } // namespace udp::kernels

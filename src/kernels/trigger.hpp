@@ -12,11 +12,16 @@
 
 #include "core/machine.hpp"
 #include "core/program.hpp"
+#include "runtime/kernel_spec.hpp"
 
 namespace udp::kernels {
 
 /// Build the pN trigger program (threshold = sample MSB).
 Program trigger_program(unsigned width);
+
+/// Runtime description (docs/RUNTIME.md): no data memory, one sample
+/// chunk per job; trigger count = JobResult::stats.accepts.
+runtime::KernelSpec trigger_kernel_spec(unsigned width);
 
 /// 8-bit sample waveform generator companion: expand a bit-packed
 /// waveform (workloads::waveform) into one byte per sample.

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Single-job executor implementation.
+ */
+#include "executor.hpp"
+
+namespace udp::runtime {
+
+void
+validate_job(const JobPlan &plan, ByteAddr window_base)
+{
+    if (!plan.program)
+        throw UdpError("runtime: job '" + plan.name + "' has no program");
+    if (std::uint64_t{window_base} + plan.window_bytes > kLocalMemBytes)
+        throw UdpError("runtime: job '" + plan.name +
+                       "' window escapes local memory");
+    for (const MemStage &s : plan.stages)
+        if (std::uint64_t{s.offset} + s.data.size() > plan.window_bytes)
+            throw UdpError("runtime: job '" + plan.name +
+                           "' stages outside its window");
+}
+
+void
+stage_job(Machine &m, unsigned lane, ByteAddr window_base,
+          const JobPlan &plan)
+{
+    validate_job(plan, window_base);
+    for (const MemStage &s : plan.stages)
+        m.stage(window_base + s.offset, s.data);
+    Lane &ln = m.lane(lane);
+    ln.load(*plan.program);
+    ln.set_input(plan.input);
+    ln.set_window_base(window_base);
+    for (const auto &[r, v] : plan.init_regs)
+        ln.set_reg(r, v);
+}
+
+JobResult
+harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
+            const JobPlan &plan, LaneStatus status)
+{
+    Lane &ln = m.lane(lane);
+    ln.finish_output();
+
+    JobResult res;
+    res.status = status;
+    res.stats = ln.stats();
+    for (unsigned r = 0; r < kNumScalarRegs; ++r)
+        res.regs[r] = ln.reg(r);
+    res.output = ln.output();
+    res.accepts = ln.accepts();
+    res.lane = lane;
+
+    res.extracts.reserve(plan.extracts.size());
+    for (const MemExtract &e : plan.extracts) {
+        std::uint64_t len = e.len;
+        if (e.end_reg >= 0) {
+            const Word end = ln.reg(static_cast<unsigned>(e.end_reg));
+            if (end < e.offset)
+                throw UdpError("runtime: job '" + plan.name +
+                               "' extract cursor before its base");
+            len = end - e.offset;
+        }
+        if (std::uint64_t{e.offset} + len > plan.window_bytes)
+            throw UdpError("runtime: job '" + plan.name +
+                           "' extract outside its window");
+        res.extracts.push_back(
+            m.unstage(window_base + e.offset, static_cast<std::size_t>(len)));
+    }
+    return res;
+}
+
+JobResult
+run_job_on(Machine &m, unsigned lane, ByteAddr window_base,
+           const JobPlan &plan, std::uint64_t max_cycles)
+{
+    stage_job(m, lane, window_base, plan);
+    Lane &ln = m.lane(lane);
+    const LaneStatus st = plan.nfa_mode ? ln.run_nfa(max_cycles)
+                                        : ln.run(max_cycles);
+    return harvest_job(m, lane, window_base, plan, st);
+}
+
+} // namespace udp::runtime

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Single-job executor: drive one JobPlan on one lane of a Machine.
+ *
+ * This is the shared bottom half of the runtime: the legacy per-kernel
+ * harnesses (`run_csv_kernel`, ...) and the wave Scheduler both funnel
+ * through `stage_job` / `harvest_job`, so the staging and extraction
+ * rules live in exactly one place.
+ */
+#pragma once
+
+#include "core/machine.hpp"
+#include "runtime/job.hpp"
+
+namespace udp::runtime {
+
+/// Check a plan is self-consistent and its window fits local memory at
+/// `window_base`; throws UdpError otherwise.
+void validate_job(const JobPlan &plan, ByteAddr window_base);
+
+/**
+ * Stage the plan's memory regions and bind the lane: load the program,
+ * attach the input, set the window base and initial registers.  The plan
+ * must outlive the run (the lane streams from `plan.input`).
+ */
+void stage_job(Machine &m, unsigned lane, ByteAddr window_base,
+               const JobPlan &plan);
+
+/**
+ * Collect the JobResult of a lane that finished running `plan` at
+ * `window_base` with terminal status `status`.  Flushes the output
+ * bitstream and copies registers, output, accepts and extract regions.
+ */
+JobResult harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
+                      const JobPlan &plan, LaneStatus status);
+
+/**
+ * Convenience: stage + run + harvest one job on `lane`, without touching
+ * any other lane's state (unlike Machine::assign, which resets all
+ * lanes).  Used by the legacy single-lane kernel harnesses.
+ */
+JobResult run_job_on(Machine &m, unsigned lane, ByteAddr window_base,
+                     const JobPlan &plan,
+                     std::uint64_t max_cycles = ~std::uint64_t{0});
+
+} // namespace udp::runtime

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The runtime job model (docs/RUNTIME.md).
+ *
+ * A `JobPlan` is everything needed to run one kernel invocation on one
+ * lane: the program, the owned input bytes, the size of the local-memory
+ * window the job occupies, regions to stage into that window before the
+ * run (`MemStage`), registers to initialize, and regions to read back
+ * after the run (`MemExtract`).  Kernels build plans once (see
+ * runtime/kernel_spec.hpp) instead of open-coding a
+ * load/set_input/run/unstage harness per call site.
+ *
+ * A `JobResult` is the complete architectural outcome of one job: the
+ * terminal status, the simulated counters, the final scalar registers,
+ * the lane output buffer, recorded accepts, and the extracted memory
+ * regions.  Results are host-side values only; they never alias machine
+ * state, so a result stays valid after the lane is reassigned to the
+ * next wave.
+ */
+#pragma once
+
+#include "core/lane.hpp"
+#include "core/program.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace udp::runtime {
+
+/// Bytes staged into the job's window before the run (host/DLT side).
+struct MemStage {
+    ByteAddr offset = 0; ///< window-relative byte offset
+    Bytes data;
+};
+
+/// A window region read back after the run.
+struct MemExtract {
+    ByteAddr offset = 0;  ///< window-relative byte offset
+    std::size_t len = 0;  ///< fixed length (when end_reg < 0)
+    int end_reg = -1;     ///< when >= 0: length = reg(end_reg) - offset
+};
+
+/// One schedulable kernel invocation.
+struct JobPlan {
+    std::string name;
+    std::shared_ptr<const Program> program;
+    Bytes input;                            ///< owned stream contents
+    std::size_t window_bytes = kBankBytes;  ///< local-memory footprint
+    bool nfa_mode = false;                  ///< run with Lane::run_nfa
+    std::vector<std::pair<unsigned, Word>> init_regs;
+    std::vector<MemStage> stages;
+    std::vector<MemExtract> extracts;
+
+    /// Local-memory banks the job's window occupies (>= 1).
+    unsigned banks() const {
+        return static_cast<unsigned>(
+            ceil_div(window_bytes ? window_bytes : 1, kBankBytes));
+    }
+};
+
+/// Architectural outcome of one job.
+struct JobResult {
+    LaneStatus status = LaneStatus::Done;
+    LaneStats stats;
+    std::array<Word, kNumScalarRegs> regs{};
+    Bytes output;                     ///< lane output buffer (flushed)
+    std::vector<AcceptEvent> accepts;
+    std::vector<Bytes> extracts;      ///< one per JobPlan::extracts entry
+    unsigned lane = 0;                ///< lane that ran the job
+    unsigned wave = 0;                ///< wave index (Scheduler runs)
+};
+
+} // namespace udp::runtime

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * KernelSpec: a kernel's reusable description of how to turn input bytes
+ * into a JobPlan.
+ *
+ * Each kernel states once — program, window footprint, per-job input
+ * cap, static register initialization, and a `prepare` hook for
+ * input-dependent staging/extraction — and every harness (tests,
+ * benches, the ETL loader, the wave Scheduler) derives its jobs from
+ * that single description via `make_job` or `chunk_jobs`.
+ */
+#pragma once
+
+#include "runtime/job.hpp"
+
+#include <functional>
+
+namespace udp::runtime {
+
+/// How one kernel maps input bytes onto lane jobs.
+struct KernelSpec {
+    std::string name;
+    std::shared_ptr<const Program> program;
+    std::size_t window_bytes = kBankBytes;
+    std::size_t max_input_bytes = 0; ///< per-job input cap (0 = none)
+    bool nfa_mode = false;
+    std::vector<std::pair<unsigned, Word>> init_regs;
+
+    /// Input-dependent setup, run after the plan's input is set: push
+    /// MemStage / MemExtract entries, add input-derived init registers.
+    std::function<void(JobPlan &)> prepare;
+
+    /// Build one job over `input` (throws when the cap is exceeded).
+    JobPlan make_job(Bytes input) const;
+};
+
+/**
+ * Chunk-boundary adjuster: given the whole input and a tentative chunk
+ * [begin, end), return a new end in (begin, end] that is a legal split
+ * point.  Returning `begin` means no legal split exists (error).
+ */
+using ChunkAlign =
+    std::function<std::size_t(BytesView data, std::size_t begin,
+                              std::size_t end)>;
+
+/// ChunkAlign that shrinks `end` to just past the last `delim` byte.
+ChunkAlign align_after_delim(std::uint8_t delim);
+
+/**
+ * Split `input` into jobs of at most `chunk_bytes` each (clamped to the
+ * spec's per-job cap), aligning every split with `align` when given.
+ * Chunks cover the input exactly, in order.
+ */
+std::vector<JobPlan> chunk_jobs(const KernelSpec &spec, BytesView input,
+                                std::size_t chunk_bytes,
+                                const ChunkAlign &align = nullptr);
+
+/// Non-owning shared_ptr view of a caller-owned program (the caller
+/// guarantees the program outlives every job built from it).
+std::shared_ptr<const Program> borrow_program(const Program &prog);
+
+} // namespace udp::runtime

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Wave scheduler implementation.
+ */
+#include "scheduler.hpp"
+
+#include "executor.hpp"
+
+#include <chrono>
+
+namespace udp::runtime {
+
+namespace {
+
+/// One job's slot within a wave.
+struct Placement {
+    std::size_t job = 0;     ///< index into the submitted plan vector
+    unsigned start_bank = 0; ///< first bank (also the lane index)
+};
+
+} // namespace
+
+Scheduler::Scheduler(SchedulerOptions opts)
+    : opts_(opts), owned_(std::make_unique<Machine>(opts.mode)),
+      machine_(owned_.get())
+{
+    if (opts_.threads)
+        machine_->set_sim_threads(opts_.threads);
+}
+
+Scheduler::Scheduler(Machine &m, SchedulerOptions opts)
+    : opts_(opts), machine_(&m)
+{
+    if (opts_.threads)
+        machine_->set_sim_threads(opts_.threads);
+}
+
+ScheduleReport
+Scheduler::run(const std::vector<JobPlan> &jobs)
+{
+    if (opts_.max_jobs_per_wave == 0 ||
+        opts_.max_jobs_per_wave > kNumLanes)
+        throw UdpError("Scheduler: max_jobs_per_wave must be 1..64");
+
+    ScheduleReport report;
+    report.jobs.resize(jobs.size());
+    report.sim_threads = machine_->resolved_sim_threads();
+    if (jobs.empty())
+        return report;
+
+    // Pack jobs into waves in submission order: consecutive banks until
+    // the memory (64 banks) or lane budget of the wave is exhausted.
+    std::vector<std::vector<Placement>> waves;
+    unsigned cum_banks = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const unsigned banks = jobs[i].banks();
+        if (banks > kNumBanks)
+            throw UdpError("Scheduler: job '" + jobs[i].name +
+                           "' window exceeds local memory");
+        if (waves.empty() || cum_banks + banks > kNumBanks ||
+            waves.back().size() >= opts_.max_jobs_per_wave) {
+            waves.emplace_back();
+            cum_banks = 0;
+        }
+        waves.back().push_back({i, cum_banks});
+        cum_banks += banks;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t w = 0; w < waves.size(); ++w) {
+        const auto &wave = waves[w];
+
+        // Stage and assign: lane index == the window's first bank.
+        std::vector<JobSpec> specs(wave.back().start_bank + 1);
+        for (const Placement &pl : wave) {
+            const JobPlan &plan = jobs[pl.job];
+            const ByteAddr base =
+                static_cast<ByteAddr>(pl.start_bank) *
+                static_cast<ByteAddr>(kBankBytes);
+            validate_job(plan, base);
+            for (const MemStage &s : plan.stages)
+                machine_->stage(base + s.offset, s.data);
+            JobSpec &js = specs[pl.start_bank];
+            js.program = plan.program.get();
+            js.input = plan.input;
+            js.window_base = base;
+            js.nfa_mode = plan.nfa_mode;
+            js.init_regs = plan.init_regs;
+        }
+        machine_->assign(std::move(specs));
+        const MachineResult mr =
+            machine_->run_parallel(opts_.max_cycles_per_lane);
+
+        WaveReport wr;
+        wr.jobs = static_cast<unsigned>(wave.size());
+        wr.active_lanes = mr.active_lanes;
+        wr.wall_cycles = mr.wall_cycles;
+        wr.energy_j = machine_->last_run_energy_j();
+        wr.total = mr.total;
+
+        for (const Placement &pl : wave) {
+            const JobPlan &plan = jobs[pl.job];
+            const ByteAddr base =
+                static_cast<ByteAddr>(pl.start_bank) *
+                static_cast<ByteAddr>(kBankBytes);
+            JobResult jr = harvest_job(*machine_, pl.start_bank, base,
+                                       plan, mr.status[pl.start_bank]);
+            jr.wave = static_cast<unsigned>(w);
+            report.jobs[pl.job] = std::move(jr);
+        }
+
+        report.wall_cycles += wr.wall_cycles;
+        report.energy_j += wr.energy_j;
+        report.total.add(wr.total);
+        report.waves.push_back(std::move(wr));
+    }
+    report.host_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    return report;
+}
+
+} // namespace udp::runtime

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Wave scheduler: run an arbitrary number of JobPlans on the 64-lane
+ * machine (docs/RUNTIME.md).
+ *
+ * Jobs are packed in submission order into *waves*.  Within a wave every
+ * job gets a disjoint local-memory window (consecutive banks) and runs
+ * on the lane owning the window's first bank; a wave closes when the 64
+ * banks (or `max_jobs_per_wave` lanes) are exhausted.  Waves execute one
+ * after another — stage, run_parallel, harvest — and the report's wall
+ * clock is the *sum* of per-wave walls, so an N-wave run costs exactly
+ * what N concatenated single-wave runs cost (pinned by test_runtime).
+ *
+ * The simulation backend (serial or host-threaded, see
+ * Machine::set_sim_threads) is bit-exact either way, so scheduling
+ * results never depend on the thread count.
+ */
+#pragma once
+
+#include "core/machine.hpp"
+#include "runtime/job.hpp"
+
+#include <memory>
+
+namespace udp::runtime {
+
+/// Scheduler construction knobs.
+struct SchedulerOptions {
+    /// Host simulation threads: 0 = machine default (UDP_SIM_THREADS
+    /// env, else serial); 1 = serial; N = thread pool of N.
+    unsigned threads = 0;
+    /// Cap on concurrent jobs per wave (models a partial deployment).
+    unsigned max_jobs_per_wave = kNumLanes;
+    AddressingMode mode = AddressingMode::Restricted;
+    std::uint64_t max_cycles_per_lane = ~std::uint64_t{0};
+};
+
+/// Accounting for one wave.
+struct WaveReport {
+    unsigned jobs = 0;
+    unsigned active_lanes = 0;
+    Cycles wall_cycles = 0; ///< machine time of this wave
+    double energy_j = 0;
+    LaneStats total;        ///< summed lane counters of this wave
+};
+
+/// Accounting for a whole scheduled run.
+struct ScheduleReport {
+    std::vector<JobResult> jobs; ///< in submission order
+    std::vector<WaveReport> waves;
+    Cycles wall_cycles = 0;      ///< sum over waves
+    LaneStats total;             ///< summed over all jobs
+    double energy_j = 0;         ///< summed over waves
+    unsigned sim_threads = 1;    ///< host threads the backend used
+    double host_seconds = 0;     ///< host wall-clock of the simulation
+
+    /// Aggregate simulated throughput in MB/s at the nominal clock.
+    double throughput_mbps() const {
+        return bytes_per_second(total.input_bytes(), wall_cycles) / 1e6;
+    }
+};
+
+/// Maps N jobs onto ≤64-lane waves and runs them.
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerOptions opts = {});
+
+    /// Borrow an existing machine (caller keeps ownership; its memory,
+    /// tracer and profiler attachments are used as-is).
+    explicit Scheduler(Machine &m, SchedulerOptions opts = {});
+
+    Machine &machine() { return *machine_; }
+
+    /// Run all jobs; plans must stay alive until this returns.
+    ScheduleReport run(const std::vector<JobPlan> &jobs);
+
+  private:
+    SchedulerOptions opts_;
+    std::unique_ptr<Machine> owned_;
+    Machine *machine_;
+};
+
+} // namespace udp::runtime
