@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Host simulation speed: predecoded fast path vs. the legacy
+ * decode-per-step interpreter (docs/PERFORMANCE.md).
+ *
+ * This bench tracks the *simulator's* performance trajectory, not the
+ * modeled hardware's: it runs the Figure 13 CSV workload (scaled up so
+ * the interpreter loop dominates host time) through the wave scheduler
+ * serially, once per interpreter path, and reports host MB/s for each.
+ * Simulated counters are asserted bit-identical between the paths —
+ * the same invariant tests/test_predecode.cpp pins per kernel.
+ *
+ * Flags: --json <path> (BENCH_simspeed.json schema: the standard bench
+ * envelope plus metrics.sim_host_mbps_predecode / _legacy /
+ * .predecode_speedup).
+ */
+#include "support.hpp"
+
+#include "core/decoded_program.hpp"
+#include "kernels/csv.hpp"
+#include "runtime/kernel_spec.hpp"
+#include "workloads/generators.hpp"
+
+#include <chrono>
+
+int
+main(int argc, char **argv)
+{
+    using namespace udp;
+    using namespace udp::bench;
+    using Clock = std::chrono::steady_clock;
+
+    MetricsRecorder rec("bench_simspeed", argc, argv);
+    set_sim_threads(1); // serial: measure the interpreter, not the pool
+
+    // ~3.8 MB of CSV so one measured run simulates a few million cycles.
+    const std::string text = workloads::crimes_csv(20'000);
+    const Bytes data(text.begin(), text.end());
+    const auto spec = kernels::csv_kernel_spec();
+
+    // 8 KiB rows-aligned chunks: half the per-job input cap, so the
+    // extracted field region cannot overflow the output half-window.
+    // ~240 jobs over 32 windows -> a multi-wave serial run.
+    const std::size_t chunk = 8 * 1024;
+
+    struct PathResult {
+        double host_seconds = 0; ///< best-of-reps simulation time
+        double host_mbps = 0;
+        LaneStats total;
+        Cycles wall = 0;
+    };
+    const auto measure = [&](bool predecode) {
+        set_predecode_enabled(predecode);
+        PathResult r;
+        const int reps = 5; // best-of-5 absorbs host scheduling noise
+        for (int i = 0; i < reps; ++i) {
+            // Rebuild the jobs inside the toggle so JobPlan::decoded
+            // reflects the path under test.
+            const auto jobs = runtime::chunk_jobs(
+                spec, data, chunk, runtime::align_after_delim('\n'));
+            runtime::Scheduler sched(sched_options());
+            const auto rep = sched.run(jobs);
+            if (i == 0 || rep.host_seconds < r.host_seconds)
+                r.host_seconds = rep.host_seconds;
+            r.total = rep.total;
+            r.wall = rep.wall_cycles;
+        }
+        r.host_mbps = r.host_seconds > 0
+                          ? double(data.size()) / r.host_seconds / 1e6
+                          : 0;
+        return r;
+    };
+
+    // Warm both paths (decode cache, page faults) before timing.
+    measure(true);
+    measure(false);
+    const auto pre = measure(true);
+    const auto leg = measure(false);
+    set_predecode_enabled(true); // restore the default for finish()
+
+    if (pre.total != leg.total || pre.wall != leg.wall)
+        throw UdpError("bench_simspeed: simulated counters diverge "
+                       "between interpreter paths");
+
+    const double speedup =
+        leg.host_mbps > 0 ? pre.host_mbps / leg.host_mbps : 0;
+
+    print_header("Host simulation speed (serial, CSV x20000 rows)",
+                 {"path", "host MB/s", "host s/run", "sim cycles"});
+    print_row({"predecode", fmt(pre.host_mbps), fmt(pre.host_seconds, 4),
+               fmt(double(pre.wall), 0)});
+    print_row({"legacy", fmt(leg.host_mbps), fmt(leg.host_seconds, 4),
+               fmt(double(leg.wall), 0)});
+    std::printf("\npredecode speedup: %.2fx (host time; simulated "
+                "counters bit-identical)\n",
+                speedup);
+
+    rec.add_metric("input_bytes", double(data.size()));
+    rec.add_metric("sim_cycles", double(pre.wall));
+    rec.add_metric("sim_host_mbps_predecode", pre.host_mbps);
+    rec.add_metric("sim_host_mbps_legacy", leg.host_mbps);
+    rec.add_metric("predecode_speedup", speedup);
+    return rec.finish();
+}

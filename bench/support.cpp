@@ -4,6 +4,7 @@
  */
 #include "support.hpp"
 
+#include "core/decoded_program.hpp"
 #include "core/metrics_json.hpp"
 
 #include "baselines/csv.hpp"
@@ -133,6 +134,9 @@ attach_schedule(WorkloadPerf &p, const runtime::ScheduleReport &rep,
     p.waves = static_cast<unsigned>(rep.waves.size());
     p.sim_threads = rep.sim_threads;
     p.sim_host_seconds = rep.host_seconds;
+    p.sim_host_mbps = rep.host_seconds > 0
+                          ? double(bytes) / rep.host_seconds / 1e6
+                          : 0;
 }
 
 void
@@ -202,6 +206,9 @@ MetricsRecorder::finish() const
         probe.set_sim_threads(sim_threads_option());
         w.field("sim_threads", probe.resolved_sim_threads());
     }
+    // Which interpreter path produced these host-time numbers
+    // (docs/PERFORMANCE.md; simulated counters are path-independent).
+    w.field("predecode", predecode_enabled());
 
     LaneStats total;
     double energy_total = 0;
@@ -218,6 +225,7 @@ MetricsRecorder::finish() const
         w.field("waves", p.waves);
         w.field("sim_threads", p.sim_threads);
         w.field("sim_host_seconds", p.sim_host_seconds);
+        w.field("sim_host_mbps", p.sim_host_mbps);
         w.field("speedup_vs_8t", p.speedup_vs_8t());
         w.field("speedup_real_vs_8t", p.speedup_real_vs_8t());
         w.field("tput_per_watt_ratio", p.perf_watt_ratio(UdpCostModel{}));

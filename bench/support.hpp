@@ -39,6 +39,7 @@ struct WorkloadPerf {
     unsigned waves = 0;         ///< scheduler waves of that run
     unsigned sim_threads = 0;   ///< host threads used to simulate it
     double sim_host_seconds = 0; ///< host wall-clock of the simulation
+    double sim_host_mbps = 0;   ///< host simulation rate (input/host time)
 
     /// Extrapolated 64-lane rate: lane rate x achievable parallelism.
     double udp64_mbps() const { return udp_lane_mbps * parallelism; }

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * DecodedProgram construction and the shared decode cache.
+ */
+#include "decoded_program.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace udp {
+
+namespace {
+
+/// Non-throwing decode: reserved transition kind 7 becomes the invalid
+/// sentinel instead of an exception, because a predecode pass visits
+/// every word — including garbage the interpreter would never fetch.
+Transition
+decode_transition_lenient(Word raw)
+{
+    const Word kind = bits(raw, 8, 4) & 0x7;
+    if (kind >= kNumTransitionTypes) {
+        Transition t;
+        t.type = kInvalidTransitionType;
+        return t;
+    }
+    return decode_transition(raw);
+}
+
+/// Non-throwing action decode (undefined opcode -> sentinel).
+Action
+decode_action_lenient(Word raw)
+{
+    if (!opcode_valid(bits(raw, 25, 7))) {
+        Action a;
+        a.op = kInvalidOpcode;
+        return a;
+    }
+    return decode_action(raw);
+}
+
+/// FNV-1a 64-bit over a word stream.
+struct Fnv64 {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    void mix(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 0x100000001B3ull;
+        }
+    }
+};
+
+} // namespace
+
+std::uint64_t
+program_fingerprint(const Program &prog)
+{
+    Fnv64 f;
+    f.mix(prog.dispatch.size());
+    f.mix(prog.actions.size());
+    f.mix(prog.states.size());
+    f.mix(prog.entry);
+    f.mix(prog.initial_symbol_bits);
+    f.mix(static_cast<std::uint64_t>(prog.addressing));
+    f.mix(prog.init_action_base);
+    f.mix(prog.init_action_scale);
+    f.mix(prog.init_dispatch_base);
+    for (const Word w : prog.dispatch)
+        f.mix(w);
+    for (const Word w : prog.actions)
+        f.mix(w);
+    for (const StateMeta &s : prog.states) {
+        f.mix(s.base);
+        f.mix((std::uint64_t{s.reg_source} << 32) |
+              (std::uint64_t{s.aux_count} << 16) | s.max_symbol);
+    }
+    return f.h;
+}
+
+DecodedProgram::DecodedProgram(const Program &prog)
+{
+    fingerprint_ = program_fingerprint(prog);
+
+    transitions_.reserve(prog.dispatch.size());
+    for (const Word w : prog.dispatch)
+        transitions_.push_back(decode_transition_lenient(w));
+
+    actions_.reserve(prog.actions.size());
+    for (const Word w : prog.actions)
+        actions_.push_back(decode_action_lenient(w));
+
+    slot_state_.assign(prog.dispatch.size(), -1);
+    states_.reserve(prog.states.size());
+    for (const StateMeta &s : prog.states) {
+        if (s.base >= prog.dispatch.size())
+            throw UdpError("DecodedProgram: state base outside image");
+        if (slot_state_[s.base] != -1)
+            throw UdpError("DecodedProgram: duplicate state base");
+
+        DecodedState d;
+        d.base = s.base;
+        d.max_symbol = s.max_symbol;
+        d.signature = state_signature(s.base);
+        d.reg_source = s.reg_source;
+
+        // An undecodable aux word can only occur in a program that never
+        // passed Program::validate(); treat it as a signature mismatch
+        // (chain terminator) rather than failing the whole build.
+        const unsigned aux =
+            static_cast<unsigned>(std::min<std::uint32_t>(
+                s.aux_count, s.base));
+        auto chain_word = [&](unsigned k) -> const Transition & {
+            return transitions_[s.base - k];
+        };
+
+        // `common` scan: first signature-matching common transition; the
+        // per-step scan does not stop at signature mismatches.
+        for (unsigned k = 1; k <= aux && !d.has_common; ++k) {
+            const Transition &t = chain_word(k);
+            if (t.type == TransitionType::Common &&
+                t.signature == d.signature) {
+                d.common = t;
+                d.has_common = true;
+            }
+        }
+
+        // DFA miss walk: charge one dispatch read per word examined,
+        // stop at the first signature mismatch or majority/default hit.
+        for (unsigned k = 1; k <= aux; ++k) {
+            const Transition &t = chain_word(k);
+            ++d.miss_reads;
+            if (t.type == kInvalidTransitionType ||
+                t.signature != d.signature)
+                break;
+            if (t.type == TransitionType::Majority ||
+                t.type == TransitionType::Default) {
+                d.miss = t;
+                d.has_miss = true;
+                break;
+            }
+        }
+
+        // NFA miss walk: same, but `common` is also an accepted fallback.
+        for (unsigned k = 1; k <= aux; ++k) {
+            const Transition &t = chain_word(k);
+            ++d.miss_nfa_reads;
+            if (t.type == kInvalidTransitionType ||
+                t.signature != d.signature)
+                break;
+            if (t.type == TransitionType::Majority ||
+                t.type == TransitionType::Default ||
+                t.type == TransitionType::Common) {
+                d.miss_nfa = t;
+                d.has_miss_nfa = true;
+                break;
+            }
+        }
+
+        // Epsilon activations, in chain (priority) order.
+        d.eps_begin = static_cast<std::uint32_t>(epsilons_.size());
+        for (unsigned k = 1; k <= aux; ++k) {
+            const Transition &t = chain_word(k);
+            if (t.type == TransitionType::Epsilon &&
+                t.signature == d.signature)
+                epsilons_.push_back(t);
+        }
+        d.eps_end = static_cast<std::uint32_t>(epsilons_.size());
+
+        slot_state_[s.base] =
+            static_cast<std::int32_t>(states_.size());
+        states_.push_back(d);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Predecode switch and the shared cache.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// 0 = unresolved (consult the environment), 1 = on, 2 = off.
+std::atomic<int> g_predecode{0};
+
+} // namespace
+
+bool
+predecode_enabled()
+{
+    int v = g_predecode.load(std::memory_order_relaxed);
+    if (v == 0) {
+        v = std::getenv("UDP_SIM_NO_PREDECODE") ? 2 : 1;
+        g_predecode.store(v, std::memory_order_relaxed);
+    }
+    return v == 1;
+}
+
+void
+set_predecode_enabled(bool on)
+{
+    g_predecode.store(on ? 1 : 2, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const DecodedProgram>
+shared_decoded(const Program &prog)
+{
+    static std::mutex mu;
+    static std::unordered_map<std::uint64_t,
+                              std::shared_ptr<const DecodedProgram>>
+        cache;
+
+    const std::uint64_t key = program_fingerprint(prog);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        const auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+    // Build outside the lock: decode cost scales with the image, and
+    // concurrent builders of the same program are harmless (the first
+    // one inserted wins; both results are equivalent).
+    auto dec = std::make_shared<const DecodedProgram>(prog);
+    std::lock_guard<std::mutex> lk(mu);
+    if (cache.size() >= 128)
+        cache.clear(); // crude bound; lanes re-decode after a burst
+    return cache.emplace(key, std::move(dec)).first->second;
+}
+
+} // namespace udp

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Predecoded program images: decode once, run many.
+ *
+ * The packed 32-bit transition and action words of a `Program` are cheap
+ * to decode once, but the interpreter used to decode them on *every*
+ * simulated dispatch — and all 64 lanes of a wave repeat that identical
+ * work on the same read-only image.  A `DecodedProgram` expands the whole
+ * image up front:
+ *
+ *  - every dispatch word as a decoded `Transition`;
+ *  - every action word as a decoded `Action` (micro-op stream);
+ *  - per state: the signature, the auxiliary-chain walk results the
+ *    interpreter would recompute per step (the `common` override, the
+ *    DFA and NFA signature-miss fallbacks with their exact
+ *    dispatch-read charge, and the epsilon activation list);
+ *  - a dense slot→state table replacing `Program::find_state`.
+ *
+ * A DecodedProgram is immutable after construction and self-contained
+ * (it never aliases the source Program), so one instance is safely
+ * shared read-only across all 64 lanes, across waves, and across host
+ * simulation threads.  `shared_decoded()` is the process-wide cache
+ * keyed by program content; the runtime's KernelSpec/JobPlan path
+ * threads its result through to the lanes so a 64-lane wave decodes the
+ * program exactly once.
+ *
+ * Predecoding is purely a host-performance layer: simulated cycles,
+ * dispatch reads, misses and stalls are charged bit-identically to the
+ * decode-per-step interpreter (pinned by tests/test_predecode.cpp).
+ * `UDP_SIM_NO_PREDECODE=1` (or `set_predecode_enabled(false)`) keeps the
+ * legacy path available as the equivalence reference.
+ */
+#pragma once
+
+#include "isa.hpp"
+#include "program.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace udp {
+
+/// Sentinel stored for a dispatch word that does not decode (reserved
+/// transition kind 7).  The legacy path throws only if such a word is
+/// actually fetched; the fast path re-decodes the raw word on fetch to
+/// raise the identical error.
+inline constexpr TransitionType kInvalidTransitionType =
+    static_cast<TransitionType>(7);
+
+/// Sentinel opcode for an action word that does not decode (undefined
+/// opcode).  Same fetch-time error contract as kInvalidTransitionType.
+inline constexpr Opcode kInvalidOpcode = static_cast<Opcode>(0x7F);
+
+/**
+ * Per-state predecoded metadata: everything `Lane::step` used to derive
+ * from StateMeta plus per-step auxiliary-chain scans.
+ */
+struct DecodedState {
+    std::uint32_t base = 0;         ///< full word address of the state
+    std::uint16_t max_symbol = 255; ///< largest labeled slot offset
+    std::uint8_t signature = 0;     ///< expected slot signature
+    bool reg_source = false;        ///< dispatch symbol comes from r0
+
+    /// First signature-matching `common` transition in the aux chain
+    /// (replaces the whole labeled table when present).
+    bool has_common = false;
+    Transition common{};
+
+    /// DFA signature-miss fallback: first majority/default hit of the
+    /// chain walk.  `miss_reads` is the exact number of dispatch-word
+    /// reads the legacy walk charges (including the terminating word).
+    bool has_miss = false;
+    std::uint8_t miss_reads = 0;
+    Transition miss{};
+
+    /// NFA-mode fallback walk (also accepts `common`).
+    bool has_miss_nfa = false;
+    std::uint8_t miss_nfa_reads = 0;
+    Transition miss_nfa{};
+
+    /// Epsilon activations, chain order: [eps_begin, eps_end) into
+    /// DecodedProgram's flattened epsilon pool.
+    std::uint32_t eps_begin = 0;
+    std::uint32_t eps_end = 0;
+};
+
+/**
+ * The predecoded image.  Built once per program; immutable after.
+ */
+class DecodedProgram
+{
+  public:
+    explicit DecodedProgram(const Program &prog);
+
+    std::size_t dispatch_words() const { return transitions_.size(); }
+    std::size_t action_words() const { return actions_.size(); }
+
+    const Transition &transition(std::size_t slot) const {
+        return transitions_[slot];
+    }
+    const Action &action(std::size_t addr) const { return actions_[addr]; }
+
+    /// Dense replacement for Program::find_state; nullptr when `base`
+    /// is not a state.
+    const DecodedState *state_at(std::size_t base) const {
+        if (base >= slot_state_.size())
+            return nullptr;
+        const std::int32_t ix = slot_state_[base];
+        return ix < 0 ? nullptr : &states_[static_cast<std::size_t>(ix)];
+    }
+
+    const Transition *eps_begin(const DecodedState &s) const {
+        return epsilons_.data() + s.eps_begin;
+    }
+    const Transition *eps_end(const DecodedState &s) const {
+        return epsilons_.data() + s.eps_end;
+    }
+
+    /// Content fingerprint of the source program (the cache key).
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+  private:
+    std::vector<Transition> transitions_; ///< one per dispatch word
+    std::vector<Action> actions_;         ///< one per action word
+    std::vector<DecodedState> states_;
+    std::vector<std::int32_t> slot_state_; ///< base -> index into states_
+    std::vector<Transition> epsilons_;     ///< flattened per-state chains
+    std::uint64_t fingerprint_ = 0;
+};
+
+/// 64-bit content fingerprint of a program (images, directory, init
+/// configuration) — the identity key of the shared decode cache.
+std::uint64_t program_fingerprint(const Program &prog);
+
+/**
+ * Process-wide decoded-image cache: returns the shared DecodedProgram
+ * for `prog`, building it on first use.  Keyed by content fingerprint,
+ * so 64 lanes loading the same program (or a copy of it) share one
+ * image, and a mutated program gets a fresh one.  Thread-safe.
+ */
+std::shared_ptr<const DecodedProgram> shared_decoded(const Program &prog);
+
+/// Whether lanes predecode on load.  Defaults to true unless the
+/// UDP_SIM_NO_PREDECODE environment variable is set (read once).
+bool predecode_enabled();
+
+/// Process-wide override of the environment default (benches and the
+/// equivalence tests toggle this around whole runs).
+void set_predecode_enabled(bool on);
+
+} // namespace udp

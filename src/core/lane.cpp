@@ -2,9 +2,25 @@
  * @file
  * UDP lane interpreter: dispatch unit, stream-buffer/prefetch unit, and
  * action unit semantics.
+ *
+ * Two host-side interpreter paths produce bit-identical simulated
+ * results (stats, outputs, trace/profile streams — see
+ * tests/test_predecode.cpp):
+ *
+ *  - the fast path: runs over a shared read-only `DecodedProgram`
+ *    (transitions, micro-op streams and auxiliary-chain walks expanded
+ *    once per program), with the inner loops instantiated twice so the
+ *    tracer/profiler hooks vanish from the uninstrumented variant;
+ *  - the legacy path (`UDP_SIM_NO_PREDECODE=1`): decodes every packed
+ *    word at dispatch time, exactly as the original interpreter did.
+ *
+ * The action unit is one template (`exec_actions_impl`) shared by both
+ * paths, so the ~50 opcode semantics cannot drift between them; only
+ * the micro-op *source* differs.
  */
 #include "lane.hpp"
 
+#include "decoded_program.hpp"
 #include "profile.hpp"
 #include "trace.hpp"
 
@@ -52,7 +68,20 @@ Lane::Lane(unsigned id, LocalMemory &mem) : id_(id), mem_(mem)
 void
 Lane::load(const Program &prog)
 {
+    load(prog, nullptr);
+}
+
+void
+Lane::load(const Program &prog,
+           std::shared_ptr<const DecodedProgram> decoded)
+{
     prog_ = &prog;
+    if (!predecode_enabled())
+        decoded_ = nullptr;
+    else if (decoded)
+        decoded_ = std::move(decoded);
+    else
+        decoded_ = shared_decoded(prog);
     reset();
 }
 
@@ -100,6 +129,7 @@ Lane::reset()
     out_bit_count_ = 0;
     accepts_.clear();
     cur_state_ = 0;
+    resume_ds_ = nullptr;
     started_ = false;
     halted_ = false;
     halt_status_ = LaneStatus::Done;
@@ -266,7 +296,7 @@ Lane::attach_addr(const Transition &t, std::size_t &addr) const
 }
 
 Lane::StepResult
-Lane::step(const StateMeta &meta, std::vector<DispatchAddr> *activations)
+Lane::step(const StateMeta &meta)
 {
     StepResult res;
     const std::size_t base = meta.base; // full word address
@@ -381,8 +411,6 @@ Lane::step(const StateMeta &meta, std::vector<DispatchAddr> *activations)
         }
     }
 
-    // Epsilon activations of the *target* state are handled by the caller
-    // (NFA mode); here we execute the transition's actions.
     std::size_t act;
     if (attach_addr(taken, act)) {
         const LaneStatus st = exec_actions(act);
@@ -394,14 +422,131 @@ Lane::step(const StateMeta &meta, std::vector<DispatchAddr> *activations)
 
     res.took_transition = true;
     res.next_base = taken.target;
-    if (activations && meta.aux_count) {
-        // Collect epsilon siblings (multi-state activation).
-        for (unsigned k = 1; k <= meta.aux_count; ++k) {
-            const Transition t = decode_transition(prog_->dispatch[base - k]);
-            if (t.signature == sig && t.type == TransitionType::Epsilon)
-                activations->push_back(t.target);
+    return res;
+}
+
+/**
+ * Fast-path dispatch over a predecoded state.  The per-step `common`
+ * scan, the signature-miss chain walk and the labeled-slot decode all
+ * collapse into precomputed fields; the charged counters are exactly
+ * those of `step()` above.
+ */
+template <bool Instrumented>
+Lane::StepResult
+Lane::step_fast(const DecodedState &ds)
+{
+    StepResult res;
+    const DecodedProgram &dec = *decoded_;
+    const std::size_t base = ds.base;
+
+    Transition taken;
+    bool have = false;
+
+    if (ds.has_common) {
+        if (!ds.reg_source) {
+            if (sb_.exhausted(symbol_bits_)) {
+                res.status = LaneStatus::Done;
+                return res;
+            }
+            fetch_symbol_bits(symbol_bits_);
+            res.consumed_symbol = true;
+        }
+        ++stats_.dispatches;
+        ++stats_.cycles;
+        ++stats_.dispatch_reads;
+        if constexpr (Instrumented) {
+            if (tracer_)
+                tracer_->record(id_, TraceEventKind::Dispatch,
+                                stats_.cycles,
+                                static_cast<std::uint32_t>(base),
+                                last_symbol_);
+        }
+        taken = ds.common;
+        have = true;
+    } else {
+        Word sym;
+        const unsigned width = symbol_bits_;
+        if (ds.reg_source) {
+            const Word mask =
+                width >= 32 ? ~Word{0} : ((Word{1} << width) - 1);
+            sym = regs_[kRegDispatch] & mask;
+            last_symbol_ = sym;
+        } else {
+            if (sb_.exhausted(width)) {
+                res.status = LaneStatus::Done;
+                return res;
+            }
+            sym = fetch_symbol_bits(width);
+            res.consumed_symbol = true;
+        }
+
+        ++stats_.dispatches;
+        ++stats_.cycles;
+        if constexpr (Instrumented) {
+            if (tracer_)
+                tracer_->record(id_, TraceEventKind::Dispatch,
+                                stats_.cycles,
+                                static_cast<std::uint32_t>(base), sym);
+        }
+        const std::size_t slot = base + sym;
+        if (slot < dec.dispatch_words() && sym <= ds.max_symbol) {
+            ++stats_.dispatch_reads;
+            const Transition &t = dec.transition(slot);
+            if (t.type == kInvalidTransitionType)
+                decode_transition(prog_->dispatch[slot]); // throws
+            if (t.signature == ds.signature &&
+                (t.type == TransitionType::Labeled ||
+                 t.type == TransitionType::Refill ||
+                 t.type == TransitionType::Flagged)) {
+                taken = t;
+                have = true;
+            }
+        }
+
+        if (!have) {
+            ++stats_.sig_misses;
+            ++stats_.cycles;
+            if constexpr (Instrumented) {
+                if (tracer_)
+                    tracer_->record(id_, TraceEventKind::SigMiss,
+                                    stats_.cycles,
+                                    static_cast<std::uint32_t>(base),
+                                    sym);
+            }
+            // The legacy walk charges one dispatch read per aux word
+            // examined; the precomputed count is that exact number.
+            stats_.dispatch_reads += ds.miss_reads;
+            if (ds.has_miss) {
+                taken = ds.miss;
+                have = true;
+            }
         }
     }
+
+    if (!have) {
+        res.status = LaneStatus::Reject;
+        return res;
+    }
+
+    if (taken.type == TransitionType::Refill) {
+        const unsigned nbits = taken.attach >> 5;
+        if (nbits != 0) {
+            sb_.refill(nbits);
+            stats_.stream_bits -= nbits;
+        }
+    }
+
+    std::size_t act;
+    if (attach_addr(taken, act)) {
+        const LaneStatus st = exec_actions_impl<Instrumented, true>(act);
+        if (st != LaneStatus::Running) {
+            res.status = st;
+            return res;
+        }
+    }
+
+    res.took_transition = true;
+    res.next_base = taken.target;
     return res;
 }
 
@@ -409,24 +554,44 @@ Lane::step(const StateMeta &meta, std::vector<DispatchAddr> *activations)
 // Action unit.
 // ---------------------------------------------------------------------------
 
+/**
+ * The action-chain interpreter, shared by both paths so opcode
+ * semantics cannot drift.  `Predecoded` selects the micro-op source
+ * (DecodedProgram stream vs per-word decode); `Instrumented` compiles
+ * the tracer/profiler hooks out of the fast uninstrumented loop.
+ */
+template <bool Instrumented, bool Predecoded>
 LaneStatus
-Lane::exec_actions(std::size_t addr)
+Lane::exec_actions_impl(std::size_t addr)
 {
     const auto &img = prog_->actions;
     for (;;) {
         if (addr >= img.size())
             throw UdpError("Lane: action fetch out of range");
         ++stats_.dispatch_reads;
-        const Action a = decode_action(img[addr]);
+        Action decoded_word;
+        const Action *ap;
+        if constexpr (Predecoded) {
+            const Action &pa = decoded_->action(addr);
+            if (pa.op == kInvalidOpcode)
+                decode_action(img[addr]); // throws the legacy error
+            ap = &pa;
+        } else {
+            decoded_word = decode_action(img[addr]);
+            ap = &decoded_word;
+        }
+        const Action &a = *ap;
         ++stats_.actions;
         ++stats_.cycles;
-        if (tracer_)
-            tracer_->record(id_, TraceEventKind::Action, stats_.cycles,
-                            static_cast<std::uint32_t>(addr),
-                            static_cast<std::uint32_t>(a.op));
+        if constexpr (Instrumented) {
+            if (tracer_)
+                tracer_->record(id_, TraceEventKind::Action, stats_.cycles,
+                                static_cast<std::uint32_t>(addr),
+                                static_cast<std::uint32_t>(a.op));
+        }
         // Extra cycles charged inside the switch (loop ops, stalls) are
         // attributed to this opcode via the delta from here.
-        const Cycles act_start = stats_.cycles;
+        const Cycles act_start = Instrumented ? stats_.cycles : 0;
 
         const Word rs = (a.src == kRegStreamIdx)
                             ? static_cast<Word>(sb_.pos_bytes())
@@ -562,9 +727,11 @@ Lane::exec_actions(std::size_t addr)
             for (unsigned i = 0; i < count; ++i)
                 out_byte(mem_.read8(mem_translate(entry + 1 + i)));
             ++stats_.mem_reads; // one 8-byte-wide entry fetch
-            if (tracer_)
-                tracer_->record(id_, TraceEventKind::MemRead,
-                                stats_.cycles, entry, 0);
+            if constexpr (Instrumented) {
+                if (tracer_)
+                    tracer_->record(id_, TraceEventKind::MemRead,
+                                    stats_.cycles, entry, 0);
+            }
             break;
           }
           case Opcode::Hash:
@@ -628,26 +795,34 @@ Lane::exec_actions(std::size_t addr)
 
           case Opcode::Accept:
             ++stats_.accepts;
-            if (tracer_)
-                tracer_->record(id_, TraceEventKind::Accept,
-                                stats_.cycles,
-                                static_cast<std::uint32_t>(a.imm), 0);
+            if constexpr (Instrumented) {
+                if (tracer_)
+                    tracer_->record(id_, TraceEventKind::Accept,
+                                    stats_.cycles,
+                                    static_cast<std::uint32_t>(a.imm), 0);
+            }
             if (accepts_.size() < accept_capacity_) {
                 accepts_.push_back(
                     {sb_.pos_bits(), static_cast<Word>(a.imm)});
             }
             break;
           case Opcode::Halt:
-            if (profiler_)
-                profiler_->record_action(a.op, 1);
+            if constexpr (Instrumented) {
+                if (profiler_)
+                    profiler_->record_action(a.op, 1);
+            }
             return LaneStatus::Done;
           case Opcode::Fail:
-            if (profiler_)
-                profiler_->record_action(a.op, 1);
+            if constexpr (Instrumented) {
+                if (profiler_)
+                    profiler_->record_action(a.op, 1);
+            }
             return LaneStatus::Reject;
           case Opcode::Gotoact:
-            if (profiler_)
-                profiler_->record_action(a.op, 1);
+            if constexpr (Instrumented) {
+                if (profiler_)
+                    profiler_->record_action(a.op, 1);
+            }
             addr = static_cast<std::size_t>(a.imm);
             continue; // `last` is irrelevant on a taken goto
           case Opcode::Nop: break;
@@ -656,31 +831,87 @@ Lane::exec_actions(std::size_t addr)
             throw UdpError("Lane: unimplemented opcode");
         }
 
-        if (profiler_)
-            profiler_->record_action(a.op,
-                                     1 + (stats_.cycles - act_start));
+        if constexpr (Instrumented) {
+            if (profiler_)
+                profiler_->record_action(a.op,
+                                         1 + (stats_.cycles - act_start));
+        }
         if (a.last)
             return LaneStatus::Running;
         ++addr;
     }
 }
 
+LaneStatus
+Lane::exec_actions(std::size_t addr)
+{
+    return exec_actions_impl<true, false>(addr);
+}
+
 // ---------------------------------------------------------------------------
 // Run loops.
 // ---------------------------------------------------------------------------
 
+template <bool Instrumented>
 LaneStatus
-Lane::run_steps(std::uint64_t n)
+Lane::advance_one(const DecodedState &ds)
 {
-    if (!prog_)
-        throw UdpError("Lane: no program loaded");
-    if (halted_)
-        return halt_status_;
-    if (!started_) {
-        cur_state_ = prog_->entry;
-        started_ = true;
+    StepResult r;
+    if constexpr (Instrumented) {
+        if (profiler_) {
+            // Everything the step charges (dispatch, miss penalty,
+            // attached actions, stalls) is attributed to this state.
+            const Cycles c0 = stats_.cycles;
+            const std::uint64_t m0 = stats_.sig_misses;
+            const std::uint64_t s0 = stats_.stall_cycles;
+            r = step_fast<Instrumented>(ds);
+            if (stats_.cycles != c0) // zero delta = end-of-stream probe
+                profiler_->record_state(
+                    static_cast<std::uint32_t>(cur_state_),
+                    stats_.cycles - c0, stats_.sig_misses - m0,
+                    stats_.stall_cycles - s0);
+        } else {
+            r = step_fast<Instrumented>(ds);
+        }
+    } else {
+        r = step_fast<Instrumented>(ds);
     }
+    if (r.status != LaneStatus::Running) {
+        halted_ = true;
+        halt_status_ = r.status;
+        return r.status;
+    }
+    if (!r.took_transition) {
+        halted_ = true;
+        halt_status_ = LaneStatus::Reject;
+        return LaneStatus::Reject;
+    }
+    // 12-bit targets are window-relative; rebase into the current
+    // dispatch window (Setbase may have moved it during actions).
+    cur_state_ = dispatch_base_ + r.next_base;
+    return LaneStatus::Running;
+}
 
+template <bool Instrumented>
+LaneStatus
+Lane::run_steps_fast(std::uint64_t n)
+{
+    const DecodedProgram &dec = *decoded_;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const DecodedState *ds = dec.state_at(cur_state_);
+        if (!ds)
+            throw UdpError("Lane: dispatch into unknown state base " +
+                           std::to_string(cur_state_));
+        const LaneStatus st = advance_one<Instrumented>(*ds);
+        if (st != LaneStatus::Running)
+            return st;
+    }
+    return LaneStatus::Running;
+}
+
+LaneStatus
+Lane::run_steps_legacy(std::uint64_t n)
+{
     for (std::uint64_t i = 0; i < n; ++i) {
         const StateMeta *meta = prog_->find_state(cur_state_);
         if (!meta)
@@ -693,14 +924,14 @@ Lane::run_steps(std::uint64_t n)
             const Cycles c0 = stats_.cycles;
             const std::uint64_t m0 = stats_.sig_misses;
             const std::uint64_t s0 = stats_.stall_cycles;
-            r = step(*meta, nullptr);
+            r = step(*meta);
             if (stats_.cycles != c0) // zero delta = end-of-stream probe
                 profiler_->record_state(
                     static_cast<std::uint32_t>(cur_state_),
                     stats_.cycles - c0, stats_.sig_misses - m0,
                     stats_.stall_cycles - s0);
         } else {
-            r = step(*meta, nullptr);
+            r = step(*meta);
         }
         if (r.status != LaneStatus::Running) {
             halted_ = true;
@@ -720,6 +951,55 @@ Lane::run_steps(std::uint64_t n)
 }
 
 LaneStatus
+Lane::run_steps(std::uint64_t n)
+{
+    if (!prog_)
+        throw UdpError("Lane: no program loaded");
+    if (halted_)
+        return halt_status_;
+    if (!started_) {
+        cur_state_ = prog_->entry;
+        started_ = true;
+    }
+    resume_ds_ = nullptr; // step_once owns the carry-over
+    if (!decoded_)
+        return run_steps_legacy(n);
+    return (tracer_ || profiler_) ? run_steps_fast<true>(n)
+                                  : run_steps_fast<false>(n);
+}
+
+LaneStatus
+Lane::step_once()
+{
+    if (!prog_)
+        throw UdpError("Lane: no program loaded");
+    if (halted_)
+        return halt_status_;
+    if (!started_) {
+        cur_state_ = prog_->entry;
+        started_ = true;
+        resume_ds_ = nullptr;
+    }
+    if (!decoded_)
+        return run_steps_legacy(1);
+    const DecodedState *ds = resume_ds_;
+    if (!ds) {
+        ds = decoded_->state_at(cur_state_);
+        if (!ds)
+            throw UdpError("Lane: dispatch into unknown state base " +
+                           std::to_string(cur_state_));
+    }
+    const LaneStatus st = (tracer_ || profiler_) ? advance_one<true>(*ds)
+                                                 : advance_one<false>(*ds);
+    // An unknown next state stays null here and throws on the *next*
+    // step, exactly when the legacy path would notice it.
+    resume_ds_ = (st == LaneStatus::Running)
+                     ? decoded_->state_at(cur_state_)
+                     : nullptr;
+    return st;
+}
+
+LaneStatus
 Lane::run(std::uint64_t max_cycles)
 {
     for (;;) {
@@ -736,7 +1016,169 @@ Lane::run_nfa(std::uint64_t max_cycles)
 {
     if (!prog_)
         throw UdpError("Lane: no program loaded");
+    resume_ds_ = nullptr;
+    if (!decoded_)
+        return run_nfa_legacy(max_cycles);
+    return (tracer_ || profiler_) ? run_nfa_fast<true>(max_cycles)
+                                  : run_nfa_fast<false>(max_cycles);
+}
 
+/**
+ * Fast NFA executor: the epsilon-closure and fallback chain decodes are
+ * unified on the predecoded per-state chains (DecodedState::epsilons /
+ * miss_nfa), so DFA and NFA modes read the same tables and cannot
+ * drift.  Charging mirrors run_nfa_legacy bit for bit.
+ */
+template <bool Instrumented>
+LaneStatus
+Lane::run_nfa_fast(std::uint64_t max_cycles)
+{
+    const DecodedProgram &dec = *decoded_;
+
+    // Active-state set with epsilon closure on activation. Frontier order
+    // is deterministic; duplicates are suppressed with a stamp array.
+    // Active entries are full word addresses.
+    std::vector<std::size_t> active{prog_->entry};
+    std::vector<std::size_t> next;
+    std::vector<std::uint32_t> stamp(dec.dispatch_words(), 0);
+    std::uint32_t generation = 0;
+
+    auto close = [&](std::vector<std::size_t> &set) {
+        ++generation;
+        for (auto b : set)
+            stamp[b] = generation;
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            const DecodedState *ds = dec.state_at(set[i]);
+            if (!ds)
+                throw UdpError("Lane: NFA activation of unknown state");
+            for (const Transition *t = dec.eps_begin(*ds),
+                                  *e = dec.eps_end(*ds);
+                 t != e; ++t) {
+                const std::size_t tgt = dispatch_base_ + t->target;
+                if (stamp[tgt] == generation)
+                    continue;
+                // Epsilon activation costs one dispatch cycle.
+                ++stats_.cycles;
+                ++stats_.dispatches;
+                ++stats_.dispatch_reads;
+                if constexpr (Instrumented) {
+                    if (tracer_)
+                        tracer_->record(
+                            id_, TraceEventKind::Dispatch, stats_.cycles,
+                            static_cast<std::uint32_t>(tgt), 0);
+                    if (profiler_)
+                        profiler_->record_state(
+                            static_cast<std::uint32_t>(tgt), 1, 0, 0);
+                }
+                stamp[tgt] = generation;
+                set.push_back(tgt);
+                std::size_t act;
+                if (attach_addr(*t, act))
+                    exec_actions_impl<Instrumented, true>(act);
+            }
+        }
+    };
+
+    close(active);
+    const unsigned width = symbol_bits_;
+
+    while (!active.empty() && stats_.cycles < max_cycles) {
+        if (sb_.exhausted(width))
+            return LaneStatus::Done;
+        const Word sym = fetch_symbol_bits(width);
+
+        next.clear();
+        ++generation;
+        for (const auto cur : active) {
+            const DecodedState *dsp = dec.state_at(cur);
+            if (!dsp)
+                throw UdpError("Lane: NFA dispatch into unknown state");
+            const DecodedState &ds = *dsp;
+            const std::size_t base = ds.base;
+
+            Cycles prof_c0 = 0;
+            std::uint64_t prof_m0 = 0, prof_s0 = 0;
+            if constexpr (Instrumented) {
+                prof_c0 = stats_.cycles;
+                prof_m0 = stats_.sig_misses;
+                prof_s0 = stats_.stall_cycles;
+            }
+
+            ++stats_.dispatches;
+            ++stats_.cycles;
+            if constexpr (Instrumented) {
+                if (tracer_)
+                    tracer_->record(id_, TraceEventKind::Dispatch,
+                                    stats_.cycles,
+                                    static_cast<std::uint32_t>(base),
+                                    sym);
+            }
+
+            Transition taken;
+            bool have = false;
+            const std::size_t slot = base + sym;
+            if (slot < dec.dispatch_words() && sym <= ds.max_symbol) {
+                ++stats_.dispatch_reads;
+                const Transition &t = dec.transition(slot);
+                if (t.type == kInvalidTransitionType)
+                    decode_transition(prog_->dispatch[slot]); // throws
+                if (t.signature == ds.signature &&
+                    (t.type == TransitionType::Labeled ||
+                     t.type == TransitionType::Refill)) {
+                    taken = t;
+                    have = true;
+                }
+            }
+            if (!have) {
+                ++stats_.sig_misses;
+                ++stats_.cycles;
+                if constexpr (Instrumented) {
+                    if (tracer_)
+                        tracer_->record(id_, TraceEventKind::SigMiss,
+                                        stats_.cycles,
+                                        static_cast<std::uint32_t>(base),
+                                        sym);
+                }
+                stats_.dispatch_reads += ds.miss_nfa_reads;
+                if (ds.has_miss_nfa) {
+                    taken = ds.miss_nfa;
+                    have = true;
+                }
+            }
+            if (have) {
+                const std::size_t tgt = dispatch_base_ + taken.target;
+                if (stamp[tgt] != generation) {
+                    stamp[tgt] = generation;
+                    next.push_back(tgt);
+                    // Activation happens once per step; arc actions fire
+                    // with the first arc that activates the target.
+                    std::size_t act;
+                    if (attach_addr(taken, act))
+                        exec_actions_impl<Instrumented, true>(act);
+                }
+            }
+            // `have == false`: this activation dies, after charging the
+            // dispatch + miss cycles profiled below.
+            if constexpr (Instrumented) {
+                if (profiler_)
+                    profiler_->record_state(
+                        static_cast<std::uint32_t>(base),
+                        stats_.cycles - prof_c0,
+                        stats_.sig_misses - prof_m0,
+                        stats_.stall_cycles - prof_s0);
+            }
+        }
+        close(next);
+        // close() bumps the generation; re-stamp for the swap below is
+        // unnecessary since `next` is already duplicate-free.
+        active.swap(next);
+    }
+    return active.empty() ? LaneStatus::Reject : LaneStatus::Done;
+}
+
+LaneStatus
+Lane::run_nfa_legacy(std::uint64_t max_cycles)
+{
     // Active-state set with epsilon closure on activation. Frontier order
     // is deterministic; duplicates are suppressed with a stamp array.
     // Active entries are full word addresses.

@@ -18,6 +18,14 @@
  *   - `run_nfa()`: a set of active states advanced per input symbol with
  *     epsilon activation (UAP-style NFA execution); cycle cost scales with
  *     the number of dispatches, as on the real hardware.
+ *
+ * Host-side interpretation runs on one of two paths (docs/PERFORMANCE.md):
+ *   - the fast path over a shared read-only `DecodedProgram` (the
+ *     default), with instrumented/uninstrumented inner-loop variants so
+ *     detached tracer/profiler hooks cost nothing per cycle;
+ *   - the legacy decode-per-step path (`UDP_SIM_NO_PREDECODE=1`), kept
+ *     as the bit-identical equivalence reference.
+ * Simulated counters and event streams never depend on the path taken.
  */
 #pragma once
 
@@ -29,11 +37,14 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 
 namespace udp {
 
-class Tracer;   // trace.hpp
-class Profiler; // profile.hpp
+class Tracer;         // trace.hpp
+class Profiler;       // profile.hpp
+class DecodedProgram; // decoded_program.hpp
+struct DecodedState;
 
 /// Terminal status of a lane run.
 enum class LaneStatus : std::uint8_t {
@@ -61,8 +72,19 @@ class Lane
      */
     Lane(unsigned id, LocalMemory &mem);
 
-    /// Bind the program (kept by reference; caller owns it).
+    /// Bind the program (kept by reference; caller owns it).  Fetches
+    /// the shared predecoded image from the process-wide cache unless
+    /// predecoding is disabled (UDP_SIM_NO_PREDECODE).
     void load(const Program &prog);
+
+    /// Bind the program together with an already-resolved predecoded
+    /// image (the runtime's JobPlan path, which looks it up once per
+    /// job instead of once per lane).  `decoded` may be null.
+    void load(const Program &prog,
+              std::shared_ptr<const DecodedProgram> decoded);
+
+    /// The predecoded image in use (null on the legacy path).
+    const DecodedProgram *decoded() const { return decoded_.get(); }
 
     /// Attach the input stream (not copied).
     void set_input(BytesView data);
@@ -84,6 +106,11 @@ class Lane
     /// Execute up to `n` dispatch steps, preserving position between
     /// calls (lockstep machine mode). Returns Running while work remains.
     LaneStatus run_steps(std::uint64_t n);
+
+    /// Resumable single dispatch step: exactly `run_steps(1)`, but the
+    /// decoded entry of the next state is carried across calls so
+    /// lockstep rounds skip the per-call state lookup.
+    LaneStatus step_once();
 
     /// Execute in NFA mode (multi-state activation via epsilon).
     LaneStatus run_nfa(std::uint64_t max_cycles = ~std::uint64_t{0});
@@ -132,11 +159,36 @@ class Lane
         LaneStatus status = LaneStatus::Running;
     };
 
-    /// Fetch+check the labeled slot, walk the aux chain, fire actions.
-    StepResult step(const StateMeta &meta,
-                    std::vector<DispatchAddr> *activations);
+    /// Legacy decode-per-step dispatch: fetch+check the labeled slot,
+    /// walk the aux chain, fire actions.
+    StepResult step(const StateMeta &meta);
+
+    /// Fast-path dispatch over the predecoded state.  `Instrumented`
+    /// compiles the tracer/profiler hooks in or out of the loop.
+    template <bool Instrumented>
+    StepResult step_fast(const DecodedState &ds);
+
+    /// One fast-path step plus halt/transition bookkeeping and profiler
+    /// attribution (shared by run_steps_fast and step_once).
+    template <bool Instrumented>
+    LaneStatus advance_one(const DecodedState &ds);
+
+    template <bool Instrumented>
+    LaneStatus run_steps_fast(std::uint64_t n);
+
+    template <bool Instrumented>
+    LaneStatus run_nfa_fast(std::uint64_t max_cycles);
+
+    LaneStatus run_steps_legacy(std::uint64_t n);
+    LaneStatus run_nfa_legacy(std::uint64_t max_cycles);
 
     /// Execute the action chain at action-memory word address `addr`.
+    /// `Predecoded` selects the micro-op source (decoded image vs
+    /// per-word decode); both charge identical simulated costs.
+    template <bool Instrumented, bool Predecoded>
+    LaneStatus exec_actions_impl(std::size_t addr);
+
+    /// Legacy entry (runtime instrumentation checks, per-word decode).
     LaneStatus exec_actions(std::size_t addr);
 
     /// Resolve an attach field to an action word address (or none).
@@ -159,6 +211,8 @@ class Lane
     unsigned id_;
     LocalMemory &mem_;
     const Program *prog_ = nullptr;
+    std::shared_ptr<const DecodedProgram> decoded_; ///< null = legacy path
+    const DecodedState *resume_ds_ = nullptr; ///< step_once carry-over
     StreamBuffer sb_;
 
     std::array<Word, kNumScalarRegs> regs_{};

@@ -213,7 +213,9 @@ Machine::run_lockstep(std::uint64_t max_rounds)
         for (std::size_t i = 0; i < jobs_.size(); ++i) {
             if (done[i])
                 continue;
-            const LaneStatus st = lanes_[i]->run_steps(1);
+            // step_once caches the decoded entry of the next state
+            // between rounds, so lockstep skips the per-round lookup.
+            const LaneStatus st = lanes_[i]->step_once();
             if (st != LaneStatus::Running) {
                 done[i] = true;
                 status[i] = st;

@@ -43,6 +43,9 @@ struct LaneStats {
     std::uint64_t output_bytes = 0;
     std::uint64_t accepts = 0;
 
+    /// Field-wise equality (the predecode equivalence contract).
+    bool operator==(const LaneStats &) const = default;
+
     void add(const LaneStats &o) {
         cycles += o.cycles;
         dispatches += o.dispatches;

@@ -28,7 +28,7 @@ stage_job(Machine &m, unsigned lane, ByteAddr window_base,
     for (const MemStage &s : plan.stages)
         m.stage(window_base + s.offset, s.data);
     Lane &ln = m.lane(lane);
-    ln.load(*plan.program);
+    ln.load(*plan.program, plan.decoded);
     ln.set_input(plan.input);
     ln.set_window_base(window_base);
     for (const auto &[r, v] : plan.init_regs)

@@ -19,6 +19,7 @@
  */
 #pragma once
 
+#include "core/decoded_program.hpp"
 #include "core/lane.hpp"
 #include "core/program.hpp"
 #include "core/stats.hpp"
@@ -49,6 +50,9 @@ struct MemExtract {
 struct JobPlan {
     std::string name;
     std::shared_ptr<const Program> program;
+    /// Shared predecoded image of `program`, resolved once per job (not
+    /// once per lane) by KernelSpec::make_job; null on the legacy path.
+    std::shared_ptr<const DecodedProgram> decoded;
     Bytes input;                            ///< owned stream contents
     std::size_t window_bytes = kBankBytes;  ///< local-memory footprint
     bool nfa_mode = false;                  ///< run with Lane::run_nfa

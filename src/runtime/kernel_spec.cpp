@@ -19,6 +19,9 @@ KernelSpec::make_job(Bytes input) const
     JobPlan p;
     p.name = name;
     p.program = program;
+    // Resolve the shared decoded image once per job; every lane the
+    // scheduler assigns this job to reuses it without a cache lookup.
+    p.decoded = predecode_enabled() ? shared_decoded(*program) : nullptr;
     p.input = std::move(input);
     p.window_bytes = window_bytes;
     p.nfa_mode = nfa_mode;

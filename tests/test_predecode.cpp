@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Predecode equivalence properties (docs/PERFORMANCE.md).
+ *
+ * The fast interpreter path over a shared `DecodedProgram` must be
+ * observationally identical to the legacy decode-per-step path for
+ * every kernel in src/kernels: bit-identical `LaneStats`, registers,
+ * outputs, accepts, memory extracts, trace event streams, and profiler
+ * aggregates.  Only host time may differ.
+ *
+ * Also pinned here: the resumable `step_once` entry (lockstep mode),
+ * the content-keyed shared decode cache, and the thread-safety of one
+ * DecodedProgram shared across concurrently simulated lanes (this file
+ * runs under the CI ThreadSanitizer job).
+ */
+#include "baselines/dictionary.hpp"
+#include "baselines/histogram.hpp"
+#include "baselines/huffman.hpp"
+#include "baselines/snappy.hpp"
+#include "core/decoded_program.hpp"
+#include "core/machine.hpp"
+#include "core/profile.hpp"
+#include "core/trace.hpp"
+#include "kernels/csv.hpp"
+#include "kernels/dictionary.hpp"
+#include "kernels/histogram.hpp"
+#include "kernels/huffman.hpp"
+#include "kernels/pattern.hpp"
+#include "kernels/snappy.hpp"
+#include "kernels/trigger.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/kernel_spec.hpp"
+#include "runtime/scheduler.hpp"
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+namespace {
+
+using namespace udp;
+using namespace udp::kernels;
+
+/// Restore the default interpreter path when a test exits early.
+struct PredecodeGuard {
+    ~PredecodeGuard() { set_predecode_enabled(true); }
+};
+
+/// Everything observable from one instrumented job run.
+struct RunCapture {
+    runtime::JobResult res;
+    std::vector<TraceEvent> events;
+    std::map<std::uint32_t,
+             std::tuple<std::uint64_t, Cycles, std::uint64_t,
+                        std::uint64_t>>
+        states;
+    std::map<Opcode, std::pair<std::uint64_t, Cycles>> actions;
+};
+
+RunCapture
+run_path(const runtime::JobPlan &plan, bool predecode)
+{
+    PredecodeGuard guard;
+    set_predecode_enabled(predecode);
+
+    Machine m(AddressingMode::Restricted);
+    Tracer tracer;
+    Profiler prof;
+    m.set_tracer(&tracer);
+    m.set_profiler(&prof);
+
+    RunCapture c;
+    c.res = runtime::run_job_on(m, 0, 0, plan);
+    EXPECT_EQ(m.lane(0).decoded() != nullptr, predecode);
+    c.events = tracer.events(0);
+    for (const auto &[base, sp] : prof.states())
+        c.states[base] = {sp.visits, sp.cycles, sp.sig_misses,
+                          sp.stall_cycles};
+    for (const auto &[op, ap] : prof.actions())
+        c.actions[op] = {ap.count, ap.cycles};
+    return c;
+}
+
+void
+expect_identical(const RunCapture &fast, const RunCapture &legacy)
+{
+    EXPECT_EQ(fast.res.status, legacy.res.status);
+    EXPECT_EQ(fast.res.stats, legacy.res.stats);
+    EXPECT_EQ(fast.res.regs, legacy.res.regs);
+    EXPECT_EQ(fast.res.output, legacy.res.output);
+    EXPECT_EQ(fast.res.extracts, legacy.res.extracts);
+
+    ASSERT_EQ(fast.res.accepts.size(), legacy.res.accepts.size());
+    for (std::size_t i = 0; i < fast.res.accepts.size(); ++i) {
+        EXPECT_EQ(fast.res.accepts[i].stream_bit_pos,
+                  legacy.res.accepts[i].stream_bit_pos);
+        EXPECT_EQ(fast.res.accepts[i].id, legacy.res.accepts[i].id);
+    }
+
+    ASSERT_EQ(fast.events.size(), legacy.events.size());
+    for (std::size_t i = 0; i < fast.events.size(); ++i) {
+        const TraceEvent &a = fast.events[i];
+        const TraceEvent &b = legacy.events[i];
+        ASSERT_TRUE(a.kind == b.kind && a.cycle == b.cycle &&
+                    a.a == b.a && a.b == b.b && a.lane == b.lane)
+            << "trace diverges at event " << i;
+    }
+
+    EXPECT_EQ(fast.states, legacy.states);
+    EXPECT_EQ(fast.actions, legacy.actions);
+}
+
+/// One named plan per kernel in src/kernels (all ten workloads).
+std::vector<std::pair<std::string, runtime::JobPlan>>
+kernel_plans()
+{
+    std::vector<std::pair<std::string, runtime::JobPlan>> plans;
+
+    { // CSV parsing
+        const std::string text = workloads::crimes_csv(40);
+        plans.emplace_back(
+            "csv", csv_kernel_spec().make_job(
+                       Bytes(text.begin(), text.end())));
+    }
+
+    const Bytes corpus = workloads::text_corpus(8 * 1024, 0.5, 21);
+    const auto code = baselines::build_huffman(corpus);
+    { // Huffman encode
+        plans.emplace_back("huffman_enc",
+                           huffman_encoder_spec(code).make_job(corpus));
+    }
+    { // Huffman decode (variable-symbol dispatch)
+        Bytes enc = baselines::huffman_encode(corpus, code);
+        enc.push_back(0);
+        enc.push_back(0);
+        plans.emplace_back(
+            "huffman_dec",
+            huffman_decoder_spec(code, VarSymDesign::SsRef)
+                .make_job(std::move(enc)));
+    }
+
+    { // Dictionary and dictionary-RLE
+        const auto rows = workloads::zipf_attribute(800, 24);
+        const auto base = baselines::dictionary_encode(rows);
+        plans.emplace_back(
+            "dictionary", dictionary_kernel_spec(base.dict, false)
+                              .make_job(dict_input(rows)));
+
+        const auto rle_rows = workloads::runny_attribute(800, 24, 5.0);
+        const auto rle_base = baselines::dictionary_encode(rle_rows);
+        plans.emplace_back(
+            "dictionary_rle", dictionary_kernel_spec(rle_base.dict, true)
+                                  .make_job(dict_input(rle_rows)));
+    }
+
+    { // Histogram (fp64 binning)
+        const auto xs = workloads::fp_values(2000, 0);
+        auto h = baselines::Histogram::uniform(10, 41.2, 42.5);
+        plans.emplace_back("histogram",
+                           histogram_kernel_spec(h.edges())
+                               .make_job(pack_fp_stream(xs)));
+    }
+
+    { // Snappy compress + decompress
+        const Bytes block = workloads::text_corpus(12 * 1024, 0.5, 22);
+        plans.emplace_back("snappy_comp",
+                           snappy_compress_spec().make_job(block));
+
+        const Bytes comp = baselines::snappy_compress(block);
+        std::size_t pos = 0;
+        while (comp[pos] & 0x80)
+            ++pos;
+        ++pos; // skip the length varint, as the kernel ABI expects
+        plans.emplace_back(
+            "snappy_decomp",
+            snappy_decompress_spec().make_job(
+                Bytes(comp.begin() + pos, comp.end())));
+    }
+
+    { // Signal triggering
+        const Bytes packed = workloads::waveform(20'000, 13);
+        plans.emplace_back("trigger", trigger_kernel_spec(6).make_job(
+                                          samples_from_bits(packed)));
+    }
+
+    { // Pattern matching: aDFA groups and NFA groups (run_nfa path)
+        const auto pats = workloads::nids_patterns(16, false);
+        const Bytes payload = workloads::packet_payloads(16 * 1024, pats);
+        const auto adfa = pattern_group_specs(pats, FaModel::Adfa, 4);
+        for (std::size_t g = 0; g < adfa.size(); ++g)
+            plans.emplace_back("pattern_adfa_g" + std::to_string(g),
+                               adfa[g].make_job(payload));
+
+        const auto cpats = workloads::nids_patterns(8, true);
+        const Bytes cpay = workloads::packet_payloads(8 * 1024, cpats);
+        const auto nfa = pattern_group_specs(cpats, FaModel::Nfa, 2);
+        for (std::size_t g = 0; g < nfa.size(); ++g)
+            plans.emplace_back("pattern_nfa_g" + std::to_string(g),
+                               nfa[g].make_job(cpay));
+    }
+
+    return plans;
+}
+
+TEST(Predecode, EveryKernelBitIdenticalToLegacyPath)
+{
+    for (const auto &[name, plan] : kernel_plans()) {
+        SCOPED_TRACE(name);
+        const RunCapture fast = run_path(plan, true);
+        const RunCapture legacy = run_path(plan, false);
+        expect_identical(fast, legacy);
+        // Guard against degenerate plans that would vacuously pass.
+        EXPECT_GT(fast.res.stats.cycles, 0u) << name;
+    }
+}
+
+TEST(Predecode, UninstrumentedRunsMatchInstrumentedCounters)
+{
+    // The Instrumented/uninstrumented loop split must not leak into the
+    // simulated counters: a bare run charges exactly what a fully
+    // instrumented one does.
+    for (const auto &[name, plan] : kernel_plans()) {
+        SCOPED_TRACE(name);
+        Machine bare(AddressingMode::Restricted);
+        const auto res = runtime::run_job_on(bare, 0, 0, plan);
+        const RunCapture instr = run_path(plan, true);
+        EXPECT_EQ(res.stats, instr.res.stats);
+        EXPECT_EQ(res.output, instr.res.output);
+    }
+}
+
+TEST(Predecode, StepOnceMatchesRunSteps)
+{
+    // step_once carries the decoded state across calls (resume_ds_);
+    // stepping a lane one dispatch at a time must track run_steps(1)
+    // exactly, including interleaved use of both entries.
+    const std::string text = workloads::crimes_csv(10);
+    const Bytes data(text.begin(), text.end());
+    const auto plan = csv_kernel_spec().make_job(data);
+
+    Machine ma(AddressingMode::Restricted);
+    Machine mb(AddressingMode::Restricted);
+    runtime::stage_job(ma, 0, 0, plan);
+    runtime::stage_job(mb, 0, 0, plan);
+    Lane &a = ma.lane(0);
+    Lane &b = mb.lane(0);
+
+    LaneStatus sa = LaneStatus::Running;
+    LaneStatus sb = LaneStatus::Running;
+    std::uint64_t steps = 0;
+    while (sa == LaneStatus::Running && steps < 1'000'000) {
+        sa = a.step_once();
+        // Interleave to exercise the resume cache invalidation.
+        sb = (steps % 3 == 0) ? b.run_steps(1) : b.step_once();
+        ASSERT_EQ(sa, sb) << "diverged at step " << steps;
+        ASSERT_EQ(a.stats(), b.stats()) << "diverged at step " << steps;
+        ++steps;
+    }
+    EXPECT_NE(sa, LaneStatus::Running);
+    EXPECT_EQ(a.output(), b.output());
+}
+
+TEST(Predecode, LockstepBitIdenticalAcrossPaths)
+{
+    PredecodeGuard guard;
+    const std::string text = workloads::crimes_csv(20);
+    const Bytes data(text.begin(), text.end());
+    const auto plan = csv_kernel_spec().make_job(data);
+
+    const auto run_lockstep = [&](bool predecode) {
+        set_predecode_enabled(predecode);
+        Machine m(AddressingMode::Restricted);
+        std::vector<JobSpec> jobs(4);
+        for (unsigned i = 0; i < 4; ++i) {
+            jobs[i].program = plan.program.get();
+            jobs[i].input = plan.input;
+            jobs[i].window_base =
+                static_cast<ByteAddr>(i) * plan.window_bytes;
+            jobs[i].init_regs = plan.init_regs;
+        }
+        m.assign(std::move(jobs));
+        return m.run_lockstep();
+    };
+
+    const MachineResult fast = run_lockstep(true);
+    const MachineResult legacy = run_lockstep(false);
+    EXPECT_EQ(fast.wall_cycles, legacy.wall_cycles);
+    EXPECT_EQ(fast.total, legacy.total);
+    EXPECT_EQ(fast.status, legacy.status);
+    EXPECT_GT(fast.total.stall_cycles, 0u)
+        << "lockstep arbitration should see bank conflicts here";
+}
+
+TEST(Predecode, SharedCacheReturnsOneImagePerProgramContent)
+{
+    const Program prog = csv_parser_program();
+    const auto a = shared_decoded(prog);
+    const auto b = shared_decoded(prog);
+    EXPECT_EQ(a.get(), b.get());
+
+    // A content-identical copy maps to the same image; the cache is
+    // keyed by fingerprint, not address.
+    const Program copy = prog;
+    EXPECT_EQ(shared_decoded(copy).get(), a.get());
+    EXPECT_EQ(a->fingerprint(), program_fingerprint(copy));
+
+    // Mutated content gets its own image.
+    Program other = prog;
+    other.dispatch[other.entry] ^= 1u;
+    EXPECT_NE(shared_decoded(other).get(), a.get());
+}
+
+TEST(Predecode, ThreadedWavesShareOneDecodedImage)
+{
+    // Many lanes simulated by a thread pool, all running the same
+    // read-only DecodedProgram: TSan (CI) proves the sharing is
+    // race-free, and the totals must match a serial run bit for bit.
+    const std::string text = workloads::crimes_csv(600);
+    const Bytes data(text.begin(), text.end());
+
+    const auto run_with_threads = [&](unsigned threads) {
+        const auto jobs = runtime::chunk_jobs(
+            csv_kernel_spec(), data, 4 * 1024,
+            runtime::align_after_delim('\n'));
+        runtime::SchedulerOptions opts;
+        opts.threads = threads;
+        runtime::Scheduler sched(opts);
+        return sched.run(jobs);
+    };
+
+    const auto serial = run_with_threads(1);
+    const auto pooled = run_with_threads(8);
+    EXPECT_GT(serial.waves.size(), 0u);
+    EXPECT_EQ(serial.total, pooled.total);
+    EXPECT_EQ(serial.wall_cycles, pooled.wall_cycles);
+    ASSERT_EQ(serial.jobs.size(), pooled.jobs.size());
+    for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+        EXPECT_EQ(serial.jobs[i].stats, pooled.jobs[i].stats);
+        EXPECT_EQ(serial.jobs[i].extracts, pooled.jobs[i].extracts);
+    }
+}
+
+TEST(Predecode, ToggleControlsThePathLanesTake)
+{
+    PredecodeGuard guard;
+    const Program prog = csv_parser_program();
+    LocalMemory mem;
+    Lane lane(0, mem);
+
+    set_predecode_enabled(true);
+    lane.load(prog);
+    EXPECT_NE(lane.decoded(), nullptr);
+
+    set_predecode_enabled(false);
+    lane.load(prog);
+    EXPECT_EQ(lane.decoded(), nullptr);
+}
+
+} // namespace
