@@ -137,6 +137,9 @@ attach_schedule(WorkloadPerf &p, const runtime::ScheduleReport &rep,
     p.sim_host_mbps = rep.host_seconds > 0
                           ? double(bytes) / rep.host_seconds / 1e6
                           : 0;
+    p.faulted_runs = rep.faulted_runs;
+    p.retries = rep.retries;
+    p.quarantined = rep.quarantined;
 }
 
 void
@@ -212,6 +215,7 @@ MetricsRecorder::finish() const
 
     LaneStats total;
     double energy_total = 0;
+    unsigned faulted_total = 0, retries_total = 0, quarantined_total = 0;
     w.key("workloads");
     w.begin_array();
     for (const auto &p : workloads_) {
@@ -226,6 +230,9 @@ MetricsRecorder::finish() const
         w.field("sim_threads", p.sim_threads);
         w.field("sim_host_seconds", p.sim_host_seconds);
         w.field("sim_host_mbps", p.sim_host_mbps);
+        w.field("faulted_runs", p.faulted_runs);
+        w.field("retries", p.retries);
+        w.field("quarantined", p.quarantined);
         w.field("speedup_vs_8t", p.speedup_vs_8t());
         w.field("speedup_real_vs_8t", p.speedup_real_vs_8t());
         w.field("tput_per_watt_ratio", p.perf_watt_ratio(UdpCostModel{}));
@@ -235,12 +242,18 @@ MetricsRecorder::finish() const
         w.end_object();
         total.add(p.lane_stats);
         energy_total += p.energy_j;
+        faulted_total += p.faulted_runs;
+        retries_total += p.retries;
+        quarantined_total += p.quarantined;
     }
     w.end_array();
 
     w.key("lane_stats_total");
     write_lane_stats(w, total);
     w.field("energy_j_total", energy_total);
+    w.field("faulted_runs_total", faulted_total);
+    w.field("retries_total", retries_total);
+    w.field("quarantined_total", quarantined_total);
 
     w.key("metrics");
     w.begin_object();

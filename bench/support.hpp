@@ -41,6 +41,12 @@ struct WorkloadPerf {
     double sim_host_seconds = 0; ///< host wall-clock of the simulation
     double sim_host_mbps = 0;   ///< host simulation rate (input/host time)
 
+    // Fault containment counters of the scheduled run
+    // (docs/ROBUSTNESS.md); all zero on a healthy run.
+    unsigned faulted_runs = 0; ///< job runs ending Faulted/TimedOut
+    unsigned retries = 0;      ///< faulted runs requeued per RetryPolicy
+    unsigned quarantined = 0;  ///< jobs given up on after max_attempts
+
     /// Extrapolated 64-lane rate: lane rate x achievable parallelism.
     double udp64_mbps() const { return udp_lane_mbps * parallelism; }
     double speedup_vs_8t() const {

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fault-code names and LaneFault formatting.
+ */
+#include "fault.hpp"
+
+namespace udp {
+
+std::string_view
+fault_code_name(FaultCode code)
+{
+    switch (code) {
+      case FaultCode::None: return "none";
+      case FaultCode::BadDispatch: return "bad-dispatch";
+      case FaultCode::BadAction: return "bad-action";
+      case FaultCode::FetchOutOfRange: return "fetch-out-of-range";
+      case FaultCode::UnimplementedOpcode: return "unimplemented-opcode";
+      case FaultCode::WatchdogTimeout: return "watchdog-timeout";
+      case FaultCode::ForcedTrap: return "forced-trap";
+    }
+    return "<bad>";
+}
+
+std::string
+LaneFault::describe() const
+{
+    if (code == FaultCode::None)
+        return "no fault";
+    std::string s = "lane " + std::to_string(lane) + ": ";
+    s += fault_code_name(code);
+    s += " @state " + std::to_string(state_base);
+    s += ", cycle " + std::to_string(cycle);
+    if (!detail.empty()) {
+        s += ": ";
+        s += detail;
+    }
+    return s;
+}
+
+} // namespace udp

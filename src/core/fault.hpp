@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structured lane faults (docs/ROBUSTNESS.md).
+ *
+ * The hardware UDP runs 64 independent lanes: one misbehaving stream
+ * cannot stall the other 63.  The simulator mirrors that containment
+ * contract by converting every interpreter error at the lane run-loop
+ * boundary into a `LaneFault` record carried by the terminal
+ * `LaneStatus::Faulted` / `LaneStatus::TimedOut`, instead of letting a
+ * C++ exception unwind through `Machine::run_parallel` and kill the
+ * whole wave.
+ *
+ * Throw sites inside the interpreter (dispatch unit, action unit,
+ * stream buffer, local memory, packed-word decoders) tag their errors
+ * with a `FaultCode` by throwing `UdpFaultError`; `Lane` catches at the
+ * run-loop boundary and records the fault.  Host-side API misuse
+ * (staging outside memory, bad lane index, no program loaded) keeps
+ * throwing plain `UdpError` — those are caller bugs, not lane faults.
+ */
+#pragma once
+
+#include "types.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace udp {
+
+/// Why a lane trapped.  Stable names via fault_code_name().
+enum class FaultCode : std::uint8_t {
+    None = 0,            ///< no fault (healthy lane)
+    BadDispatch,         ///< undecodable transition word / unknown state
+    BadAction,           ///< undecodable action word / illegal operand
+    FetchOutOfRange,     ///< dispatch/action/memory/stream fetch overrun
+    UnimplementedOpcode, ///< decoded opcode the action unit lacks
+    WatchdogTimeout,     ///< cycle budget exhausted (LaneStatus::TimedOut)
+    ForcedTrap,          ///< deterministic fault injection (FaultInjector)
+};
+
+/// Stable lower-case name of a fault code ("bad-dispatch", ...).
+std::string_view fault_code_name(FaultCode code);
+
+/**
+ * The structured record of one lane trap: what happened, where the
+ * automaton was, and when.  Default-constructed (code == None) for a
+ * healthy lane.  Host-side value only — never aliases lane state.
+ */
+struct LaneFault {
+    FaultCode code = FaultCode::None;
+    unsigned lane = 0;            ///< lane that trapped
+    std::uint32_t state_base = 0; ///< dispatch PC: active state word base
+    Cycles cycle = 0;             ///< simulated cycle of the trap
+    std::string detail;           ///< human-readable diagnosis
+
+    /// True when this records an actual fault.
+    explicit operator bool() const { return code != FaultCode::None; }
+
+    /// One-line description: "lane 17: bad-dispatch @state 128, cycle 42: ...".
+    std::string describe() const;
+};
+
+/**
+ * An interpreter error tagged with its fault code.  Thrown by the
+ * dispatch/action/stream/memory units; converted to a LaneFault at the
+ * Lane run-loop boundary (both interpreter paths).  Still an UdpError,
+ * so host-side callers that reach these units directly (tests, the
+ * assembler round-trip) keep their existing catch sites.
+ */
+class UdpFaultError : public UdpError
+{
+  public:
+    UdpFaultError(FaultCode code, const std::string &what)
+        : UdpError(what), code_(code)
+    {
+    }
+
+    FaultCode code() const { return code_; }
+
+  private:
+    FaultCode code_;
+};
+
+} // namespace udp

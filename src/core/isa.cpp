@@ -4,6 +4,8 @@
  */
 #include "isa.hpp"
 
+#include "fault.hpp"
+
 #include <unordered_map>
 
 namespace udp {
@@ -176,7 +178,8 @@ decode_transition(Word raw)
     const Word type_field = bits(raw, 8, 4);
     const Word kind = type_field & 0x7;
     if (kind >= kNumTransitionTypes)
-        throw UdpError("decode_transition: bad transition type");
+        throw UdpFaultError(FaultCode::BadDispatch,
+                            "decode_transition: bad transition type");
     t.type = static_cast<TransitionType>(kind);
     t.attach_mode =
         (type_field & 0x8) ? AttachMode::ScaledOffset : AttachMode::Direct;
@@ -240,8 +243,9 @@ decode_action(Word raw)
     const auto op = static_cast<Opcode>(bits(raw, 25, 7));
     const OpInfo *info = find_op(op);
     if (!info)
-        throw UdpError("decode_action: undefined opcode " +
-                       std::to_string(bits(raw, 25, 7)));
+        throw UdpFaultError(FaultCode::BadAction,
+                            "decode_action: undefined opcode " +
+                                std::to_string(bits(raw, 25, 7)));
 
     Action a;
     a.op = op;

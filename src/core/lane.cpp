@@ -133,6 +133,7 @@ Lane::reset()
     started_ = false;
     halted_ = false;
     halt_status_ = LaneStatus::Done;
+    fault_ = LaneFault{};
     sb_.seek_bits(0);
 }
 
@@ -140,8 +141,66 @@ void
 Lane::hard_reset()
 {
     window_base_ = 0;
+    trap_cycle_ = 0;
     sb_.attach(BytesView{});
     reset();
+}
+
+std::string_view
+lane_status_name(LaneStatus st)
+{
+    switch (st) {
+      case LaneStatus::Done: return "done";
+      case LaneStatus::Reject: return "reject";
+      case LaneStatus::Running: return "running";
+      case LaneStatus::Faulted: return "faulted";
+      case LaneStatus::TimedOut: return "timed-out";
+    }
+    return "<bad>";
+}
+
+// ---------------------------------------------------------------------------
+// Fault containment (docs/ROBUSTNESS.md).
+// ---------------------------------------------------------------------------
+
+LaneStatus
+Lane::trap(FaultCode code, std::string detail)
+{
+    halted_ = true;
+    resume_ds_ = nullptr;
+    halt_status_ = code == FaultCode::WatchdogTimeout
+                       ? LaneStatus::TimedOut
+                       : LaneStatus::Faulted;
+    fault_.code = code;
+    fault_.lane = id_;
+    fault_.state_base = static_cast<std::uint32_t>(cur_state_);
+    fault_.cycle = stats_.cycles;
+    fault_.detail = std::move(detail);
+    return halt_status_;
+}
+
+LaneStatus
+Lane::trip_watchdog(std::string detail)
+{
+    return trap(FaultCode::WatchdogTimeout, std::move(detail));
+}
+
+template <typename Body>
+LaneStatus
+Lane::run_guarded(Body &&body)
+{
+    // The conversion boundary: tagged interpreter errors become the
+    // lane's fault record here, on both the fast and legacy paths.  An
+    // untagged UdpError reaching this frame is a defensive fallback
+    // (every lane-reachable site carries a code); anything else — a
+    // host-side bug — keeps unwinding.
+    try {
+        return body();
+    } catch (const UdpFaultError &e) {
+        return trap(e.code(), e.what());
+    } catch (const UdpError &e) {
+        return trap(FaultCode::BadAction, e.what());
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -260,7 +319,8 @@ Lane::dispatch_word(std::size_t word_addr)
 {
     const auto &img = prog_->dispatch;
     if (word_addr >= img.size())
-        throw UdpError("Lane: dispatch fetch out of range");
+        throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "Lane: dispatch fetch out of range");
     ++stats_.dispatch_reads;
     return img[word_addr];
 }
@@ -567,7 +627,8 @@ Lane::exec_actions_impl(std::size_t addr)
     const auto &img = prog_->actions;
     for (;;) {
         if (addr >= img.size())
-            throw UdpError("Lane: action fetch out of range");
+            throw UdpFaultError(FaultCode::FetchOutOfRange,
+                                "Lane: action fetch out of range");
         ++stats_.dispatch_reads;
         Action decoded_word;
         const Action *ap;
@@ -665,12 +726,14 @@ Lane::exec_actions_impl(std::size_t addr)
 
           case Opcode::Setss:
             if (a.imm < 1 || a.imm > 32)
-                throw UdpError("Lane: setss width must be 1..32");
+                throw UdpFaultError(FaultCode::BadAction,
+                                    "Lane: setss width must be 1..32");
             symbol_bits_ = static_cast<unsigned>(a.imm);
             break;
           case Opcode::Setssr:
             if (rs < 1 || rs > 32)
-                throw UdpError("Lane: setssr width must be 1..32");
+                throw UdpFaultError(FaultCode::BadAction,
+                                    "Lane: setssr width must be 1..32");
             symbol_bits_ = rs;
             break;
           case Opcode::Setbase:
@@ -722,7 +785,9 @@ Lane::exec_actions_impl(std::size_t addr)
                 rs + ((static_cast<Word>(a.imm) << 8) | last_symbol_) * 16;
             const std::uint8_t count = mem_read8(entry);
             if (count > 15)
-                throw UdpError("Lane: emitlut entry count exceeds 15");
+                throw UdpFaultError(
+                    FaultCode::BadAction,
+                    "Lane: emitlut entry count exceeds 15");
             ++stats_.cycles; // table fetch pipeline stage
             for (unsigned i = 0; i < count; ++i)
                 out_byte(mem_.read8(mem_translate(entry + 1 + i)));
@@ -790,7 +855,8 @@ Lane::exec_actions_impl(std::size_t addr)
             if (regs_[a.dst] >= 1 && regs_[a.dst] <= 32)
                 out_bits(rs, regs_[a.dst]);
             else if (regs_[a.dst] != 0)
-                throw UdpError("Lane: outbitsr width must be 0..32");
+                throw UdpFaultError(FaultCode::BadAction,
+                                    "Lane: outbitsr width must be 0..32");
             break;
 
           case Opcode::Accept:
@@ -828,7 +894,8 @@ Lane::exec_actions_impl(std::size_t addr)
           case Opcode::Nop: break;
 
           default:
-            throw UdpError("Lane: unimplemented opcode");
+            throw UdpFaultError(FaultCode::UnimplementedOpcode,
+                                "Lane: unimplemented opcode");
         }
 
         if constexpr (Instrumented) {
@@ -900,8 +967,10 @@ Lane::run_steps_fast(std::uint64_t n)
     for (std::uint64_t i = 0; i < n; ++i) {
         const DecodedState *ds = dec.state_at(cur_state_);
         if (!ds)
-            throw UdpError("Lane: dispatch into unknown state base " +
-                           std::to_string(cur_state_));
+            throw UdpFaultError(
+                FaultCode::BadDispatch,
+                "Lane: dispatch into unknown state base " +
+                    std::to_string(cur_state_));
         const LaneStatus st = advance_one<Instrumented>(*ds);
         if (st != LaneStatus::Running)
             return st;
@@ -915,8 +984,10 @@ Lane::run_steps_legacy(std::uint64_t n)
     for (std::uint64_t i = 0; i < n; ++i) {
         const StateMeta *meta = prog_->find_state(cur_state_);
         if (!meta)
-            throw UdpError("Lane: dispatch into unknown state base " +
-                           std::to_string(cur_state_));
+            throw UdpFaultError(
+                FaultCode::BadDispatch,
+                "Lane: dispatch into unknown state base " +
+                    std::to_string(cur_state_));
         StepResult r;
         if (profiler_) {
             // Everything the step charges (dispatch, miss penalty,
@@ -962,10 +1033,12 @@ Lane::run_steps(std::uint64_t n)
         started_ = true;
     }
     resume_ds_ = nullptr; // step_once owns the carry-over
-    if (!decoded_)
-        return run_steps_legacy(n);
-    return (tracer_ || profiler_) ? run_steps_fast<true>(n)
-                                  : run_steps_fast<false>(n);
+    return run_guarded([&] {
+        if (!decoded_)
+            return run_steps_legacy(n);
+        return (tracer_ || profiler_) ? run_steps_fast<true>(n)
+                                      : run_steps_fast<false>(n);
+    });
 }
 
 LaneStatus
@@ -975,39 +1048,57 @@ Lane::step_once()
         throw UdpError("Lane: no program loaded");
     if (halted_)
         return halt_status_;
+    if (trap_cycle_ != 0 && stats_.cycles >= trap_cycle_)
+        return trap(FaultCode::ForcedTrap,
+                    "Lane: forced trap (fault injection)");
     if (!started_) {
         cur_state_ = prog_->entry;
         started_ = true;
         resume_ds_ = nullptr;
     }
-    if (!decoded_)
-        return run_steps_legacy(1);
-    const DecodedState *ds = resume_ds_;
-    if (!ds) {
-        ds = decoded_->state_at(cur_state_);
-        if (!ds)
-            throw UdpError("Lane: dispatch into unknown state base " +
-                           std::to_string(cur_state_));
-    }
-    const LaneStatus st = (tracer_ || profiler_) ? advance_one<true>(*ds)
-                                                 : advance_one<false>(*ds);
-    // An unknown next state stays null here and throws on the *next*
-    // step, exactly when the legacy path would notice it.
-    resume_ds_ = (st == LaneStatus::Running)
-                     ? decoded_->state_at(cur_state_)
-                     : nullptr;
-    return st;
+    return run_guarded([&] {
+        if (!decoded_)
+            return run_steps_legacy(1);
+        const DecodedState *ds = resume_ds_;
+        if (!ds) {
+            ds = decoded_->state_at(cur_state_);
+            if (!ds)
+                throw UdpFaultError(
+                    FaultCode::BadDispatch,
+                    "Lane: dispatch into unknown state base " +
+                        std::to_string(cur_state_));
+        }
+        const LaneStatus st = (tracer_ || profiler_)
+                                  ? advance_one<true>(*ds)
+                                  : advance_one<false>(*ds);
+        // An unknown next state stays null here and faults on the *next*
+        // step, exactly when the legacy path would notice it.
+        resume_ds_ = (st == LaneStatus::Running)
+                         ? decoded_->state_at(cur_state_)
+                         : nullptr;
+        return st;
+    });
 }
 
 LaneStatus
 Lane::run(std::uint64_t max_cycles)
 {
+    // With a forced trap armed, advance one dispatch step at a time so
+    // the trap lands deterministically at the first step boundary at or
+    // after the armed cycle (host-side granularity only; simulated
+    // results below the trap point are unchanged).
+    const std::uint64_t chunk = trap_cycle_ != 0 ? 1 : 1024;
     for (;;) {
-        const LaneStatus st = run_steps(1024);
+        const LaneStatus st = run_steps(chunk);
         if (st != LaneStatus::Running)
             return st;
+        if (trap_cycle_ != 0 && stats_.cycles >= trap_cycle_)
+            return trap(FaultCode::ForcedTrap,
+                        "Lane: forced trap (fault injection)");
         if (stats_.cycles >= max_cycles)
-            return LaneStatus::Done; // cycle budget exhausted
+            return trip_watchdog("Lane: cycle budget (" +
+                                 std::to_string(max_cycles) +
+                                 ") exhausted before completion");
     }
 }
 
@@ -1017,10 +1108,12 @@ Lane::run_nfa(std::uint64_t max_cycles)
     if (!prog_)
         throw UdpError("Lane: no program loaded");
     resume_ds_ = nullptr;
-    if (!decoded_)
-        return run_nfa_legacy(max_cycles);
-    return (tracer_ || profiler_) ? run_nfa_fast<true>(max_cycles)
-                                  : run_nfa_fast<false>(max_cycles);
+    return run_guarded([&] {
+        if (!decoded_)
+            return run_nfa_legacy(max_cycles);
+        return (tracer_ || profiler_) ? run_nfa_fast<true>(max_cycles)
+                                      : run_nfa_fast<false>(max_cycles);
+    });
 }
 
 /**
@@ -1050,7 +1143,9 @@ Lane::run_nfa_fast(std::uint64_t max_cycles)
         for (std::size_t i = 0; i < set.size(); ++i) {
             const DecodedState *ds = dec.state_at(set[i]);
             if (!ds)
-                throw UdpError("Lane: NFA activation of unknown state");
+                throw UdpFaultError(
+                    FaultCode::BadDispatch,
+                    "Lane: NFA activation of unknown state");
             for (const Transition *t = dec.eps_begin(*ds),
                                   *e = dec.eps_end(*ds);
                  t != e; ++t) {
@@ -1083,6 +1178,9 @@ Lane::run_nfa_fast(std::uint64_t max_cycles)
     const unsigned width = symbol_bits_;
 
     while (!active.empty() && stats_.cycles < max_cycles) {
+        if (trap_cycle_ != 0 && stats_.cycles >= trap_cycle_)
+            return trap(FaultCode::ForcedTrap,
+                        "Lane: forced trap (fault injection)");
         if (sb_.exhausted(width))
             return LaneStatus::Done;
         const Word sym = fetch_symbol_bits(width);
@@ -1092,7 +1190,9 @@ Lane::run_nfa_fast(std::uint64_t max_cycles)
         for (const auto cur : active) {
             const DecodedState *dsp = dec.state_at(cur);
             if (!dsp)
-                throw UdpError("Lane: NFA dispatch into unknown state");
+                throw UdpFaultError(
+                    FaultCode::BadDispatch,
+                    "Lane: NFA dispatch into unknown state");
             const DecodedState &ds = *dsp;
             const std::size_t base = ds.base;
 
@@ -1173,7 +1273,13 @@ Lane::run_nfa_fast(std::uint64_t max_cycles)
         // unnecessary since `next` is already duplicate-free.
         active.swap(next);
     }
-    return active.empty() ? LaneStatus::Reject : LaneStatus::Done;
+    if (active.empty())
+        return LaneStatus::Reject;
+    // Loop exit with live activations means the watchdog fired, not a
+    // clean end of stream.
+    return trip_watchdog("Lane: NFA cycle budget (" +
+                         std::to_string(max_cycles) +
+                         ") exhausted before completion");
 }
 
 LaneStatus
@@ -1194,7 +1300,9 @@ Lane::run_nfa_legacy(std::uint64_t max_cycles)
         for (std::size_t i = 0; i < set.size(); ++i) {
             const StateMeta *meta = prog_->find_state(set[i]);
             if (!meta)
-                throw UdpError("Lane: NFA activation of unknown state");
+                throw UdpFaultError(
+                    FaultCode::BadDispatch,
+                    "Lane: NFA activation of unknown state");
             const std::size_t base = meta->base;
             const std::uint8_t sig = state_signature(meta->base);
             for (unsigned k = 1; k <= meta->aux_count; ++k) {
@@ -1229,6 +1337,9 @@ Lane::run_nfa_legacy(std::uint64_t max_cycles)
     const unsigned width = symbol_bits_;
 
     while (!active.empty() && stats_.cycles < max_cycles) {
+        if (trap_cycle_ != 0 && stats_.cycles >= trap_cycle_)
+            return trap(FaultCode::ForcedTrap,
+                        "Lane: forced trap (fault injection)");
         if (sb_.exhausted(width))
             return LaneStatus::Done;
         const Word sym = fetch_symbol_bits(width);
@@ -1238,7 +1349,9 @@ Lane::run_nfa_legacy(std::uint64_t max_cycles)
         for (const auto cur : active) {
             const StateMeta *meta = prog_->find_state(cur);
             if (!meta)
-                throw UdpError("Lane: NFA dispatch into unknown state");
+                throw UdpFaultError(
+                    FaultCode::BadDispatch,
+                    "Lane: NFA dispatch into unknown state");
             const std::size_t base = meta->base;
             const std::uint8_t sig = state_signature(meta->base);
 
@@ -1312,7 +1425,13 @@ Lane::run_nfa_legacy(std::uint64_t max_cycles)
         // unnecessary since `next` is already duplicate-free.
         active.swap(next);
     }
-    return active.empty() ? LaneStatus::Reject : LaneStatus::Done;
+    if (active.empty())
+        return LaneStatus::Reject;
+    // Loop exit with live activations means the watchdog fired, not a
+    // clean end of stream.
+    return trip_watchdog("Lane: NFA cycle budget (" +
+                         std::to_string(max_cycles) +
+                         ") exhausted before completion");
 }
 
 } // namespace udp

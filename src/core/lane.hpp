@@ -29,6 +29,7 @@
  */
 #pragma once
 
+#include "fault.hpp"
 #include "local_memory.hpp"
 #include "program.hpp"
 #include "stats.hpp"
@@ -51,7 +52,12 @@ enum class LaneStatus : std::uint8_t {
     Done,     ///< consumed the whole stream, or executed Halt
     Reject,   ///< no matching transition / Fail action
     Running,  ///< still active (used internally)
+    Faulted,  ///< trapped on an interpreter fault (see Lane::fault())
+    TimedOut, ///< watchdog: cycle budget exhausted before completion
 };
+
+/// Stable lower-case name of a lane status ("done", "timed-out", ...).
+std::string_view lane_status_name(LaneStatus st);
 
 /// One recorded acceptance (Accept action).
 struct AcceptEvent {
@@ -117,6 +123,29 @@ class Lane
 
     const LaneStats &stats() const { return stats_; }
     const Bytes &output() const { return output_; }
+
+    /**
+     * The structured record of the last trap (docs/ROBUSTNESS.md).
+     * `fault().code == FaultCode::None` for a healthy lane.  Populated
+     * whenever a run entry returns Faulted or TimedOut; cleared by
+     * reset().  Interpreter errors never escape run()/run_steps()/
+     * step_once()/run_nfa() as exceptions — they land here.
+     */
+    const LaneFault &fault() const { return fault_; }
+
+    /**
+     * Arm a deterministic trap: the lane faults with
+     * FaultCode::ForcedTrap at the first dispatch-step boundary at or
+     * after simulated cycle `at` (0 disarms; the default).  Fault
+     * injection only — no hardware analogue.  Cleared by hard_reset().
+     */
+    void set_forced_trap(Cycles at) { trap_cycle_ = at; }
+    Cycles forced_trap_cycle() const { return trap_cycle_; }
+
+    /// Record a watchdog fault and halt the lane (the machine's lockstep
+    /// harness calls this when its round budget expires with the lane
+    /// still running).  Returns LaneStatus::TimedOut.
+    LaneStatus trip_watchdog(std::string detail);
 
     /// Byte-align the output bitstream from the host side (reading back
     /// the staging buffer after the lane finished).
@@ -191,6 +220,15 @@ class Lane
     /// Legacy entry (runtime instrumentation checks, per-word decode).
     LaneStatus exec_actions(std::size_t addr);
 
+    /// Record `fault_`, halt the lane and return the terminal status
+    /// (TimedOut for WatchdogTimeout, Faulted otherwise).
+    LaneStatus trap(FaultCode code, std::string detail);
+
+    /// Run `body` converting tagged interpreter errors into faults at
+    /// the run-loop boundary (shared by all four run entries).
+    template <typename Body>
+    LaneStatus run_guarded(Body &&body);
+
     /// Resolve an attach field to an action word address (or none).
     bool attach_addr(const Transition &t, std::size_t &addr) const;
 
@@ -236,6 +274,8 @@ class Lane
     bool started_ = false;
     bool halted_ = false;
     LaneStatus halt_status_ = LaneStatus::Done;
+    LaneFault fault_;             ///< last trap record (None = healthy)
+    Cycles trap_cycle_ = 0;       ///< forced-trap cycle (0 = disarmed)
 };
 
 } // namespace udp

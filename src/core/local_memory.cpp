@@ -4,6 +4,8 @@
  */
 #include "local_memory.hpp"
 
+#include "fault.hpp"
+
 namespace udp {
 
 std::string_view
@@ -43,16 +45,19 @@ LocalMemory::translate(unsigned lane, ByteAddr addr, ByteAddr base) const
       case AddressingMode::Local:
         // Lane-private bank; address wraps inside the 16 KiB bank.
         if (addr >= kBankBytes)
-            throw UdpError("LocalMemory: local-mode address exceeds bank");
+            throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "LocalMemory: local-mode address exceeds bank");
         return static_cast<ByteAddr>(lane * kBankBytes + addr);
       case AddressingMode::Global:
         if (addr >= kLocalMemBytes)
-            throw UdpError("LocalMemory: global address out of range");
+            throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "LocalMemory: global address out of range");
         return addr;
       case AddressingMode::Restricted: {
         const std::uint64_t phys = std::uint64_t{base} + addr;
         if (phys >= kLocalMemBytes)
-            throw UdpError("LocalMemory: restricted address out of range");
+            throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "LocalMemory: restricted address out of range");
         return static_cast<ByteAddr>(phys);
       }
     }
@@ -63,7 +68,8 @@ void
 LocalMemory::check(ByteAddr phys, std::size_t len) const
 {
     if (std::uint64_t{phys} + len > mem_.size())
-        throw UdpError("LocalMemory: physical access out of range");
+        throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "LocalMemory: physical access out of range");
 }
 
 std::uint8_t

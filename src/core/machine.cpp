@@ -102,6 +102,7 @@ Machine::assign(std::vector<JobSpec> jobs)
         ln.load(*j.program);
         ln.set_input(j.input);
         ln.set_window_base(j.window_base);
+        ln.set_forced_trap(j.trap_cycle);
         for (const auto &[r, v] : j.init_regs)
             ln.set_reg(r, v);
     }
@@ -113,16 +114,39 @@ Machine::collect(Cycles wall)
     MachineResult res;
     res.wall_cycles = wall;
     res.status.resize(jobs_.size(), LaneStatus::Done);
+    res.faults.resize(jobs_.size());
     AddressingMode mode = mem_.mode();
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
         if (!jobs_[i].program)
             continue;
         res.total.add(lanes_[i]->stats());
+        res.faults[i] = lanes_[i]->fault();
         ++res.active_lanes;
     }
     last_energy_j_ = run_energy_joules(cost_, res.total, wall,
                                        res.active_lanes, mode);
     return res;
+}
+
+void
+Machine::rethrow_collected_faults(const MachineResult &res) const
+{
+    // Deprecated pre-trap-model behavior (set_rethrow_faults): one
+    // exception carrying *every* lane fault, lowest lane first — the
+    // old harness rethrew only the first collected exception.
+    std::string msg;
+    FaultCode first = FaultCode::None;
+    for (const LaneFault &f : res.faults) {
+        if (f.code == FaultCode::None)
+            continue;
+        if (first == FaultCode::None)
+            first = f.code;
+        else
+            msg += "; ";
+        msg += f.describe();
+    }
+    if (first != FaultCode::None)
+        throw UdpFaultError(first, msg);
 }
 
 MachineResult
@@ -139,8 +163,10 @@ Machine::run_parallel(std::uint64_t max_cycles_per_lane)
 
     auto run_lane = [&](std::size_t i) {
         Lane &ln = *lanes_[i];
-        status[i] = jobs_[i].nfa_mode ? ln.run_nfa(max_cycles_per_lane)
-                                      : ln.run(max_cycles_per_lane);
+        const std::uint64_t budget =
+            std::min(max_cycles_per_lane, jobs_[i].max_cycles);
+        status[i] = jobs_[i].nfa_mode ? ln.run_nfa(budget)
+                                      : ln.run(budget);
     };
 
     unsigned threads = resolved_sim_threads();
@@ -152,8 +178,10 @@ Machine::run_parallel(std::uint64_t max_cycles_per_lane)
             run_lane(i);
     } else {
         // Lanes are trace-independent and their windows disjoint, so
-        // any work distribution yields bit-identical per-lane results;
-        // errors are rethrown lowest-lane-first for determinism.
+        // any work distribution yields bit-identical per-lane results.
+        // Interpreter faults never unwind out of Lane::run — they land
+        // in the per-lane fault record — so an exception here is a
+        // host-side bug; it is rethrown lowest-lane-first.
         std::atomic<std::size_t> next{0};
         std::vector<std::exception_ptr> errors(runnable.size());
         {
@@ -184,6 +212,8 @@ Machine::run_parallel(std::uint64_t max_cycles_per_lane)
         wall = std::max(wall, lanes_[i]->stats().cycles);
     MachineResult res = collect(wall);
     res.status = std::move(status);
+    if (rethrow_faults_)
+        rethrow_collected_faults(res);
     return res;
 }
 
@@ -226,6 +256,14 @@ Machine::run_lockstep(std::uint64_t max_rounds)
         ++rounds;
     }
 
+    // Lanes still running when the round budget expired timed out —
+    // distinguishable from a clean halt, with a populated fault record.
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+        if (!done[i])
+            status[i] = lanes_[i]->trip_watchdog(
+                "Lane: lockstep round budget (" +
+                std::to_string(max_rounds) + ") exhausted");
+
     Cycles wall = 0;
     for (std::size_t i = 0; i < jobs_.size(); ++i)
         if (jobs_[i].program)
@@ -233,6 +271,8 @@ Machine::run_lockstep(std::uint64_t max_rounds)
 
     MachineResult res = collect(wall);
     res.status = std::move(status);
+    if (rethrow_faults_)
+        rethrow_collected_faults(res);
     return res;
 }
 

@@ -35,6 +35,11 @@ struct JobSpec {
     ByteAddr window_base = 0;         ///< restricted-addressing window
     bool nfa_mode = false;            ///< run with multi-state activation
     std::vector<std::pair<unsigned, Word>> init_regs; ///< (reg, value)
+    /// Per-lane watchdog budget; run_parallel uses the tighter of this
+    /// and its own argument (the Scheduler's retry policy grows this).
+    std::uint64_t max_cycles = ~std::uint64_t{0};
+    /// Forced-trap cycle for deterministic fault injection (0 = off).
+    Cycles trap_cycle = 0;
 };
 
 /// Result of a machine run.
@@ -42,7 +47,19 @@ struct MachineResult {
     Cycles wall_cycles = 0;      ///< max over lanes (+stalls in lockstep)
     LaneStats total;             ///< summed lane counters
     std::vector<LaneStatus> status;
+    /// Per-lane trap records, parallel to `status` (code == None for a
+    /// healthy lane).  One poisoned lane never takes down the wave: its
+    /// fault lands here while the other lanes' results stay intact.
+    std::vector<LaneFault> faults;
     unsigned active_lanes = 0;
+
+    /// Lanes whose status is Faulted or TimedOut.
+    unsigned faulted_lanes() const {
+        unsigned n = 0;
+        for (const LaneFault &f : faults)
+            n += f.code != FaultCode::None;
+        return n;
+    }
 
     /// Aggregate throughput in MB/s at the nominal clock.
     double throughput_mbps() const {
@@ -105,6 +122,19 @@ class Machine
     /// Run with per-round shared bank arbitration.
     MachineResult run_lockstep(std::uint64_t max_rounds = ~std::uint64_t{0});
 
+    /**
+     * Legacy escape hatch: when enabled, run_parallel/run_lockstep
+     * rethrow after a run with any faulted lane — one UdpFaultError
+     * describing *every* lane fault (lowest lane first), not just the
+     * first as the pre-trap-model harness did.
+     *
+     * @deprecated Inspect MachineResult::faults instead; rethrowing
+     * forfeits the containment contract (docs/ROBUSTNESS.md).
+     */
+    [[deprecated("inspect MachineResult::faults instead")]]
+    void set_rethrow_faults(bool on) { rethrow_faults_ = on; }
+    bool rethrow_faults() const { return rethrow_faults_; }
+
     /// Energy of the last run, in joules (see run_energy_joules).
     double last_run_energy_j() const { return last_energy_j_; }
 
@@ -119,6 +149,7 @@ class Machine
 
   private:
     MachineResult collect(Cycles wall);
+    void rethrow_collected_faults(const MachineResult &res) const;
 
     LocalMemory mem_;
     VectorRegFile vregs_;
@@ -126,6 +157,7 @@ class Machine
     std::vector<JobSpec> jobs_;
     UdpCostModel cost_;
     unsigned sim_threads_ = 0; ///< 0 = resolve from UDP_SIM_THREADS
+    bool rethrow_faults_ = false; ///< deprecated pre-trap-model behavior
     double last_energy_j_ = 0.0;
     Tracer *tracer_ = nullptr;
     Profiler *profiler_ = nullptr;

@@ -4,6 +4,8 @@
  */
 #include "stream_buffer.hpp"
 
+#include "fault.hpp"
+
 namespace udp {
 
 void
@@ -26,9 +28,11 @@ Word
 StreamBuffer::peek(unsigned width) const
 {
     if (width == 0 || width > 32)
-        throw UdpError("StreamBuffer: symbol width must be 1..32");
+        throw UdpFaultError(FaultCode::BadAction,
+                            "StreamBuffer: symbol width must be 1..32");
     if (remaining_bits() < width)
-        throw UdpError("StreamBuffer: read past end of stream");
+        throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "StreamBuffer: read past end of stream");
 
     // MSB-first within the byte stream: bit 0 of the stream is the MSB of
     // byte 0.  Gather up to 5 bytes covering [pos, pos+width).
@@ -53,7 +57,8 @@ void
 StreamBuffer::skip(std::uint64_t nbits)
 {
     if (remaining_bits() < nbits)
-        throw UdpError("StreamBuffer: skip past end of stream");
+        throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "StreamBuffer: skip past end of stream");
     pos_bits_ += nbits;
 }
 
@@ -61,7 +66,8 @@ void
 StreamBuffer::refill(std::uint64_t nbits)
 {
     if (nbits > pos_bits_)
-        throw UdpError("StreamBuffer: refill past start of stream");
+        throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "StreamBuffer: refill past start of stream");
     pos_bits_ -= nbits;
 }
 
@@ -69,7 +75,8 @@ void
 StreamBuffer::seek_bits(std::uint64_t bit_pos)
 {
     if (bit_pos > size_bits_)
-        throw UdpError("StreamBuffer: seek past end of stream");
+        throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "StreamBuffer: seek past end of stream");
     pos_bits_ = bit_pos;
 }
 

@@ -173,6 +173,7 @@ decode_csv_result(const runtime::JobResult &r)
 {
     if (r.status == LaneStatus::Reject)
         throw UdpError("csv kernel: parser rejected input");
+    runtime::require_done(r, "csv kernel");
     CsvKernelResult res;
     res.fields = r.regs[rFields];
     res.rows = r.regs[rRows];

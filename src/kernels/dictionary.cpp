@@ -149,6 +149,7 @@ decode_dict_result(const runtime::JobResult &r, bool rle)
 {
     if (r.status == LaneStatus::Reject)
         throw UdpError("dictionary kernel: value not in dictionary");
+    runtime::require_done(r, "dictionary kernel");
     DictKernelResult res;
     res.stats = r.stats;
     const Bytes &out = r.output;

@@ -161,6 +161,7 @@ decode_histogram_result(const runtime::JobResult &r)
 {
     if (r.status == LaneStatus::Reject)
         throw UdpError("histogram kernel: automaton rejected input");
+    runtime::require_done(r, "histogram kernel");
     HistKernelResult res;
     res.stats = r.stats;
     const Bytes &table = r.extracts.at(0);

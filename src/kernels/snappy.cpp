@@ -309,6 +309,7 @@ decode_snappy_decompress_result(const runtime::JobResult &r)
 {
     if (r.status == LaneStatus::Reject)
         throw UdpError("snappy-decompress: bad element stream");
+    runtime::require_done(r, "snappy-decompress");
     SnapKernelResult res;
     res.stats = r.stats;
     res.data = r.extracts.at(0);
@@ -320,6 +321,7 @@ decode_snappy_compress_result(const runtime::JobResult &r)
 {
     if (r.status == LaneStatus::Reject)
         throw UdpError("snappy-compress: kernel rejected");
+    runtime::require_done(r, "snappy-compress");
     SnapKernelResult res;
     res.stats = r.stats;
     // Prepend the varint header for format compatibility.  r14 holds

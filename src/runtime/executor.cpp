@@ -31,6 +31,9 @@ stage_job(Machine &m, unsigned lane, ByteAddr window_base,
     ln.load(*plan.program, plan.decoded);
     ln.set_input(plan.input);
     ln.set_window_base(window_base);
+    // Single-lane runs are always "attempt 1" of the plan's trap window.
+    ln.set_forced_trap(plan.trap_attempts != 0 ? plan.force_trap_cycle
+                                               : Cycles{0});
     for (const auto &[r, v] : plan.init_regs)
         ln.set_reg(r, v);
 }
@@ -44,6 +47,7 @@ harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
 
     JobResult res;
     res.status = status;
+    res.fault = ln.fault();
     res.stats = ln.stats();
     for (unsigned r = 0; r < kNumScalarRegs; ++r)
         res.regs[r] = ln.reg(r);

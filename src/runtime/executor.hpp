@@ -38,6 +38,12 @@ JobResult harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
  * Convenience: stage + run + harvest one job on `lane`, without touching
  * any other lane's state (unlike Machine::assign, which resets all
  * lanes).  Used by the legacy single-lane kernel harnesses.
+ *
+ * Interpreter errors and watchdog expiry do not throw: they surface as
+ * `JobResult::status` Faulted / TimedOut with the diagnosis in
+ * `JobResult::fault`.  Callers that need a clean completion must check
+ * the status (or call `require_done`) — a run cut short by `max_cycles`
+ * is *not* a success.
  */
 JobResult run_job_on(Machine &m, unsigned lane, ByteAddr window_base,
                      const JobPlan &plan,

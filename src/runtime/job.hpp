@@ -60,6 +60,13 @@ struct JobPlan {
     std::vector<MemStage> stages;
     std::vector<MemExtract> extracts;
 
+    // Deterministic fault injection (runtime/fault_injection.hpp): arm
+    // a ForcedTrap at this simulated cycle (0 = off), for the first
+    // `trap_attempts` scheduler attempts only — so a transient fault is
+    // one that succeeds once the Scheduler retries past that count.
+    Cycles force_trap_cycle = 0;
+    unsigned trap_attempts = ~0u; ///< default: trap on every attempt
+
     /// Local-memory banks the job's window occupies (>= 1).
     unsigned banks() const {
         return static_cast<unsigned>(
@@ -76,7 +83,27 @@ struct JobResult {
     std::vector<AcceptEvent> accepts;
     std::vector<Bytes> extracts;      ///< one per JobPlan::extracts entry
     unsigned lane = 0;                ///< lane that ran the job
-    unsigned wave = 0;                ///< wave index (Scheduler runs)
+    unsigned wave = 0;                ///< wave of the final attempt
+    /// Trap record of the final attempt (code == None on success).
+    LaneFault fault;
+    unsigned attempts = 1;    ///< runs the Scheduler gave this job
+    bool quarantined = false; ///< faulted on every attempt; gave up
 };
+
+/// Throw unless `r` completed cleanly.  Guards harnesses that used to
+/// accept a truncated (TimedOut) or trapped run as success: the error
+/// carries the terminal status and the lane's fault diagnosis.
+inline void
+require_done(const JobResult &r, const std::string &who)
+{
+    if (r.status == LaneStatus::Done)
+        return;
+    std::string msg = who + ": job did not complete (status ";
+    msg += lane_status_name(r.status);
+    msg += ")";
+    if (r.fault)
+        msg += " — " + r.fault.describe();
+    throw UdpError(msg);
+}
 
 } // namespace udp::runtime

@@ -1,12 +1,19 @@
 /**
  * @file
  * Wave scheduler implementation.
+ *
+ * Waves are packed from a pending queue instead of all upfront: the
+ * queue starts as the submission order (reproducing the original greedy
+ * packing bit for bit when nothing faults) and faulted jobs re-enter at
+ * the back, so retries land in later waves without perturbing the
+ * placement of first-attempt jobs.
  */
 #include "scheduler.hpp"
 
 #include "executor.hpp"
 
 #include <chrono>
+#include <deque>
 
 namespace udp::runtime {
 
@@ -16,6 +23,15 @@ namespace {
 struct Placement {
     std::size_t job = 0;     ///< index into the submitted plan vector
     unsigned start_bank = 0; ///< first bank (also the lane index)
+    unsigned attempt = 1;    ///< 1-based attempt number of this run
+    std::uint64_t budget = ~std::uint64_t{0}; ///< cycle budget of this run
+};
+
+/// A queued (re)run of one job.
+struct Pending {
+    std::size_t job = 0;
+    unsigned attempt = 1;
+    std::uint64_t budget = ~std::uint64_t{0};
 };
 
 } // namespace
@@ -41,6 +57,8 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
     if (opts_.max_jobs_per_wave == 0 ||
         opts_.max_jobs_per_wave > kNumLanes)
         throw UdpError("Scheduler: max_jobs_per_wave must be 1..64");
+    if (opts_.retry.max_attempts == 0)
+        throw UdpError("Scheduler: retry.max_attempts must be >= 1");
 
     ScheduleReport report;
     report.jobs.resize(jobs.size());
@@ -48,27 +66,35 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
     if (jobs.empty())
         return report;
 
-    // Pack jobs into waves in submission order: consecutive banks until
-    // the memory (64 banks) or lane budget of the wave is exhausted.
-    std::vector<std::vector<Placement>> waves;
-    unsigned cum_banks = 0;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const unsigned banks = jobs[i].banks();
-        if (banks > kNumBanks)
-            throw UdpError("Scheduler: job '" + jobs[i].name +
+    // Validate footprints before any wave runs (as the upfront packing
+    // used to), so an oversized window cannot fail a run midway.
+    for (const JobPlan &plan : jobs)
+        if (plan.banks() > kNumBanks)
+            throw UdpError("Scheduler: job '" + plan.name +
                            "' window exceeds local memory");
-        if (waves.empty() || cum_banks + banks > kNumBanks ||
-            waves.back().size() >= opts_.max_jobs_per_wave) {
-            waves.emplace_back();
-            cum_banks = 0;
-        }
-        waves.back().push_back({i, cum_banks});
-        cum_banks += banks;
-    }
+
+    std::deque<Pending> pending;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        pending.push_back({i, 1, opts_.max_cycles_per_lane});
 
     const auto t0 = std::chrono::steady_clock::now();
-    for (std::size_t w = 0; w < waves.size(); ++w) {
-        const auto &wave = waves[w];
+    unsigned wave_index = 0;
+    while (!pending.empty()) {
+        // Pack the next wave greedily from the queue head: consecutive
+        // banks until the memory (64 banks) or lane budget is exhausted.
+        std::vector<Placement> wave;
+        unsigned cum_banks = 0;
+        while (!pending.empty()) {
+            const Pending &p = pending.front();
+            const unsigned banks = jobs[p.job].banks();
+            if (!wave.empty() &&
+                (cum_banks + banks > kNumBanks ||
+                 wave.size() >= opts_.max_jobs_per_wave))
+                break;
+            wave.push_back({p.job, cum_banks, p.attempt, p.budget});
+            cum_banks += banks;
+            pending.pop_front();
+        }
 
         // Stage and assign: lane index == the window's first bank.
         std::vector<JobSpec> specs(wave.back().start_bank + 1);
@@ -86,10 +112,17 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
             js.window_base = base;
             js.nfa_mode = plan.nfa_mode;
             js.init_regs = plan.init_regs;
+            js.max_cycles = pl.budget;
+            // An injected trap is transient: it only fires while the
+            // attempt is within the plan's trap window.
+            js.trap_cycle = pl.attempt <= plan.trap_attempts
+                                ? plan.force_trap_cycle
+                                : Cycles{0};
         }
         machine_->assign(std::move(specs));
-        const MachineResult mr =
-            machine_->run_parallel(opts_.max_cycles_per_lane);
+        // Budgets are carried per JobSpec (they grow per retry), so the
+        // machine-wide cap stays wide open here.
+        const MachineResult mr = machine_->run_parallel();
 
         WaveReport wr;
         wr.jobs = static_cast<unsigned>(wave.size());
@@ -105,7 +138,37 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                 static_cast<ByteAddr>(kBankBytes);
             JobResult jr = harvest_job(*machine_, pl.start_bank, base,
                                        plan, mr.status[pl.start_bank]);
-            jr.wave = static_cast<unsigned>(w);
+            jr.wave = wave_index;
+            jr.attempts = pl.attempt;
+
+            const bool faulted = jr.status == LaneStatus::Faulted ||
+                                 jr.status == LaneStatus::TimedOut;
+            if (faulted) {
+                ++report.faulted_runs;
+                if (pl.attempt < opts_.retry.max_attempts) {
+                    // Requeue into a later wave, growing the watchdog
+                    // budget for timeouts when the policy says so.
+                    std::uint64_t budget = pl.budget;
+                    if (jr.status == LaneStatus::TimedOut &&
+                        opts_.retry.grow_cycle_budget &&
+                        budget != ~std::uint64_t{0}) {
+                        budget = budget > (~std::uint64_t{0} >> 1)
+                                     ? ~std::uint64_t{0}
+                                     : budget * 2;
+                    }
+                    pending.push_back({pl.job, pl.attempt + 1, budget});
+                    ++wr.retried;
+                    ++report.retries;
+                } else {
+                    jr.quarantined = true;
+                    ++wr.quarantined;
+                    ++report.quarantined;
+                }
+            } else {
+                ++wr.completed;
+            }
+            // Always the latest attempt's result; a retried job's entry
+            // is overwritten when its final attempt lands.
             report.jobs[pl.job] = std::move(jr);
         }
 
@@ -113,6 +176,7 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
         report.energy_j += wr.energy_j;
         report.total.add(wr.total);
         report.waves.push_back(std::move(wr));
+        ++wave_index;
     }
     report.host_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - t0)

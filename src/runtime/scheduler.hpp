@@ -14,6 +14,12 @@
  * The simulation backend (serial or host-threaded, see
  * Machine::set_sim_threads) is bit-exact either way, so scheduling
  * results never depend on the thread count.
+ *
+ * Faults are contained per job: a run that ends Faulted or TimedOut is
+ * retried into later waves per `RetryPolicy`, then quarantined with its
+ * LaneFault (docs/ROBUSTNESS.md).  Fault-free runs are packed and
+ * executed exactly as before the retry layer existed — bit-identical
+ * reports (pinned by test_runtime).
  */
 #pragma once
 
@@ -24,6 +30,21 @@
 
 namespace udp::runtime {
 
+/**
+ * Fault recovery policy (docs/ROBUSTNESS.md).  A job whose run ends
+ * Faulted or TimedOut is requeued into a later wave until it has been
+ * given `max_attempts` runs; after that it is *quarantined*: reported
+ * with its LaneFault, never run again, and never blocking other jobs.
+ * With the default max_attempts == 1 nothing is ever retried, and
+ * fault-free runs are bit-identical whatever the policy says.
+ */
+struct RetryPolicy {
+    unsigned max_attempts = 1; ///< total runs per job (>= 1)
+    /// Double the per-lane cycle budget on each TimedOut retry (only
+    /// meaningful when max_cycles_per_lane is finite).
+    bool grow_cycle_budget = true;
+};
+
 /// Scheduler construction knobs.
 struct SchedulerOptions {
     /// Host simulation threads: 0 = machine default (UDP_SIM_THREADS
@@ -33,6 +54,7 @@ struct SchedulerOptions {
     unsigned max_jobs_per_wave = kNumLanes;
     AddressingMode mode = AddressingMode::Restricted;
     std::uint64_t max_cycles_per_lane = ~std::uint64_t{0};
+    RetryPolicy retry;
 };
 
 /// Accounting for one wave.
@@ -42,17 +64,23 @@ struct WaveReport {
     Cycles wall_cycles = 0; ///< machine time of this wave
     double energy_j = 0;
     LaneStats total;        ///< summed lane counters of this wave
+    unsigned completed = 0;   ///< jobs that finished cleanly this wave
+    unsigned retried = 0;     ///< faulted jobs requeued into later waves
+    unsigned quarantined = 0; ///< faulted jobs that exhausted retries
 };
 
 /// Accounting for a whole scheduled run.
 struct ScheduleReport {
     std::vector<JobResult> jobs; ///< in submission order
     std::vector<WaveReport> waves;
-    Cycles wall_cycles = 0;      ///< sum over waves
-    LaneStats total;             ///< summed over all jobs
+    Cycles wall_cycles = 0;      ///< sum over waves (incl. retry waves)
+    LaneStats total;             ///< summed over all runs (incl. retries)
     double energy_j = 0;         ///< summed over waves
     unsigned sim_threads = 1;    ///< host threads the backend used
     double host_seconds = 0;     ///< host wall-clock of the simulation
+    unsigned faulted_runs = 0;   ///< job runs that ended Faulted/TimedOut
+    unsigned retries = 0;        ///< faulted runs requeued per policy
+    unsigned quarantined = 0;    ///< jobs given up on (JobResult::fault)
 
     /// Aggregate simulated throughput in MB/s at the nominal clock.
     double throughput_mbps() const {

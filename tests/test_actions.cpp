@@ -33,6 +33,22 @@ struct ActionRunner {
         return lane;
     }
 
+    /// Variant for blocks that must trap: asserts the lane faults with
+    /// the expected code instead of completing.
+    Lane &run_faulting(std::vector<Action> actions, FaultCode expect) {
+        actions.push_back(act_imm(Opcode::Halt, 0, 0, 0, true));
+        ProgramBuilder b;
+        const StateId s = b.add_state();
+        b.on_any(s, s, b.add_block(std::move(actions)));
+        b.set_entry(s);
+        prog = b.build();
+        lane.load(prog);
+        lane.set_input(input);
+        EXPECT_EQ(lane.run(), LaneStatus::Faulted);
+        EXPECT_EQ(lane.fault().code, expect);
+        return lane;
+    }
+
     Program prog;
 };
 
@@ -292,14 +308,17 @@ TEST_F(ActionsFixture, FailStopsWithReject)
     EXPECT_EQ(lane.run(), LaneStatus::Reject);
 }
 
-TEST_F(ActionsFixture, IllegalConfigurationsThrow)
+TEST_F(ActionsFixture, IllegalConfigurationsFaultTheLane)
 {
-    EXPECT_THROW(run({act_imm(Opcode::Setss, 0, 0, 0)}), UdpError);
-    EXPECT_THROW(run({act_imm(Opcode::Setss, 0, 0, 33)}), UdpError);
-    EXPECT_THROW(run({act_imm(Opcode::Movi, 1, 0, 40),
-                      act_imm(Opcode::Setssr, 0, 1, 0)}),
-                 UdpError);
-    EXPECT_THROW(run({act_imm(Opcode::Skip, 0, 0, 1 << 14)}), UdpError);
+    // Illegal action operands trap the lane with a structured fault
+    // (docs/ROBUSTNESS.md) instead of escaping as host exceptions.
+    run_faulting({act_imm(Opcode::Setss, 0, 0, 0)}, FaultCode::BadAction);
+    run_faulting({act_imm(Opcode::Setss, 0, 0, 33)}, FaultCode::BadAction);
+    run_faulting({act_imm(Opcode::Movi, 1, 0, 40),
+                  act_imm(Opcode::Setssr, 0, 1, 0)},
+                 FaultCode::BadAction);
+    run_faulting({act_imm(Opcode::Skip, 0, 0, 1 << 14)},
+                 FaultCode::FetchOutOfRange);
 }
 
 } // namespace

@@ -393,8 +393,12 @@ TEST_F(LaneFixture, MaxCyclesBoundsRunawayPrograms)
     lane.load(p);
     const Bytes input = bytes_of("x");
     lane.set_input(input);
-    EXPECT_EQ(lane.run(10'000), LaneStatus::Done);
+    // The watchdog cuts the runaway off and says so: TimedOut with a
+    // WatchdogTimeout fault, never silently "Done" (docs/ROBUSTNESS.md).
+    EXPECT_EQ(lane.run(10'000), LaneStatus::TimedOut);
     EXPECT_GE(lane.stats().cycles, 10'000u);
+    EXPECT_EQ(lane.fault().code, FaultCode::WatchdogTimeout);
+    EXPECT_EQ(lane.fault().cycle, lane.stats().cycles);
 }
 
 TEST(MachineTest, ParallelLanesProcessDisjointInputs)

@@ -134,14 +134,15 @@ TEST(MachineLockstep, GlobalAddressingSerializesBankConflicts)
     EXPECT_GT(g.last_run_energy_j(), r.last_run_energy_j());
 }
 
-TEST(MachineFailure, BadProgramsSurfaceAsErrors)
+TEST(MachineFailure, BadProgramsSurfaceAsFaults)
 {
     Machine m;
-    // More jobs than lanes.
+    // More jobs than lanes is host API misuse: still a throw.
     std::vector<JobSpec> too_many(kNumLanes + 1);
     EXPECT_THROW(m.assign(std::move(too_many)), UdpError);
 
-    // Lane escaping its restricted window.
+    // A lane escaping its restricted window is a *lane* fault: trapped
+    // and recorded, never thrown (docs/ROBUSTNESS.md).
     ProgramBuilder b;
     const StateId s = b.add_state();
     b.on_any(s, s, b.add_block({act_imm(Opcode::Ldw, 1, 0, 0, true)}));
@@ -152,10 +153,13 @@ TEST(MachineFailure, BadProgramsSurfaceAsErrors)
     const Bytes input(4, 'x');
     lane.set_input(input);
     lane.set_window_base(kLocalMemBytes - 2); // window beyond memory end
-    EXPECT_THROW(lane.run(), UdpError);
+    EXPECT_EQ(lane.run(), LaneStatus::Faulted);
+    EXPECT_EQ(lane.fault().code, FaultCode::FetchOutOfRange);
+    EXPECT_EQ(lane.fault().lane, 0u);
+    EXPECT_FALSE(lane.fault().detail.empty());
 }
 
-TEST(MachineFailure, CorruptDispatchImageIsRejected)
+TEST(MachineFailure, CorruptDispatchImageFaultsTheLane)
 {
     ProgramBuilder b;
     const StateId s = b.add_state();
@@ -175,7 +179,85 @@ TEST(MachineFailure, CorruptDispatchImageIsRejected)
     lane.load(prog);
     const Bytes input = bytes_of("aa");
     lane.set_input(input);
-    EXPECT_THROW(lane.run(), UdpError);
+    EXPECT_EQ(lane.run(), LaneStatus::Faulted);
+    EXPECT_EQ(lane.fault().code, FaultCode::BadDispatch);
+    // The record pins where the lane trapped.
+    EXPECT_NE(lane.fault().describe().find("bad-dispatch"),
+              std::string::npos);
+}
+
+TEST(MachineFailure, RunParallelContainsOneFaultyLane)
+{
+    // One corrupt program among many: run_parallel records the fault in
+    // MachineResult::faults and the healthy lanes finish untouched.
+    ProgramBuilder good;
+    const StateId gs = good.add_state();
+    good.on_symbol(gs, 'a', gs);
+    good.set_entry(gs);
+    const Program good_prog = good.build();
+
+    Program bad_prog = good_prog;
+    for (Word &w : bad_prog.dispatch)
+        w = Word{7u} << 8; // reserved transition type: BadDispatch
+
+    const Bytes input(64, 'a');
+    Machine m;
+    std::vector<JobSpec> jobs(8);
+    for (unsigned i = 0; i < jobs.size(); ++i) {
+        jobs[i].program = i == 3 ? &bad_prog : &good_prog;
+        jobs[i].input = input;
+        jobs[i].window_base = i * kBankBytes;
+    }
+    m.assign(std::move(jobs));
+    const MachineResult res = m.run_parallel();
+
+    EXPECT_EQ(res.faulted_lanes(), 1u);
+    EXPECT_EQ(res.status[3], LaneStatus::Faulted);
+    EXPECT_EQ(res.faults[3].code, FaultCode::BadDispatch);
+    EXPECT_EQ(res.faults[3].lane, 3u);
+    for (unsigned i = 0; i < 8; ++i) {
+        if (i == 3)
+            continue;
+        EXPECT_EQ(res.status[i], LaneStatus::Done);
+        EXPECT_EQ(res.faults[i].code, FaultCode::None);
+        EXPECT_EQ(m.lane(i).stats().input_bytes(), double(input.size()));
+    }
+}
+
+TEST(MachineFailure, DeprecatedRethrowHatchSurfacesEveryFault)
+{
+    ProgramBuilder b;
+    const StateId s = b.add_state();
+    b.on_symbol(s, 'a', s);
+    b.set_entry(s);
+    const Program good_prog = b.build();
+    Program bad_prog = good_prog;
+    for (Word &w : bad_prog.dispatch)
+        w = Word{7u} << 8;
+
+    const Bytes input(8, 'a');
+    Machine m;
+    std::vector<JobSpec> jobs(4);
+    for (unsigned i = 0; i < jobs.size(); ++i) {
+        jobs[i].program = i >= 2 ? &bad_prog : &good_prog;
+        jobs[i].input = input;
+        jobs[i].window_base = i * kBankBytes;
+    }
+    m.assign(std::move(jobs));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    m.set_rethrow_faults(true);
+#pragma GCC diagnostic pop
+    try {
+        m.run_parallel();
+        FAIL() << "expected the rethrow hatch to throw";
+    } catch (const UdpFaultError &e) {
+        EXPECT_EQ(e.code(), FaultCode::BadDispatch);
+        // Both faulty lanes are reported, not just the first.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("lane 2"), std::string::npos);
+        EXPECT_NE(what.find("lane 3"), std::string::npos);
+    }
 }
 
 TEST(MachineEnergy, EnergyScalesWithActiveLanes)

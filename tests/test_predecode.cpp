@@ -13,6 +13,7 @@
  * DecodedProgram shared across concurrently simulated lanes (this file
  * runs under the CI ThreadSanitizer job).
  */
+#include "assembler/builder.hpp"
 #include "baselines/dictionary.hpp"
 #include "baselines/histogram.hpp"
 #include "baselines/huffman.hpp"
@@ -339,6 +340,64 @@ TEST(Predecode, ThreadedWavesShareOneDecodedImage)
     for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
         EXPECT_EQ(serial.jobs[i].stats, pooled.jobs[i].stats);
         EXPECT_EQ(serial.jobs[i].extracts, pooled.jobs[i].extracts);
+    }
+}
+
+TEST(Predecode, FaultCodesAgreeAcrossPaths)
+{
+    // A corrupt word on the *taken* path must trap with the same
+    // terminal status and FaultCode on both interpreter paths
+    // (docs/ROBUSTNESS.md).  Stats at the trap point may differ (the
+    // legacy path decodes eagerly, the fast path faults at fetch), so
+    // parity is status + code level.
+    PredecodeGuard guard;
+    const auto make = [] {
+        ProgramBuilder b;
+        const StateId s = b.add_state();
+        b.on_symbol(s, 'a', s,
+                    b.add_block({act_imm(Opcode::Addi, 1, 1, 1)}));
+        b.set_entry(s);
+        return b.build();
+    };
+
+    struct Case {
+        const char *name;
+        Program prog;
+        FaultCode expect;
+    };
+    std::vector<Case> cases;
+    { // Reserved transition type on the arc the input drives into.
+        Program p = make();
+        p.dispatch[p.entry + 'a'] = Word{7u} << 8;
+        cases.push_back({"poisoned dispatch", std::move(p),
+                         FaultCode::BadDispatch});
+    }
+    { // Undefined opcode in the taken arc's action block.
+        Program p = make();
+        const Transition t = decode_transition(p.dispatch[p.entry + 'a']);
+        const std::size_t addr =
+            t.attach_mode == AttachMode::Direct
+                ? std::size_t{t.attach}
+                : std::size_t{p.init_action_base} +
+                      (std::size_t{t.attach} << p.init_action_scale);
+        p.actions.at(addr) = Word{0x7Fu} << 25;
+        cases.push_back({"poisoned actions", std::move(p),
+                         FaultCode::BadAction});
+    }
+
+    const Bytes input(8, 'a');
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.name);
+        for (const bool predecode : {true, false}) {
+            SCOPED_TRACE(predecode ? "predecode" : "legacy");
+            set_predecode_enabled(predecode);
+            LocalMemory mem;
+            Lane lane(0, mem);
+            lane.load(c.prog);
+            lane.set_input(input);
+            EXPECT_EQ(lane.run(), LaneStatus::Faulted);
+            EXPECT_EQ(lane.fault().code, c.expect);
+        }
     }
 }
 

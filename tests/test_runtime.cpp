@@ -13,6 +13,7 @@
 #include "kernels/dictionary.hpp"
 #include "kernels/histogram.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/kernel_spec.hpp"
 #include "runtime/scheduler.hpp"
 #include "workloads/generators.hpp"
@@ -297,4 +298,156 @@ TEST(Runtime, SchedulerRejectsOversizedWindowsAndBadWaveCap)
     opts.max_jobs_per_wave = 0;
     Scheduler bad(opts);
     EXPECT_THROW(bad.run({spec.make_job(Bytes{'a', '\n'})}), UdpError);
+
+    SchedulerOptions zero_retry;
+    zero_retry.retry.max_attempts = 0;
+    Scheduler bad_retry(zero_retry);
+    EXPECT_THROW(bad_retry.run({spec.make_job(Bytes{'a', '\n'})}),
+                 UdpError);
+}
+
+// --- Fault containment and recovery (docs/ROBUSTNESS.md) ------------------
+
+namespace {
+
+/// A small histogram fleet shared by the retry tests.
+std::vector<JobPlan>
+retry_jobs(std::size_t count)
+{
+    const auto xs = workloads::fp_values(8'000, 21);
+    static const auto spec = kernels::histogram_kernel_spec(
+        baselines::Histogram::uniform(10, 41.2, 42.5).edges());
+    return histogram_fleet(spec, kernels::pack_fp_stream(xs), count);
+}
+
+} // namespace
+
+TEST(Scheduler, TransientTrapRecoversOnRetry)
+{
+    auto jobs = retry_jobs(8);
+    Scheduler clean_sched;
+    const ScheduleReport clean = clean_sched.run(jobs);
+
+    // Trap job 2 mid-run on its first attempt only.
+    FaultInjector inj(7);
+    inj.force_trap(jobs[2], 50, /*attempts=*/1);
+    SchedulerOptions opts;
+    opts.retry.max_attempts = 3;
+    Scheduler sched(opts);
+    const ScheduleReport rep = sched.run(jobs);
+
+    EXPECT_EQ(rep.faulted_runs, 1u);
+    EXPECT_EQ(rep.retries, 1u);
+    EXPECT_EQ(rep.quarantined, 0u);
+    ASSERT_EQ(rep.waves.size(), 2u); // retry lands in a second wave
+    EXPECT_EQ(rep.waves[0].retried, 1u);
+    EXPECT_EQ(rep.waves[1].completed, 1u);
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(rep.jobs[i].status, LaneStatus::Done) << "job " << i;
+        EXPECT_FALSE(rep.jobs[i].quarantined);
+        expect_results_eq(rep.jobs[i], clean.jobs[i]);
+    }
+    EXPECT_EQ(rep.jobs[2].attempts, 2u);
+    EXPECT_EQ(rep.jobs[2].wave, 1u);
+}
+
+TEST(Scheduler, PermanentFaultQuarantinesAfterMaxAttempts)
+{
+    auto jobs = retry_jobs(8);
+    Scheduler clean_sched;
+    const ScheduleReport clean = clean_sched.run(jobs);
+
+    FaultInjector inj(11);
+    inj.poison_program(jobs[5]); // BadDispatch on every attempt
+    SchedulerOptions opts;
+    opts.retry.max_attempts = 3;
+    Scheduler sched(opts);
+    const ScheduleReport rep = sched.run(jobs);
+
+    EXPECT_EQ(rep.faulted_runs, 3u);
+    EXPECT_EQ(rep.retries, 2u);
+    EXPECT_EQ(rep.quarantined, 1u);
+    const JobResult &bad = rep.jobs[5];
+    EXPECT_EQ(bad.status, LaneStatus::Faulted);
+    EXPECT_EQ(bad.fault.code, FaultCode::BadDispatch);
+    EXPECT_TRUE(bad.quarantined);
+    EXPECT_EQ(bad.attempts, 3u);
+    EXPECT_THROW(require_done(bad, "test"), UdpError);
+
+    // Containment: every healthy job's result matches the clean run.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i == 5)
+            continue;
+        expect_results_eq(rep.jobs[i], clean.jobs[i]);
+    }
+}
+
+TEST(Scheduler, TimeoutRetryGrowsCycleBudget)
+{
+    auto jobs = retry_jobs(4);
+    // Far below what a shard needs: every job must time out at least
+    // once, then recover as the policy doubles the budget.
+    SchedulerOptions opts;
+    opts.max_cycles_per_lane = 64;
+    opts.retry.max_attempts = 16;
+    opts.retry.grow_cycle_budget = true;
+    Scheduler sched(opts);
+    const ScheduleReport rep = sched.run(jobs);
+
+    EXPECT_GT(rep.faulted_runs, 0u);
+    EXPECT_EQ(rep.quarantined, 0u);
+    for (const JobResult &jr : rep.jobs) {
+        EXPECT_EQ(jr.status, LaneStatus::Done);
+        EXPECT_GT(jr.attempts, 1u);
+    }
+
+    // Without budget growth the same starvation budget quarantines as
+    // TimedOut, carrying the watchdog fault record.
+    SchedulerOptions fixed = opts;
+    fixed.retry.max_attempts = 2;
+    fixed.retry.grow_cycle_budget = false;
+    Scheduler stuck(fixed);
+    const ScheduleReport srep = stuck.run(jobs);
+    EXPECT_EQ(srep.quarantined, unsigned(jobs.size()));
+    for (const JobResult &jr : srep.jobs) {
+        EXPECT_EQ(jr.status, LaneStatus::TimedOut);
+        EXPECT_EQ(jr.fault.code, FaultCode::WatchdogTimeout);
+        EXPECT_TRUE(jr.quarantined);
+        EXPECT_EQ(jr.attempts, 2u);
+    }
+}
+
+TEST(Scheduler, FaultFreeRunsIgnoreRetryPolicy)
+{
+    // With nothing faulting, a generous retry policy must be invisible:
+    // identical packing, identical results, identical accounting.
+    const auto jobs = retry_jobs(100);
+    ASSERT_GT(jobs.size(), kNumLanes);
+
+    Scheduler plain;
+    const ScheduleReport a = plain.run(jobs);
+    SchedulerOptions opts;
+    opts.retry.max_attempts = 5;
+    Scheduler retrying(opts);
+    const ScheduleReport b = retrying.run(jobs);
+
+    EXPECT_EQ(a.wall_cycles, b.wall_cycles);
+    EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+    expect_stats_eq(a.total, b.total);
+    ASSERT_EQ(a.waves.size(), b.waves.size());
+    for (std::size_t w = 0; w < a.waves.size(); ++w) {
+        EXPECT_EQ(a.waves[w].jobs, b.waves[w].jobs);
+        EXPECT_EQ(a.waves[w].completed, b.waves[w].completed);
+        EXPECT_EQ(b.waves[w].retried, 0u);
+        EXPECT_EQ(b.waves[w].quarantined, 0u);
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        expect_results_eq(a.jobs[i], b.jobs[i]);
+        EXPECT_EQ(a.jobs[i].wave, b.jobs[i].wave);
+        EXPECT_EQ(b.jobs[i].attempts, 1u);
+    }
+    EXPECT_EQ(b.faulted_runs, 0u);
+    EXPECT_EQ(b.retries, 0u);
+    EXPECT_EQ(b.quarantined, 0u);
 }
