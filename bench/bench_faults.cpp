@@ -18,8 +18,11 @@
  *
  * The containment check runs down both interpreter paths (predecoded
  * and legacy).  Flags: --json <path> (standard bench envelope; the
- * per-run fault counters land in workloads[], the experiment scalars in
- * metrics.*), --threads N.
+ * per-run fault counters land in workloads[] together with the per-job
+ * `latency` block, the experiment scalars in metrics.*), --threads N,
+ * --metrics <path> (Prometheus-style text exposition of the telemetry
+ * registry, including per-FaultCode retry/quarantine counters;
+ * docs/OBSERVABILITY.md).
  */
 #include "support.hpp"
 
@@ -169,6 +172,18 @@ main(int argc, char **argv)
         p.name = "Trigger (3 transient traps)";
         attach_sim(p, rep.total, rep.wall_cycles, rep.waves[0].jobs);
         attach_schedule(p, rep, samples.size());
+
+        print_header("Per-job latency under faults (simulated cycles)",
+                     {"metric", "p50", "p99", "max"});
+        const auto lat_row = [](const char *name,
+                                const runtime::HistogramSnapshot &h) {
+            print_row({name, fmt(double(h.percentile(0.50)), 0),
+                       fmt(double(h.percentile(0.99)), 0),
+                       fmt(double(h.max), 0)});
+        };
+        lat_row("queue wait", p.latency.queue_wait);
+        lat_row("service", p.latency.service);
+        lat_row("end-to-end", p.latency.e2e);
         rec.add_workload(p);
 
         rec.add_metric("transient_injected", injected);

@@ -12,7 +12,9 @@
  *
  * Flags: --json <path> (BENCH_simspeed.json schema: the standard bench
  * envelope plus metrics.sim_host_mbps_predecode / _legacy /
- * .predecode_speedup).
+ * .predecode_speedup), --metrics <path> (Prometheus-style text
+ * exposition of the full telemetry registry — every scheduled run in
+ * the bench feeds it; docs/OBSERVABILITY.md).
  */
 #include "support.hpp"
 

@@ -102,6 +102,7 @@ fmt(double v, int prec)
 namespace {
 
 unsigned g_sim_threads = 0;
+runtime::TelemetrySink *g_telemetry = nullptr;
 
 } // namespace
 
@@ -117,11 +118,24 @@ sim_threads_option()
     return g_sim_threads;
 }
 
+runtime::TelemetrySink *
+bench_telemetry()
+{
+    return g_telemetry;
+}
+
+void
+set_bench_telemetry(runtime::TelemetrySink *sink)
+{
+    g_telemetry = sink;
+}
+
 runtime::SchedulerOptions
 sched_options()
 {
     runtime::SchedulerOptions opts;
     opts.threads = g_sim_threads;
+    opts.telemetry = g_telemetry;
     return opts;
 }
 
@@ -140,6 +154,7 @@ attach_schedule(WorkloadPerf &p, const runtime::ScheduleReport &rep,
     p.faulted_runs = rep.faulted_runs;
     p.retries = rep.retries;
     p.quarantined = rep.quarantined;
+    p.latency = runtime::summarize_job_latencies(rep.jobs);
 }
 
 void
@@ -158,7 +173,7 @@ attach_sim(WorkloadPerf &p, const LaneStats &total, Cycles wall,
 }
 
 MetricsRecorder::MetricsRecorder(std::string bench, int argc, char **argv)
-    : bench_(std::move(bench))
+    : bench_(std::move(bench)), sink_(registry_)
 {
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
@@ -168,6 +183,13 @@ MetricsRecorder::MetricsRecorder(std::string bench, int argc, char **argv)
                 std::exit(2);
             }
             path_ = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --metrics requires a path\n",
+                             bench_.c_str());
+                std::exit(2);
+            }
+            metrics_path_ = argv[++i];
         } else if (std::strcmp(argv[i], "--threads") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: --threads requires a count\n",
@@ -183,11 +205,36 @@ MetricsRecorder::MetricsRecorder(std::string bench, int argc, char **argv)
             set_sim_threads(static_cast<unsigned>(n));
         }
     }
+    // Attach the registry sink to every sched_options() Scheduler only
+    // when asked for — the default run stays telemetry-free.
+    if (!metrics_path_.empty())
+        set_bench_telemetry(&sink_);
+}
+
+MetricsRecorder::~MetricsRecorder()
+{
+    if (bench_telemetry() == &sink_)
+        set_bench_telemetry(nullptr);
 }
 
 int
 MetricsRecorder::finish() const
 {
+    if (!metrics_path_.empty()) {
+        std::ofstream os(metrics_path_);
+        if (!os) {
+            std::fprintf(stderr, "%s: cannot open %s for writing\n",
+                         bench_.c_str(), metrics_path_.c_str());
+            return 1;
+        }
+        os << registry_.prometheus_text();
+        if (!os) {
+            std::fprintf(stderr, "%s: write to %s failed\n",
+                         bench_.c_str(), metrics_path_.c_str());
+            return 1;
+        }
+        std::printf("\nmetrics: wrote %s\n", metrics_path_.c_str());
+    }
     if (path_.empty())
         return 0;
 
@@ -237,6 +284,19 @@ MetricsRecorder::finish() const
         w.field("speedup_real_vs_8t", p.speedup_real_vs_8t());
         w.field("tput_per_watt_ratio", p.perf_watt_ratio(UdpCostModel{}));
         w.field("energy_j", p.energy_j);
+        // Per-job latency distribution of the scheduled run, simulated
+        // cycles (absent when the bench never ran the wave scheduler).
+        if (p.latency.service.count > 0) {
+            w.key("latency");
+            w.begin_object();
+            w.key("queue_wait_cycles");
+            runtime::write_histogram_json(w, p.latency.queue_wait);
+            w.key("service_cycles");
+            runtime::write_histogram_json(w, p.latency.service);
+            w.key("e2e_cycles");
+            runtime::write_histogram_json(w, p.latency.e2e);
+            w.end_object();
+        }
         w.key("lane_stats");
         write_lane_stats(w, p.lane_stats);
         w.end_object();

@@ -47,6 +47,11 @@ struct WorkloadPerf {
     unsigned retries = 0;      ///< faulted runs requeued per RetryPolicy
     unsigned quarantined = 0;  ///< jobs given up on after max_attempts
 
+    // Per-job latency distributions of the scheduled run (simulated
+    // cycles; docs/OBSERVABILITY.md "latency" block).  Empty (count 0)
+    // in benches that never run the wave scheduler.
+    runtime::JobLatencySummary latency;
+
     /// Extrapolated 64-lane rate: lane rate x achievable parallelism.
     double udp64_mbps() const { return udp_lane_mbps * parallelism; }
     double speedup_vs_8t() const {
@@ -72,7 +77,16 @@ struct WorkloadPerf {
 void set_sim_threads(unsigned n);
 unsigned sim_threads_option();
 
-/// Scheduler options every bench run starts from (threads prefilled).
+/**
+ * The bench-wide telemetry sink (telemetry.hpp), attached to every
+ * Scheduler via sched_options().  nullptr unless `--metrics <path>`
+ * was given, preserving the zero-overhead default.
+ */
+runtime::TelemetrySink *bench_telemetry();
+void set_bench_telemetry(runtime::TelemetrySink *sink);
+
+/// Scheduler options every bench run starts from (threads + telemetry
+/// prefilled).
 runtime::SchedulerOptions sched_options();
 
 /// Record a scheduled multi-lane run on `p`: real 64-lane throughput
@@ -98,13 +112,18 @@ void attach_sim(WorkloadPerf &p, const LaneStats &total, Cycles wall,
  * documented in docs/OBSERVABILITY.md.
  *
  * Also parses `--threads N` (host simulation threads, see
- * set_sim_threads); the resolved count lands in the JSON as the
- * top-level `sim_threads` field.
+ * set_sim_threads) — the resolved count lands in the JSON as the
+ * top-level `sim_threads` field — and `--metrics <path>`: a
+ * MetricRegistry + RegistryTelemetry sink is attached to every
+ * Scheduler the bench runs (via sched_options()) and `finish()` dumps
+ * the full registry as a Prometheus-style text exposition at <path>
+ * (docs/OBSERVABILITY.md; validated by tools/check_exposition.py).
  */
 class MetricsRecorder
 {
   public:
     MetricsRecorder(std::string bench, int argc, char **argv);
+    ~MetricsRecorder();
 
     bool enabled() const { return !path_.empty(); }
     const std::string &path() const { return path_; }
@@ -114,14 +133,22 @@ class MetricsRecorder
         metrics_.emplace_back(key, value);
     }
 
-    /// Write the JSON file if --json was given. Returns a main() exit code.
+    /// The registry behind --metrics (always usable; only attached to
+    /// schedulers and dumped when --metrics was given).
+    runtime::MetricRegistry &registry() { return registry_; }
+
+    /// Write the JSON/exposition files for the flags that were given.
+    /// Returns a main() exit code.
     int finish() const;
 
   private:
     std::string bench_;
     std::string path_;
+    std::string metrics_path_; ///< --metrics exposition dump
     std::vector<WorkloadPerf> workloads_;
     std::vector<std::pair<std::string, double>> metrics_;
+    runtime::MetricRegistry registry_;
+    runtime::RegistryTelemetry sink_;
 };
 
 /// Wall-clock MB/s of `fn` over `bytes` of input (repeats for stability).

@@ -37,6 +37,10 @@ enum class FaultCode : std::uint8_t {
     ForcedTrap,          ///< deterministic fault injection (FaultInjector)
 };
 
+/// Number of FaultCode values (incl. None); enables dense per-code
+/// tables (e.g. the telemetry layer's per-code fault counters).
+inline constexpr unsigned kNumFaultCodes = 7;
+
 /// Stable lower-case name of a fault code ("bad-dispatch", ...).
 std::string_view fault_code_name(FaultCode code);
 

@@ -4,6 +4,8 @@
  */
 #include "executor.hpp"
 
+#include "telemetry.hpp"
+
 namespace udp::runtime {
 
 void
@@ -76,13 +78,30 @@ harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
 
 JobResult
 run_job_on(Machine &m, unsigned lane, ByteAddr window_base,
-           const JobPlan &plan, std::uint64_t max_cycles)
+           const JobPlan &plan, std::uint64_t max_cycles,
+           TelemetrySink *telemetry)
 {
     stage_job(m, lane, window_base, plan);
     Lane &ln = m.lane(lane);
     const LaneStatus st = plan.nfa_mode ? ln.run_nfa(max_cycles)
                                         : ln.run(max_cycles);
-    return harvest_job(m, lane, window_base, plan, st);
+    JobResult res = harvest_job(m, lane, window_base, plan, st);
+    res.service_cycles = res.stats.cycles;
+    res.e2e_cycles = res.stats.cycles; // no queue ahead of a direct run
+    if (telemetry) {
+        JobRunEvent ev;
+        ev.job_name = plan.name;
+        ev.lane = lane;
+        ev.status = res.status;
+        ev.fault = res.fault.code;
+        ev.service_cycles = res.service_cycles;
+        ev.e2e_cycles = res.e2e_cycles;
+        ev.input_bytes =
+            static_cast<std::uint64_t>(res.stats.input_bytes());
+        ev.final_disposition = true;
+        telemetry->on_job_run(ev);
+    }
+    return res;
 }
 
 } // namespace udp::runtime

@@ -14,6 +14,8 @@
 
 namespace udp::runtime {
 
+class TelemetrySink;
+
 /// Check a plan is self-consistent and its window fits local memory at
 /// `window_base`; throws UdpError otherwise.
 void validate_job(const JobPlan &plan, ByteAddr window_base);
@@ -44,9 +46,14 @@ JobResult harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
  * `JobResult::fault`.  Callers that need a clean completion must check
  * the status (or call `require_done`) — a run cut short by `max_cycles`
  * is *not* a success.
+ *
+ * When `telemetry` is non-null the run is reported as one JobRunEvent
+ * (wave 0, attempt 1, zero queue wait — a single-lane run starts
+ * immediately); null costs one branch (telemetry.hpp).
  */
 JobResult run_job_on(Machine &m, unsigned lane, ByteAddr window_base,
                      const JobPlan &plan,
-                     std::uint64_t max_cycles = ~std::uint64_t{0});
+                     std::uint64_t max_cycles = ~std::uint64_t{0},
+                     TelemetrySink *telemetry = nullptr);
 
 } // namespace udp::runtime

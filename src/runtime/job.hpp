@@ -88,6 +88,15 @@ struct JobResult {
     LaneFault fault;
     unsigned attempts = 1;    ///< runs the Scheduler gave this job
     bool quarantined = false; ///< faulted on every attempt; gave up
+
+    // Latency of the final attempt, in *simulated* cycles — so the
+    // numbers are deterministic and independent of host thread count
+    // (docs/OBSERVABILITY.md).  Submission happens at machine time 0;
+    // a wave is a barrier, so a job's result becomes visible when its
+    // wave closes.
+    Cycles queue_wait_cycles = 0; ///< machine time of all earlier waves
+    Cycles service_cycles = 0;    ///< this run's own lane cycles
+    Cycles e2e_cycles = 0;        ///< queue wait + its wave's wall clock
 };
 
 /// Throw unless `r` completed cleanly.  Guards harnesses that used to

@@ -80,6 +80,10 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
     const auto t0 = std::chrono::steady_clock::now();
     unsigned wave_index = 0;
     while (!pending.empty()) {
+        const auto t_wave = std::chrono::steady_clock::now();
+        // Machine time already spent on earlier waves: the queue wait
+        // of every job running in this wave (submission is at t = 0).
+        const Cycles queue_wait = report.wall_cycles;
         // Pack the next wave greedily from the queue head: consecutive
         // banks until the memory (64 banks) or lane budget is exhausted.
         std::vector<Placement> wave;
@@ -127,6 +131,7 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
         WaveReport wr;
         wr.jobs = static_cast<unsigned>(wave.size());
         wr.active_lanes = mr.active_lanes;
+        wr.banks_used = cum_banks;
         wr.wall_cycles = mr.wall_cycles;
         wr.energy_j = machine_->last_run_energy_j();
         wr.total = mr.total;
@@ -140,7 +145,11 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                                        plan, mr.status[pl.start_bank]);
             jr.wave = wave_index;
             jr.attempts = pl.attempt;
+            jr.queue_wait_cycles = queue_wait;
+            jr.service_cycles = jr.stats.cycles;
+            jr.e2e_cycles = queue_wait + wr.wall_cycles;
 
+            bool retried_now = false;
             const bool faulted = jr.status == LaneStatus::Faulted ||
                                  jr.status == LaneStatus::TimedOut;
             if (faulted) {
@@ -157,6 +166,7 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                                      : budget * 2;
                     }
                     pending.push_back({pl.job, pl.attempt + 1, budget});
+                    retried_now = true;
                     ++wr.retried;
                     ++report.retries;
                 } else {
@@ -167,6 +177,25 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
             } else {
                 ++wr.completed;
             }
+            if (opts_.telemetry) {
+                JobRunEvent ev;
+                ev.job_name = plan.name;
+                ev.job_index = pl.job;
+                ev.wave = wave_index;
+                ev.attempt = pl.attempt;
+                ev.lane = pl.start_bank;
+                ev.status = jr.status;
+                ev.fault = jr.fault.code;
+                ev.queue_wait_cycles = jr.queue_wait_cycles;
+                ev.service_cycles = jr.service_cycles;
+                ev.e2e_cycles = jr.e2e_cycles;
+                ev.input_bytes =
+                    static_cast<std::uint64_t>(jr.stats.input_bytes());
+                ev.final_disposition = !retried_now;
+                ev.retried = retried_now;
+                ev.quarantined = jr.quarantined;
+                opts_.telemetry->on_job_run(ev);
+            }
             // Always the latest attempt's result; a retried job's entry
             // is overwritten when its final attempt lands.
             report.jobs[pl.job] = std::move(jr);
@@ -175,6 +204,21 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
         report.wall_cycles += wr.wall_cycles;
         report.energy_j += wr.energy_j;
         report.total.add(wr.total);
+        wr.host_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t_wave)
+                              .count();
+        if (opts_.telemetry) {
+            WaveEvent ev;
+            ev.index = wave_index;
+            ev.jobs = wr.jobs;
+            ev.banks_used = wr.banks_used;
+            ev.completed = wr.completed;
+            ev.retried = wr.retried;
+            ev.quarantined = wr.quarantined;
+            ev.wall_cycles = wr.wall_cycles;
+            ev.host_seconds = wr.host_seconds;
+            opts_.telemetry->on_wave(ev);
+        }
         report.waves.push_back(std::move(wr));
         ++wave_index;
     }
@@ -182,6 +226,18 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                               std::chrono::steady_clock::now() - t0)
                               .count();
     return report;
+}
+
+JobLatencySummary
+summarize_job_latencies(const std::vector<JobResult> &jobs)
+{
+    Histogram queue_wait, service, e2e;
+    for (const JobResult &jr : jobs) {
+        queue_wait.record(jr.queue_wait_cycles);
+        service.record(jr.service_cycles);
+        e2e.record(jr.e2e_cycles);
+    }
+    return {queue_wait.snapshot(), service.snapshot(), e2e.snapshot()};
 }
 
 } // namespace udp::runtime

@@ -25,6 +25,7 @@
 
 #include "core/machine.hpp"
 #include "runtime/job.hpp"
+#include "runtime/telemetry.hpp"
 
 #include <memory>
 
@@ -55,14 +56,20 @@ struct SchedulerOptions {
     AddressingMode mode = AddressingMode::Restricted;
     std::uint64_t max_cycles_per_lane = ~std::uint64_t{0};
     RetryPolicy retry;
+    /// Lifecycle-event receiver (telemetry.hpp).  nullptr (the default)
+    /// costs one branch per job/wave — the Tracer's zero-overhead
+    /// discipline — and never changes simulated results either way.
+    TelemetrySink *telemetry = nullptr;
 };
 
 /// Accounting for one wave.
 struct WaveReport {
     unsigned jobs = 0;
     unsigned active_lanes = 0;
+    unsigned banks_used = 0; ///< local-memory banks the wave occupied
     Cycles wall_cycles = 0; ///< machine time of this wave
     double energy_j = 0;
+    double host_seconds = 0; ///< host time to stage+simulate+harvest it
     LaneStats total;        ///< summed lane counters of this wave
     unsigned completed = 0;   ///< jobs that finished cleanly this wave
     unsigned retried = 0;     ///< faulted jobs requeued into later waves
@@ -108,5 +115,12 @@ class Scheduler
     std::unique_ptr<Machine> owned_;
     Machine *machine_;
 };
+
+/**
+ * Summarize the per-job latency fields of a scheduled run as
+ * histograms (the benches' `--json` latency block).  Exact-count
+ * percentiles over `jobs`' queue-wait / service / end-to-end cycles.
+ */
+JobLatencySummary summarize_job_latencies(const std::vector<JobResult> &jobs);
 
 } // namespace udp::runtime

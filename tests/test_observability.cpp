@@ -164,6 +164,48 @@ TEST(Json, WriterRoundTripsThroughValidator)
     EXPECT_NE(os.str().find("null"), std::string::npos);
 }
 
+TEST(Json, NonFiniteDoublesSerializeAsNull)
+{
+    // JSON has no NaN/Inf: every non-finite double must land as null —
+    // at top level, as an array element, and as an object field (the
+    // telemetry registry relies on this for empty-histogram means).
+    const double bads[] = {std::nan(""), INFINITY, -INFINITY};
+    for (const double bad : bads) {
+        std::ostringstream os;
+        JsonWriter w(os, /*pretty=*/false);
+        w.begin_object();
+        w.field("scalar", bad);
+        w.key("arr").begin_array().value(bad).value(1.5).end_array();
+        w.end_object();
+        ASSERT_TRUE(w.done());
+        const std::string text = os.str();
+        EXPECT_TRUE(json_parse_ok(text)) << text;
+        EXPECT_NE(text.find("\"scalar\":null"), std::string::npos) << text;
+        EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+        EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+    }
+}
+
+TEST(Json, KeysWithQuotesAndBackslashesRoundTrip)
+{
+    // Metric names are user-controlled (kernel names land in registry
+    // keys); hostile characters must be escaped, not emitted raw.
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.field("quo\"ted", 1);
+    w.field("back\\slash", 2);
+    w.field("ctrl\x01\n\t", 3);
+    w.end_object();
+    ASSERT_TRUE(w.done());
+    const std::string text = os.str();
+    EXPECT_TRUE(json_parse_ok(text)) << text;
+    EXPECT_NE(text.find("\"quo\\\"ted\""), std::string::npos);
+    EXPECT_NE(text.find("\"back\\\\slash\""), std::string::npos);
+    EXPECT_NE(text.find("\\u0001"), std::string::npos);
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
 TEST(Json, ValidatorRejectsMalformedText)
 {
     EXPECT_TRUE(json_parse_ok("{}"));

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus-style text exposition produced by
+MetricRegistry::prometheus_text() (src/runtime/telemetry.cpp).
+
+Checks, per docs/OBSERVABILITY.md:
+  - every sample line parses as `name[{labels}] value`;
+  - every metric family has exactly one `# TYPE` line, appearing
+    before its first sample, with type counter|gauge|summary;
+  - every value is finite (no NaN/Inf samples, ever);
+  - counter values are non-negative integers;
+  - summaries: quantile samples are monotone in the quantile and lie
+    inside [_min, _max]; `_sum`/`_count` are present; empty summaries
+    (_count 0) expose no quantile samples.
+
+Usage: check_exposition.py FILE [--require-metric NAME]...
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
+TYPE_RE = re.compile(
+    r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary)$')
+QUANTILE_RE = re.compile(r'^\{quantile="([0-9.]+)"\}$')
+SUFFIXES = ('_min', '_max', '_mean', '_sum', '_count')
+
+
+def family_of(name, types):
+    """Metric family a sample belongs to (strips summary suffixes)."""
+    if name in types:
+        return name
+    for suffix in SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def fail(lineno, line, why):
+    sys.exit(f"check_exposition: line {lineno}: {why}\n  {line}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument('file')
+    ap.add_argument('--require-metric', action='append', default=[],
+                    help='fail unless this family has at least one sample')
+    args = ap.parse_args()
+
+    with open(args.file, encoding='utf-8') as f:
+        lines = f.read().splitlines()
+
+    types = {}          # family -> declared type
+    samples = {}        # family -> [(suffix-or-quantile, value)]
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith('#'):
+            m = TYPE_RE.match(line)
+            if not m:
+                fail(lineno, line, 'unparseable comment (expected # TYPE)')
+            name, kind = m.groups()
+            if name in types:
+                fail(lineno, line, f'duplicate # TYPE for {name}')
+            if name in samples:
+                fail(lineno, line, f'# TYPE after samples of {name}')
+            types[name] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, line, 'unparseable sample line')
+        name, labels, value = m.groups()
+        family = family_of(name, types)
+        if family is None:
+            fail(lineno, line, f'sample {name} has no preceding # TYPE')
+        try:
+            v = float(value)
+        except ValueError:
+            fail(lineno, line, f'non-numeric value {value!r}')
+        if not math.isfinite(v):
+            fail(lineno, line, f'non-finite value {value}')
+        kind = types[family]
+        if kind == 'counter':
+            if labels or name != family:
+                fail(lineno, line, 'counter samples take no labels/suffix')
+            if v < 0 or v != int(v):
+                fail(lineno, line, f'counter value {value} not a count')
+        elif kind == 'gauge':
+            if labels or name != family:
+                fail(lineno, line, 'gauge samples take no labels/suffix')
+        else:  # summary
+            if name == family:
+                if not labels or not QUANTILE_RE.match(labels):
+                    fail(lineno, line, 'summary sample needs quantile label')
+                q = float(QUANTILE_RE.match(labels).group(1))
+                samples.setdefault(family, []).append((q, v))
+                continue
+            suffix = name[len(family):]
+            samples.setdefault(family, []).append((suffix, v))
+            continue
+        samples.setdefault(family, []).append((None, v))
+
+    for family, kind in types.items():
+        if kind != 'summary':
+            if family not in samples:
+                sys.exit(f'check_exposition: {family}: TYPE but no sample')
+            continue
+        entries = dict()
+        quantiles = []
+        for tag, v in samples.get(family, []):
+            if isinstance(tag, float):
+                quantiles.append((tag, v))
+            else:
+                entries[tag] = v
+        if '_sum' not in entries or '_count' not in entries:
+            sys.exit(f'check_exposition: {family}: missing _sum/_count')
+        count = entries['_count']
+        if count == 0 and quantiles:
+            sys.exit(f'check_exposition: {family}: quantiles on an '
+                     'empty summary')
+        if count > 0:
+            if not quantiles:
+                sys.exit(f'check_exposition: {family}: populated summary '
+                         'without quantile samples')
+            quantiles.sort()
+            vals = [v for _, v in quantiles]
+            if vals != sorted(vals):
+                sys.exit(f'check_exposition: {family}: quantile values '
+                         f'not monotone: {quantiles}')
+            lo, hi = entries.get('_min'), entries.get('_max')
+            if lo is not None and hi is not None:
+                if not all(lo <= v <= hi for v in vals):
+                    sys.exit(f'check_exposition: {family}: quantile '
+                             f'outside [{lo}, {hi}]: {quantiles}')
+
+    for required in args.require_metric:
+        if required not in samples:
+            sys.exit(f'check_exposition: required metric {required} '
+                     'missing from exposition')
+
+    total = sum(len(v) for v in samples.values())
+    print(f'check_exposition: OK ({len(types)} families, '
+          f'{total} samples)')
+
+
+if __name__ == '__main__':
+    main()
