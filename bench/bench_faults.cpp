@@ -22,7 +22,11 @@
  * `latency` block, the experiment scalars in metrics.*), --threads N,
  * --metrics <path> (Prometheus-style text exposition of the telemetry
  * registry, including per-FaultCode retry/quarantine counters;
- * docs/OBSERVABILITY.md).
+ * docs/OBSERVABILITY.md), --trace <path> (merged runtime+lane Chrome
+ * trace), and --postmortem <dir>: every faulted run — the containment
+ * experiment's poisoned victim included — writes a structured
+ * FaultReport JSON with the faulting lane's recent trace ring and the
+ * trapped state's disassembly ("Tracing & post-mortems").
  */
 #include "support.hpp"
 
@@ -130,6 +134,23 @@ main(int argc, char **argv)
             attach_sim(p, rep.total, rep.wall_cycles, rep.waves[0].jobs);
             attach_schedule(p, rep, samples.size());
             rec.add_workload(p);
+            // Post-mortem demo: the victim faulted once per attempt, so
+            // with --postmortem the scheduler captured one report per
+            // faulted run (queryable in memory, serialized to the dir).
+            if (!bench_postmortem_dir().empty()) {
+                const auto &pms = sched.postmortems();
+                std::printf("\npostmortem: %u report(s) in %s "
+                            "(victim state @0x%x, %u recent events)\n",
+                            unsigned(pms.size()),
+                            bench_postmortem_dir().c_str(),
+                            pms.empty() ? 0u
+                                        : pms.back().fault.state_base,
+                            pms.empty()
+                                ? 0u
+                                : unsigned(pms.back().recent_events.size()));
+                rec.add_metric("postmortems_captured",
+                               double(pms.size()));
+            }
         }
     }
     set_predecode_enabled(true);

@@ -5,7 +5,9 @@
  *
  * Observability flags (docs/OBSERVABILITY.md):
  *   --json <path>    machine-readable metrics
- *   --trace <path>   Chrome trace_event JSON of the first dataset's run
+ *   --trace <path>   merged Chrome trace (shared bench flag; this bench
+ *                    additionally instruments the first dataset's probe
+ *                    run with the shared lane tracer)
  *   --profile        hot-state / hot-action report for the same run
  */
 #include "support.hpp"
@@ -26,19 +28,10 @@ main(int argc, char **argv)
     using namespace udp::bench;
 
     MetricsRecorder rec("bench_fig13_csv", argc, argv);
-    std::string trace_path;
     bool want_profile = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: --trace requires a path\n",
-                             argv[0]);
-                return 2;
-            }
-            trace_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--profile") == 0)
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--profile") == 0)
             want_profile = true;
-    }
 
     const UdpCostModel cost;
     struct Ds {
@@ -55,7 +48,6 @@ main(int argc, char **argv)
                  {"dataset", "CPU MB/s", "UDP lane MB/s", "lane/thread",
                   "UDP32 MB/s", "TPut/W ratio"});
 
-    Tracer tracer;
     Profiler profiler;
     bool first = true;
     for (const auto &ds : sets) {
@@ -65,10 +57,12 @@ main(int argc, char **argv)
         p.cpu_mbps = time_cpu_mbps(
             [&] { baselines::parse_csv(data); }, data.size());
         // Instrument only the first dataset, on a separate machine, so
-        // the flags never perturb the reported rates.
-        if (first && (!trace_path.empty() || want_profile)) {
+        // the flags never perturb the reported rates.  The lane tracer
+        // is the shared --trace one: its events land in the merged
+        // trace MetricsRecorder::finish() writes.
+        if (first && (bench_lane_tracer() || want_profile)) {
             Machine probe(AddressingMode::Restricted);
-            probe.set_tracer(&tracer);
+            probe.set_tracer(bench_lane_tracer());
             probe.set_profiler(&profiler);
             kernels::run_csv_kernel(probe, 0, data, 0);
         }
@@ -88,16 +82,6 @@ main(int argc, char **argv)
     std::printf("\npaper shape: one lane 195-222 MB/s, >4x one thread; "
                 ">1000x TPut/W vs CPU\n");
 
-    if (!trace_path.empty()) {
-        if (write_chrome_trace_file(trace_path, tracer))
-            std::printf("trace: wrote %s (load in chrome://tracing)\n",
-                        trace_path.c_str());
-        else {
-            std::fprintf(stderr, "trace: cannot write %s\n",
-                         trace_path.c_str());
-            return 1;
-        }
-    }
     if (want_profile) {
         const Program prog = kernels::csv_parser_program();
         std::printf("\n%s",

@@ -103,6 +103,15 @@ namespace {
 
 unsigned g_sim_threads = 0;
 runtime::TelemetrySink *g_telemetry = nullptr;
+runtime::SpanTracer *g_spans = nullptr;
+runtime::FlightRecorder *g_recorder = nullptr;
+Tracer *g_lane_tracer = nullptr;
+std::string g_postmortem_dir;
+
+/// Lane micro-event ring per lane for --trace.  Modest on purpose: the
+/// Scheduler absorbs (and the SpanTracer caps) per wave, so a deep ring
+/// only buys memory.
+constexpr std::size_t kBenchTraceRing = 4096;
 
 } // namespace
 
@@ -130,12 +139,42 @@ set_bench_telemetry(runtime::TelemetrySink *sink)
     g_telemetry = sink;
 }
 
+runtime::SpanTracer *
+bench_spans()
+{
+    return g_spans;
+}
+
+runtime::FlightRecorder *
+bench_recorder()
+{
+    return g_recorder;
+}
+
+Tracer *
+bench_lane_tracer()
+{
+    return g_lane_tracer;
+}
+
+const std::string &
+bench_postmortem_dir()
+{
+    return g_postmortem_dir;
+}
+
 runtime::SchedulerOptions
 sched_options()
 {
     runtime::SchedulerOptions opts;
     opts.threads = g_sim_threads;
     opts.telemetry = g_telemetry;
+    opts.spans = g_spans;
+    opts.recorder = g_recorder;
+    opts.lane_tracer = g_lane_tracer;
+    opts.postmortem.dir = g_postmortem_dir;
+    if (!g_postmortem_dir.empty())
+        opts.postmortem.keep_last = 16;
     return opts;
 }
 
@@ -203,23 +242,70 @@ MetricsRecorder::MetricsRecorder(std::string bench, int argc, char **argv)
                 std::exit(2);
             }
             set_sim_threads(static_cast<unsigned>(n));
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --trace requires a path\n",
+                             bench_.c_str());
+                std::exit(2);
+            }
+            trace_path_ = argv[++i];
+        } else if (std::strcmp(argv[i], "--postmortem") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --postmortem requires a dir\n",
+                             bench_.c_str());
+                std::exit(2);
+            }
+            postmortem_dir_ = argv[++i];
         }
     }
     // Attach the registry sink to every sched_options() Scheduler only
     // when asked for — the default run stays telemetry-free.
     if (!metrics_path_.empty())
         set_bench_telemetry(&sink_);
+    if (!trace_path_.empty()) {
+        lane_tracer_ = std::make_unique<Tracer>(kBenchTraceRing);
+        spans_ = std::make_unique<runtime::SpanTracer>();
+        recorder_ = std::make_unique<runtime::FlightRecorder>();
+        g_lane_tracer = lane_tracer_.get();
+        g_spans = spans_.get();
+        g_recorder = recorder_.get();
+    }
+    g_postmortem_dir = postmortem_dir_;
 }
 
 MetricsRecorder::~MetricsRecorder()
 {
     if (bench_telemetry() == &sink_)
         set_bench_telemetry(nullptr);
+    if (g_spans == spans_.get())
+        g_spans = nullptr;
+    if (g_recorder == recorder_.get())
+        g_recorder = nullptr;
+    if (g_lane_tracer == lane_tracer_.get())
+        g_lane_tracer = nullptr;
+    g_postmortem_dir.clear();
 }
 
 int
 MetricsRecorder::finish() const
 {
+    if (!trace_path_.empty() && spans_) {
+        // A bench may have driven a Machine directly with the shared
+        // lane tracer (outside any Scheduler); lay those leftover
+        // events out after everything already on the timeline before
+        // exporting.
+        if (lane_tracer_) {
+            spans_->begin_schedule(0);
+            spans_->absorb_lane_events(*lane_tracer_, 0);
+            lane_tracer_->clear();
+        }
+        if (!spans_->write_file(trace_path_)) {
+            std::fprintf(stderr, "%s: cannot write trace %s\n",
+                         bench_.c_str(), trace_path_.c_str());
+            return 1;
+        }
+        std::printf("\ntrace: wrote %s\n", trace_path_.c_str());
+    }
     if (!metrics_path_.empty()) {
         std::ofstream os(metrics_path_);
         if (!os) {

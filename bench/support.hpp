@@ -17,8 +17,10 @@
 #include "core/energy.hpp"
 #include "core/machine.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/spantrace.hpp"
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,8 +87,24 @@ unsigned sim_threads_option();
 runtime::TelemetrySink *bench_telemetry();
 void set_bench_telemetry(runtime::TelemetrySink *sink);
 
-/// Scheduler options every bench run starts from (threads + telemetry
-/// prefilled).
+/**
+ * The bench-wide span tracer / flight recorder / lane tracer
+ * (spantrace.hpp, core/trace.hpp), attached to every Scheduler via
+ * sched_options().  All nullptr unless `--trace <path>` was given
+ * (same zero-overhead default as --metrics).  Benches that drive a
+ * Machine directly (outside the Scheduler) attach `bench_lane_tracer()`
+ * themselves; MetricsRecorder::finish() absorbs whatever is left in
+ * its rings before writing the merged trace file.
+ */
+runtime::SpanTracer *bench_spans();
+runtime::FlightRecorder *bench_recorder();
+Tracer *bench_lane_tracer();
+
+/// The --postmortem directory ("" when the flag was absent).
+const std::string &bench_postmortem_dir();
+
+/// Scheduler options every bench run starts from (threads, telemetry,
+/// span tracing and post-mortem capture prefilled from the flags).
 runtime::SchedulerOptions sched_options();
 
 /// Record a scheduled multi-lane run on `p`: real 64-lane throughput
@@ -118,6 +136,13 @@ void attach_sim(WorkloadPerf &p, const LaneStats &total, Cycles wall,
  * Scheduler the bench runs (via sched_options()) and `finish()` dumps
  * the full registry as a Prometheus-style text exposition at <path>
  * (docs/OBSERVABILITY.md; validated by tools/check_exposition.py).
+ *
+ * `--trace <path>` attaches a SpanTracer + FlightRecorder + lane
+ * Tracer to every Scheduler and `finish()` writes the merged
+ * runtime+lane Chrome trace there (validated by tools/check_trace.py).
+ * `--postmortem <dir>` enables post-mortem capture: every faulted run
+ * writes a structured FaultReport JSON into <dir>
+ * (docs/OBSERVABILITY.md "Tracing & post-mortems").
  */
 class MetricsRecorder
 {
@@ -144,11 +169,17 @@ class MetricsRecorder
   private:
     std::string bench_;
     std::string path_;
-    std::string metrics_path_; ///< --metrics exposition dump
+    std::string metrics_path_;   ///< --metrics exposition dump
+    std::string trace_path_;     ///< --trace merged Chrome trace
+    std::string postmortem_dir_; ///< --postmortem report directory
     std::vector<WorkloadPerf> workloads_;
     std::vector<std::pair<std::string, double>> metrics_;
     runtime::MetricRegistry registry_;
     runtime::RegistryTelemetry sink_;
+    // --trace machinery, created only when the flag is present.
+    std::unique_ptr<Tracer> lane_tracer_;
+    std::unique_ptr<runtime::SpanTracer> spans_;
+    std::unique_ptr<runtime::FlightRecorder> recorder_;
 };
 
 /// Wall-clock MB/s of `fn` over `bytes` of input (repeats for stability).

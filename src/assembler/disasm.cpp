@@ -4,6 +4,7 @@
  */
 #include "disasm.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -81,6 +82,71 @@ make_state_symbolizer(const Program &prog)
         os << "state @0x" << std::hex << base;
         return os.str();
     };
+}
+
+namespace {
+
+/// Decode and format one dispatch word, rendering decoder rejections
+/// (poisoned programs) instead of letting them unwind.
+std::string
+format_dispatch_word(const Program &prog, std::size_t slot)
+{
+    try {
+        return format_transition(decode_transition(prog.dispatch[slot]));
+    } catch (const std::exception &e) {
+        std::ostringstream os;
+        os << "<decode error: " << e.what() << "> raw=0x" << std::hex
+           << prog.dispatch[slot];
+        return os.str();
+    }
+}
+
+} // namespace
+
+std::string
+disassemble_state(const Program &prog, std::uint32_t base)
+{
+    std::ostringstream os;
+    const StateMeta *meta = nullptr;
+    for (const auto &st : prog.states)
+        if (st.base == base) {
+            meta = &st;
+            break;
+        }
+
+    if (!meta) {
+        // Corrupted dispatch target: no state table starts here.  Show a
+        // raw window around `base` so the report still has context.
+        os << "state @0x" << std::hex << base << std::dec
+           << " [no matching state table]\n";
+        const std::size_t lo = base >= 4 ? base - 4 : 0;
+        const std::size_t hi =
+            std::min<std::size_t>(std::size_t{base} + 4,
+                                  prog.dispatch.size());
+        for (std::size_t slot = lo; slot < hi; ++slot)
+            os << "  dispatch[0x" << std::hex << slot << std::dec
+               << "]: " << format_dispatch_word(prog, slot) << "\n";
+        if (lo >= hi)
+            os << "  (base outside dispatch memory: "
+               << prog.dispatch.size() << " words)\n";
+        return os.str();
+    }
+
+    os << state_label(prog, base) << "\n";
+    for (unsigned k = 1; k <= meta->aux_count; ++k) {
+        if (std::uint64_t{k} > base)
+            break;
+        os << "  aux[-" << k << "]: "
+           << format_dispatch_word(prog, base - k) << "\n";
+    }
+    for (Word sym = 0; sym <= meta->max_symbol; ++sym) {
+        const std::size_t slot = std::size_t{base} + sym;
+        if (slot >= prog.dispatch.size())
+            break;
+        os << "  [" << sym << "]: " << format_dispatch_word(prog, slot)
+           << "\n";
+    }
+    return os.str();
 }
 
 std::string

@@ -31,4 +31,16 @@ StateSymbolizer make_state_symbolizer(const Program &prog);
 /// Full program listing (states, their slots and action blocks).
 std::string disassemble(const Program &prog);
 
+/**
+ * Listing of the single state whose labeled table starts at `base`,
+ * for post-mortem fault reports (runtime/postmortem.hpp).
+ *
+ * Unlike `disassemble`, this never throws: post-mortems disassemble the
+ * program a lane *faulted in*, which may hold poisoned words that the
+ * decoder rejects.  Undecodable slots render as `<decode error: ...>`
+ * lines instead.  A `base` matching no state (e.g. a corrupted dispatch
+ * target) renders a raw hex window of the surrounding dispatch words.
+ */
+std::string disassemble_state(const Program &prog, std::uint32_t base);
+
 } // namespace udp

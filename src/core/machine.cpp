@@ -165,8 +165,13 @@ Machine::run_parallel(std::uint64_t max_cycles_per_lane)
         Lane &ln = *lanes_[i];
         const std::uint64_t budget =
             std::min(max_cycles_per_lane, jobs_[i].max_cycles);
+        const unsigned id = static_cast<unsigned>(i);
+        if (run_observer_)
+            run_observer_->on_lane_start(id);
         status[i] = jobs_[i].nfa_mode ? ln.run_nfa(budget)
                                       : ln.run(budget);
+        if (run_observer_)
+            run_observer_->on_lane_end(id, status[i], ln.stats().cycles);
     };
 
     unsigned threads = resolved_sim_threads();

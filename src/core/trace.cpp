@@ -128,8 +128,10 @@ cycles_to_us(Cycles c)
     return double(c) * (1e6 / kClockHz);
 }
 
+} // namespace
+
 void
-write_event(JsonWriter &w, const TraceEvent &ev)
+write_trace_event(JsonWriter &w, const TraceEvent &ev, Cycles base)
 {
     // Durationful kinds render as "X" (complete) slices; the rest as
     // instant events so chrome://tracing draws them as markers.
@@ -144,9 +146,10 @@ write_event(JsonWriter &w, const TraceEvent &ev)
     w.field("cat", "udp");
     w.field("ph", slice ? "X" : "i");
     // Events are stamped *after* the cycle charge; start the slice at the
-    // cycle the work occupied.
-    const Cycles start = ev.cycle >= dur ? ev.cycle - dur : 0;
-    w.field("ts", cycles_to_us(slice ? start : ev.cycle));
+    // cycle the work occupied (clamped into this run's window, so a
+    // rebased slice can never start before its wave).
+    const Cycles start = base + (ev.cycle >= dur ? ev.cycle - dur : 0);
+    w.field("ts", cycles_to_us(slice ? start : base + ev.cycle));
     if (slice)
         w.field("dur", cycles_to_us(dur));
     else
@@ -180,11 +183,24 @@ write_event(JsonWriter &w, const TraceEvent &ev)
         break;
     }
     w.end_object();
-    w.field("cycle", std::uint64_t{ev.cycle});
+    w.field("cycle", std::uint64_t{base + ev.cycle});
     w.end_object();
 }
 
-} // namespace
+void
+write_lane_track_metadata(JsonWriter &w, unsigned lane)
+{
+    // Thread-name metadata so the track reads "lane N".
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 0);
+    w.field("tid", std::uint64_t{lane});
+    w.key("args").begin_object();
+    w.field("name", "lane " + std::to_string(lane));
+    w.end_object();
+    w.end_object();
+}
 
 void
 write_chrome_trace(std::ostream &os, const Tracer &tracer)
@@ -193,18 +209,9 @@ write_chrome_trace(std::ostream &os, const Tracer &tracer)
     w.begin_object();
     w.key("traceEvents").begin_array();
     for (const unsigned lane : tracer.active_lanes()) {
-        // Thread-name metadata so tracks read "lane N".
-        w.begin_object();
-        w.field("name", "thread_name");
-        w.field("ph", "M");
-        w.field("pid", 0);
-        w.field("tid", std::uint64_t{lane});
-        w.key("args").begin_object();
-        w.field("name", "lane " + std::to_string(lane));
-        w.end_object();
-        w.end_object();
+        write_lane_track_metadata(w, lane);
         for (const TraceEvent &ev : tracer.events(lane))
-            write_event(w, ev);
+            write_trace_event(w, ev);
     }
     w.end_array();
     w.field("displayTimeUnit", "ns");

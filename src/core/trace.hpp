@@ -32,6 +32,8 @@
 
 namespace udp {
 
+class JsonWriter; // metrics_json.hpp
+
 /// The event kinds the lane interpreter emits.
 enum class TraceEventKind : std::uint8_t {
     Dispatch = 0, ///< multi-way dispatch; a = state base, b = symbol
@@ -111,5 +113,20 @@ void write_chrome_trace(std::ostream &os, const Tracer &tracer);
 
 /// Convenience: write a Chrome trace file; false on I/O failure.
 bool write_chrome_trace_file(const std::string &path, const Tracer &tracer);
+
+// --- Merged-timeline export hooks (runtime/spantrace.hpp) ------------------
+// The runtime span tracer interleaves lane micro-events with its own
+// scheduler spans in one traceEvents array.  Lane cycle stamps are
+// run-local (they restart at 0 every wave), so the caller passes the
+// wave's start cycle as `base` to place the event on the shared
+// simulated-cycle timeline.
+
+/// Emit one retained event into an already-open traceEvents array,
+/// offsetting its cycle stamp by `base` machine cycles.
+void write_trace_event(JsonWriter &w, const TraceEvent &ev,
+                       Cycles base = 0);
+
+/// Emit the thread-name metadata record that labels `lane`'s track.
+void write_lane_track_metadata(JsonWriter &w, unsigned lane);
 
 } // namespace udp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * FaultReport serialization.
+ */
+#include "postmortem.hpp"
+
+#include "core/metrics_json.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace udp::runtime {
+
+void
+write_fault_report_json(JsonWriter &w, const FaultReport &r)
+{
+    w.begin_object();
+    w.field("job", r.job_name);
+    w.field("job_index", std::uint64_t{r.job_index});
+    w.field("trace_id", r.trace_id);
+    w.field("wave", r.wave);
+    w.field("attempt", r.attempt);
+    w.field("max_attempts", r.max_attempts);
+    w.field("lane", r.lane);
+    w.field("status", lane_status_name(r.status));
+    w.field("quarantined", r.quarantined);
+    w.field("will_retry", r.will_retry);
+    w.field("queue_wait_cycles", std::uint64_t{r.queue_wait_cycles});
+    w.field("service_cycles", std::uint64_t{r.service_cycles});
+
+    w.key("fault").begin_object();
+    w.field("code", fault_code_name(r.fault.code));
+    w.field("state_base", std::uint64_t{r.fault.state_base});
+    w.field("cycle", std::uint64_t{r.fault.cycle});
+    w.field("detail", r.fault.detail);
+    w.field("describe", r.fault.describe());
+    w.end_object();
+
+    w.key("attempt_history").begin_array();
+    for (const AttemptOutcome &a : r.attempt_history) {
+        w.begin_object();
+        w.field("wave", a.wave);
+        w.field("attempt", a.attempt);
+        w.field("status", lane_status_name(a.status));
+        w.field("fault", fault_code_name(a.fault));
+        w.field("cycle", std::uint64_t{a.cycle});
+        w.end_object();
+    }
+    w.end_array();
+
+    // The lane's flight path: its recent micro-event ring, oldest first,
+    // cycle stamps run-local to the faulting wave.
+    w.key("recent_events").begin_array();
+    for (const TraceEvent &ev : r.recent_events) {
+        w.begin_object();
+        w.field("cycle", std::uint64_t{ev.cycle});
+        w.field("kind", trace_event_kind_name(ev.kind));
+        w.field("a", std::uint64_t{ev.a});
+        w.field("b", std::uint64_t{ev.b});
+        w.end_object();
+    }
+    w.end_array();
+    w.field("dropped_events", r.dropped_events);
+
+    w.field("disassembly", r.disassembly);
+    w.end_object();
+}
+
+bool
+write_fault_report_file(const std::string &path, const FaultReport &r)
+{
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec); // best effort
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    JsonWriter w(os, /*pretty=*/true);
+    write_fault_report_json(w, r);
+    os << "\n";
+    os.flush();
+    return bool(os);
+}
+
+std::string
+postmortem_filename(const FaultReport &r)
+{
+    return "postmortem-job" + std::to_string(r.job_index) + "-attempt" +
+           std::to_string(r.attempt) + ".json";
+}
+
+} // namespace udp::runtime

@@ -10,10 +10,13 @@
  */
 #include "scheduler.hpp"
 
+#include "assembler/disasm.hpp"
 #include "executor.hpp"
+#include "spantrace.hpp"
 
 #include <chrono>
 #include <deque>
+#include <map>
 
 namespace udp::runtime {
 
@@ -34,6 +37,17 @@ struct Pending {
     std::uint64_t budget = ~std::uint64_t{0};
 };
 
+/// Detaches the flight recorder from the machine on scope exit, so a
+/// borrowed machine never keeps observing after run() returns (or
+/// throws).
+struct ObserverGuard {
+    Machine *m = nullptr;
+    ~ObserverGuard() {
+        if (m)
+            m->set_run_observer(nullptr);
+    }
+};
+
 } // namespace
 
 Scheduler::Scheduler(SchedulerOptions opts)
@@ -42,6 +56,8 @@ Scheduler::Scheduler(SchedulerOptions opts)
 {
     if (opts_.threads)
         machine_->set_sim_threads(opts_.threads);
+    if (opts_.lane_tracer)
+        machine_->set_tracer(opts_.lane_tracer);
 }
 
 Scheduler::Scheduler(Machine &m, SchedulerOptions opts)
@@ -49,6 +65,8 @@ Scheduler::Scheduler(Machine &m, SchedulerOptions opts)
 {
     if (opts_.threads)
         machine_->set_sim_threads(opts_.threads);
+    if (opts_.lane_tracer)
+        machine_->set_tracer(opts_.lane_tracer);
 }
 
 ScheduleReport
@@ -76,6 +94,20 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
     std::deque<Pending> pending;
     for (std::size_t i = 0; i < jobs.size(); ++i)
         pending.push_back({i, 1, opts_.max_cycles_per_lane});
+
+    if (opts_.spans)
+        opts_.spans->begin_schedule(jobs.size());
+    ObserverGuard observer_guard;
+    if (opts_.recorder) {
+        machine_->set_run_observer(opts_.recorder);
+        observer_guard.m = machine_;
+    }
+    const bool capture_postmortems =
+        opts_.postmortem.keep_last > 0 || !opts_.postmortem.dir.empty();
+    // Faulted attempts of each job, oldest first, feeding the next
+    // report's attempt history.  Only populated while capturing.
+    std::map<std::size_t, std::vector<AttemptOutcome>> fault_history;
+    std::size_t postmortem_files_written = 0;
 
     const auto t0 = std::chrono::steady_clock::now();
     unsigned wave_index = 0;
@@ -177,7 +209,51 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
             } else {
                 ++wr.completed;
             }
-            if (opts_.telemetry) {
+            if (faulted && capture_postmortems) {
+                const std::uint64_t tid =
+                    opts_.spans ? opts_.spans->trace_id(pl.job) : 0;
+                FaultReport fr;
+                fr.job_name = plan.name;
+                fr.job_index = pl.job;
+                fr.trace_id = tid;
+                fr.wave = wave_index;
+                fr.attempt = pl.attempt;
+                fr.max_attempts = opts_.retry.max_attempts;
+                fr.lane = pl.start_bank;
+                fr.status = jr.status;
+                fr.fault = jr.fault;
+                fr.quarantined = jr.quarantined;
+                fr.will_retry = retried_now;
+                fr.queue_wait_cycles = queue_wait;
+                fr.service_cycles = jr.service_cycles;
+                fr.attempt_history = fault_history[pl.job];
+                // The lane's recent micro-events — rings still hold this
+                // wave's run (they are cleared only after harvesting).
+                if (const Tracer *t = machine_->tracer()) {
+                    fr.recent_events = t->events(pl.start_bank);
+                    fr.dropped_events = t->dropped(pl.start_bank);
+                }
+                fr.disassembly = disassemble_state(*plan.program,
+                                                   jr.fault.state_base);
+                if (!opts_.postmortem.dir.empty() &&
+                    postmortem_files_written < opts_.postmortem.max_files) {
+                    write_fault_report_file(opts_.postmortem.dir + "/" +
+                                                postmortem_filename(fr),
+                                            fr);
+                    ++postmortem_files_written;
+                }
+                if (opts_.postmortem.keep_last > 0) {
+                    postmortems_.push_back(std::move(fr));
+                    while (postmortems_.size() >
+                           opts_.postmortem.keep_last)
+                        postmortems_.pop_front();
+                }
+            }
+            if (faulted && capture_postmortems)
+                fault_history[pl.job].push_back({wave_index, pl.attempt,
+                                                 jr.status, jr.fault.code,
+                                                 jr.fault.cycle});
+            if (opts_.telemetry || opts_.spans || opts_.recorder) {
                 JobRunEvent ev;
                 ev.job_name = plan.name;
                 ev.job_index = pl.job;
@@ -194,7 +270,21 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                 ev.final_disposition = !retried_now;
                 ev.retried = retried_now;
                 ev.quarantined = jr.quarantined;
-                opts_.telemetry->on_job_run(ev);
+                if (opts_.telemetry)
+                    opts_.telemetry->on_job_run(ev);
+                if (opts_.spans)
+                    opts_.spans->on_job_run(ev);
+                if (opts_.recorder) {
+                    opts_.recorder->record(
+                        FlightEventKind::JobRun, ev.lane,
+                        static_cast<std::uint64_t>(ev.status),
+                        ev.attempt);
+                    if (ev.quarantined)
+                        opts_.recorder->record(
+                            FlightEventKind::Quarantine, ev.lane,
+                            static_cast<std::uint64_t>(ev.fault),
+                            ev.attempt);
+                }
             }
             // Always the latest attempt's result; a retried job's entry
             // is overwritten when its final attempt lands.
@@ -207,7 +297,7 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
         wr.host_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - t_wave)
                               .count();
-        if (opts_.telemetry) {
+        if (opts_.telemetry || opts_.spans || opts_.recorder) {
             WaveEvent ev;
             ev.index = wave_index;
             ev.jobs = wr.jobs;
@@ -217,7 +307,24 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
             ev.quarantined = wr.quarantined;
             ev.wall_cycles = wr.wall_cycles;
             ev.host_seconds = wr.host_seconds;
-            opts_.telemetry->on_wave(ev);
+            if (opts_.telemetry)
+                opts_.telemetry->on_wave(ev);
+            if (opts_.spans)
+                opts_.spans->on_wave(ev);
+            if (opts_.recorder)
+                opts_.recorder->record(FlightEventKind::WaveClose,
+                                       wave_index & 0xFF, ev.jobs,
+                                       ev.wall_cycles);
+        }
+        if (opts_.spans) {
+            // Merge this wave's lane micro-events onto the shared
+            // timeline, then clear the rings: lane cycle stamps restart
+            // every wave (Machine::assign hard-resets lanes), so stale
+            // events would rebase against the wrong wave start.
+            if (Tracer *t = machine_->tracer()) {
+                opts_.spans->absorb_lane_events(*t, queue_wait);
+                t->clear();
+            }
         }
         report.waves.push_back(std::move(wr));
         ++wave_index;

@@ -25,11 +25,16 @@
 
 #include "core/machine.hpp"
 #include "runtime/job.hpp"
+#include "runtime/postmortem.hpp"
 #include "runtime/telemetry.hpp"
 
+#include <deque>
 #include <memory>
 
 namespace udp::runtime {
+
+class SpanTracer;      // spantrace.hpp
+class FlightRecorder;  // spantrace.hpp
 
 /**
  * Fault recovery policy (docs/ROBUSTNESS.md).  A job whose run ends
@@ -60,6 +65,27 @@ struct SchedulerOptions {
     /// costs one branch per job/wave — the Tracer's zero-overhead
     /// discipline — and never changes simulated results either way.
     TelemetrySink *telemetry = nullptr;
+    /// Span tracer (spantrace.hpp): receives the same lifecycle events
+    /// plus wave boundaries, and absorbs the machine Tracer's lane
+    /// micro-events each wave (the Scheduler clears the Tracer per wave
+    /// so run-local cycle stamps rebase onto the shared timeline).
+    /// Same nullptr-default/one-branch/bit-identical contract.
+    SpanTracer *spans = nullptr;
+    /// Flight recorder (spantrace.hpp): attached to the machine as its
+    /// RunObserver for the duration of run(), so lane start/end land in
+    /// per-worker-thread rings; also fed job/wave lifecycle events from
+    /// the scheduling thread.  Same contract.
+    FlightRecorder *recorder = nullptr;
+    /// Post-mortem capture on faulted runs (postmortem.hpp).  Off by
+    /// default (keep_last == 0, empty dir).
+    PostmortemPolicy postmortem;
+    /// Lane micro-event tracer to attach to the scheduler's machine at
+    /// construction (core/trace.hpp) — how benches route one shared
+    /// Tracer into schedulers that own their machines.  The Scheduler
+    /// clears it every wave while `spans` absorbs, and post-mortems snapshot
+    /// the faulting lane's ring from it.  nullptr leaves the machine's
+    /// existing attachment (if any) untouched.
+    Tracer *lane_tracer = nullptr;
 };
 
 /// Accounting for one wave.
@@ -110,10 +136,18 @@ class Scheduler
     /// Run all jobs; plans must stay alive until this returns.
     ScheduleReport run(const std::vector<JobPlan> &jobs);
 
+    /// The last-N post-mortem reports captured across runs, oldest
+    /// first (see PostmortemPolicy::keep_last) — the in-memory query
+    /// surface the future `udpd` `/debug` endpoint will expose.
+    const std::deque<FaultReport> &postmortems() const {
+        return postmortems_;
+    }
+
   private:
     SchedulerOptions opts_;
     std::unique_ptr<Machine> owned_;
     Machine *machine_;
+    std::deque<FaultReport> postmortems_;
 };
 
 /**

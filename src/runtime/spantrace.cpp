@@ -1,0 +1,584 @@
+/**
+ * @file
+ * SpanTracer / FlightRecorder implementation.
+ */
+#include "spantrace.hpp"
+
+#include "core/metrics_json.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+namespace udp::runtime {
+
+// ---------------------------------------------------------------------------
+// SpanTracer.
+// ---------------------------------------------------------------------------
+
+SpanTracer::SpanTracer(std::size_t max_spans, std::size_t max_lane_events)
+    : max_spans_(max_spans), max_lane_events_(max_lane_events)
+{
+    if (max_spans_ == 0 || max_lane_events_ == 0)
+        throw UdpError("SpanTracer: capacities must be positive");
+}
+
+void
+SpanTracer::begin_schedule(std::size_t n_jobs)
+{
+    // Lay this run out after everything already on the timeline, so a
+    // bench that schedules several times produces one sequential trace.
+    run_base_ = timeline_end_;
+    run_wall_ = 0;
+    run_trace_base_ = next_trace_id_;
+    next_trace_id_ += n_jobs;
+    ++run_ordinal_;
+}
+
+void
+SpanTracer::on_job_run(const JobRunEvent &e)
+{
+    if (attempts_.size() >= max_spans_) {
+        ++dropped_spans_;
+        return;
+    }
+    AttemptSpan s;
+    s.job_name = std::string(e.job_name);
+    s.trace_id = run_trace_base_ + e.job_index;
+    s.job_index = e.job_index;
+    s.wave = e.wave;
+    s.attempt = e.attempt;
+    s.lane = e.lane;
+    s.status = e.status;
+    s.fault = e.fault;
+    s.submit = run_base_;
+    s.start = run_base_ + e.queue_wait_cycles;
+    s.service = e.service_cycles;
+    s.end = run_base_ + e.e2e_cycles;
+    s.final_disposition = e.final_disposition;
+    s.quarantined = e.quarantined;
+    timeline_end_ = std::max(timeline_end_, s.end);
+    attempts_.push_back(std::move(s));
+}
+
+void
+SpanTracer::on_wave(const WaveEvent &e)
+{
+    if (waves_.size() >= max_spans_) {
+        ++dropped_spans_;
+        return;
+    }
+    WaveSpan s;
+    s.index = e.index;
+    // 0-based run ordinal (begin_schedule pre-increments; waves seen
+    // before any begin_schedule count as run 0).
+    s.run = run_ordinal_ ? run_ordinal_ - 1 : 0;
+    s.jobs = e.jobs;
+    s.banks_used = e.banks_used;
+    s.start = run_base_ + run_wall_;
+    s.wall = e.wall_cycles;
+    s.host_seconds = e.host_seconds;
+    run_wall_ += e.wall_cycles;
+    timeline_end_ = std::max(timeline_end_, s.start + s.wall);
+    waves_.push_back(s);
+}
+
+void
+SpanTracer::absorb_lane_events(const Tracer &t, Cycles wave_start)
+{
+    const Cycles base = run_base_ + wave_start;
+    for (const unsigned lane : t.active_lanes()) {
+        dropped_lane_events_ += t.dropped(lane); // evicted before absorb
+        for (const TraceEvent &ev : t.events(lane)) {
+            if (lane_events_.size() >= max_lane_events_) {
+                ++dropped_lane_events_;
+                continue;
+            }
+            lane_events_.push_back({ev, base});
+            timeline_end_ =
+                std::max(timeline_end_, base + ev.cycle);
+        }
+    }
+}
+
+void
+SpanTracer::clear()
+{
+    attempts_.clear();
+    waves_.clear();
+    lane_events_.clear();
+    dropped_spans_ = 0;
+    dropped_lane_events_ = 0;
+    run_base_ = run_wall_ = timeline_end_ = 0;
+    next_trace_id_ = run_trace_base_ = 0;
+    run_ordinal_ = 0;
+}
+
+namespace {
+
+/// Cycle stamp -> microseconds at the nominal clock (1 cycle = 1 ns).
+double
+cycles_to_us(Cycles c)
+{
+    return double(c) * (1e6 / kClockHz);
+}
+
+/// Process ids of the merged trace: the machine's lane tracks sit under
+/// pid 0 (matching the core exporter), the scheduler above them.
+constexpr int kMachinePid = 0;
+constexpr int kSchedulerPid = 1;
+constexpr std::uint64_t kWaveTid = 0;
+constexpr std::uint64_t kJobTid = 1;
+
+/// One sortable record of the merged emission.  Records are sorted by
+/// (pid, tid, ts, rank, -dur) so every track's timestamps come out
+/// monotone and, at equal timestamps, enclosing slices precede enclosed
+/// ones ("b" before children, longer "X" first, "e" closes inner-out).
+struct Rec {
+    enum class Type : std::uint8_t {
+        Micro,        ///< lane micro-event (write_trace_event)
+        AttemptSlice, ///< X slice on the lane track
+        WaveSlice,    ///< X slice on the scheduler wave track
+        JobBegin,     ///< async b on the scheduler job track
+        JobEnd,       ///< async e
+        AttemptBegin, ///< async b nested inside the job span
+        AttemptEnd,   ///< async e
+    };
+    int pid = 0;
+    std::uint64_t tid = 0;
+    Cycles ts = 0;
+    int rank = 500;
+    Cycles dur = 0;
+    Type type = Type::Micro;
+    std::size_t idx = 0; ///< into attempts_ / waves_ / lane_events_
+
+    bool operator<(const Rec &o) const {
+        if (pid != o.pid) return pid < o.pid;
+        if (tid != o.tid) return tid < o.tid;
+        if (ts != o.ts) return ts < o.ts;
+        if (rank != o.rank) return rank < o.rank;
+        return dur > o.dur; // longer slice first => proper nesting
+    }
+};
+
+void
+write_process_metadata(JsonWriter &w, int pid, const char *name)
+{
+    w.begin_object();
+    w.field("name", "process_name");
+    w.field("ph", "M");
+    w.field("pid", pid);
+    w.field("tid", std::uint64_t{0});
+    w.key("args").begin_object();
+    w.field("name", name);
+    w.end_object();
+    w.end_object();
+}
+
+void
+write_thread_metadata(JsonWriter &w, int pid, std::uint64_t tid,
+                      const std::string &name)
+{
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.key("args").begin_object();
+    w.field("name", name);
+    w.end_object();
+    w.end_object();
+}
+
+std::string
+trace_id_string(std::uint64_t id)
+{
+    return "job-" + std::to_string(id);
+}
+
+} // namespace
+
+void
+SpanTracer::write_chrome_trace(std::ostream &os) const
+{
+    JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.key("traceEvents").begin_array();
+
+    // Track metadata first: process names, scheduler tracks, and one
+    // thread_name per lane that appears anywhere in the trace.
+    write_process_metadata(w, kSchedulerPid, "udp scheduler");
+    write_process_metadata(w, kMachinePid, "udp machine");
+    write_thread_metadata(w, kSchedulerPid, kWaveTid, "waves");
+    write_thread_metadata(w, kSchedulerPid, kJobTid, "jobs");
+    std::set<unsigned> lanes;
+    for (const AttemptSpan &a : attempts_)
+        lanes.insert(a.lane);
+    for (const PlacedEvent &pe : lane_events_)
+        lanes.insert(pe.ev.lane);
+    for (const unsigned lane : lanes)
+        write_lane_track_metadata(w, lane);
+
+    // Build the sortable record list.
+    std::vector<Rec> recs;
+    recs.reserve(lane_events_.size() + attempts_.size() * 4 +
+                 waves_.size());
+    for (std::size_t i = 0; i < lane_events_.size(); ++i) {
+        const PlacedEvent &pe = lane_events_[i];
+        // Mirror write_trace_event's stamp math so sort order matches
+        // the emitted ts exactly.
+        const bool slice = pe.ev.kind == TraceEventKind::Dispatch ||
+                           pe.ev.kind == TraceEventKind::Action ||
+                           pe.ev.kind == TraceEventKind::Stall;
+        const Cycles dur = pe.ev.kind == TraceEventKind::Stall
+                               ? Cycles{pe.ev.b}
+                               : Cycles{1};
+        Rec r;
+        r.pid = kMachinePid;
+        r.tid = pe.ev.lane;
+        r.ts = slice ? pe.base +
+                           (pe.ev.cycle >= dur ? pe.ev.cycle - dur : 0)
+                     : pe.base + pe.ev.cycle;
+        r.dur = slice ? dur : 0;
+        r.type = Rec::Type::Micro;
+        r.idx = i;
+        recs.push_back(r);
+    }
+    for (std::size_t i = 0; i < attempts_.size(); ++i) {
+        const AttemptSpan &a = attempts_[i];
+        // The lane-track slice: the lane was busy [start, start+service].
+        recs.push_back({kMachinePid, a.lane, a.start, 400, a.service,
+                        Rec::Type::AttemptSlice, i});
+        // The job-track async span: b/e per attempt, nested inside the
+        // job span for final dispositions.
+        recs.push_back({kSchedulerPid, kJobTid, a.start, 1, 0,
+                        Rec::Type::AttemptBegin, i});
+        recs.push_back({kSchedulerPid, kJobTid, a.start + a.service, 900,
+                        0, Rec::Type::AttemptEnd, i});
+        if (a.final_disposition) {
+            recs.push_back({kSchedulerPid, kJobTid, a.submit, 0, 0,
+                            Rec::Type::JobBegin, i});
+            recs.push_back({kSchedulerPid, kJobTid, a.end, 901, 0,
+                            Rec::Type::JobEnd, i});
+        }
+    }
+    for (std::size_t i = 0; i < waves_.size(); ++i) {
+        const WaveSpan &ws = waves_[i];
+        recs.push_back({kSchedulerPid, kWaveTid, ws.start, 500, ws.wall,
+                        Rec::Type::WaveSlice, i});
+    }
+    std::sort(recs.begin(), recs.end());
+
+    for (const Rec &r : recs) {
+        switch (r.type) {
+          case Rec::Type::Micro: {
+            const PlacedEvent &pe = lane_events_[r.idx];
+            write_trace_event(w, pe.ev, pe.base);
+            break;
+          }
+          case Rec::Type::AttemptSlice: {
+            const AttemptSpan &a = attempts_[r.idx];
+            w.begin_object();
+            w.field("name", a.job_name + "#" +
+                                std::to_string(a.job_index) + " attempt " +
+                                std::to_string(a.attempt));
+            w.field("cat", "udp.attempt");
+            w.field("ph", "X");
+            w.field("ts", cycles_to_us(a.start));
+            w.field("dur", cycles_to_us(a.service));
+            w.field("pid", kMachinePid);
+            w.field("tid", std::uint64_t{a.lane});
+            w.key("args").begin_object();
+            w.field("trace_id", a.trace_id);
+            w.field("job", a.job_name);
+            w.field("wave", a.wave);
+            w.field("attempt", a.attempt);
+            w.field("status", lane_status_name(a.status));
+            if (a.fault != FaultCode::None)
+                w.field("fault", fault_code_name(a.fault));
+            w.field("queue_wait_cycles",
+                    std::uint64_t{a.start - a.submit});
+            w.field("service_cycles", std::uint64_t{a.service});
+            w.end_object();
+            w.end_object();
+            break;
+          }
+          case Rec::Type::WaveSlice: {
+            const WaveSpan &ws = waves_[r.idx];
+            w.begin_object();
+            w.field("name", "wave " + std::to_string(ws.index));
+            w.field("cat", "udp.wave");
+            w.field("ph", "X");
+            w.field("ts", cycles_to_us(ws.start));
+            w.field("dur", cycles_to_us(ws.wall));
+            w.field("pid", kSchedulerPid);
+            w.field("tid", kWaveTid);
+            w.key("args").begin_object();
+            w.field("run", ws.run);
+            w.field("jobs", ws.jobs);
+            w.field("banks_used", ws.banks_used);
+            // Host wall-clock of the wave: the secondary clock next to
+            // the deterministic simulated-cycle timeline.
+            w.field("host_seconds", ws.host_seconds);
+            w.end_object();
+            w.end_object();
+            break;
+          }
+          case Rec::Type::JobBegin:
+          case Rec::Type::JobEnd: {
+            const AttemptSpan &a = attempts_[r.idx];
+            w.begin_object();
+            w.field("name",
+                    "job " + a.job_name + "#" +
+                        std::to_string(a.job_index));
+            w.field("cat", "udp.job");
+            w.field("ph", r.type == Rec::Type::JobBegin ? "b" : "e");
+            w.field("id", trace_id_string(a.trace_id));
+            w.field("ts", cycles_to_us(r.ts));
+            w.field("pid", kSchedulerPid);
+            w.field("tid", kJobTid);
+            w.key("args").begin_object();
+            if (r.type == Rec::Type::JobEnd) {
+                w.field("status", lane_status_name(a.status));
+                w.field("attempts", a.attempt);
+                w.field("quarantined", a.quarantined);
+                w.field("e2e_cycles", std::uint64_t{a.end - a.submit});
+            } else {
+                w.field("trace_id", a.trace_id);
+            }
+            w.end_object();
+            w.end_object();
+            break;
+          }
+          case Rec::Type::AttemptBegin:
+          case Rec::Type::AttemptEnd: {
+            const AttemptSpan &a = attempts_[r.idx];
+            w.begin_object();
+            w.field("name", "attempt " + std::to_string(a.attempt));
+            w.field("cat", "udp.job");
+            w.field("ph", r.type == Rec::Type::AttemptBegin ? "b" : "e");
+            w.field("id", trace_id_string(a.trace_id));
+            w.field("ts", cycles_to_us(r.ts));
+            w.field("pid", kSchedulerPid);
+            w.field("tid", kJobTid);
+            w.key("args").begin_object();
+            if (r.type == Rec::Type::AttemptBegin) {
+                w.field("wave", a.wave);
+                w.field("lane", a.lane);
+            } else {
+                w.field("status", lane_status_name(a.status));
+            }
+            w.end_object();
+            w.end_object();
+            break;
+          }
+        }
+    }
+
+    // Surface capped data loss in the trace itself rather than silently
+    // truncating the timeline.
+    if (dropped_spans_ || dropped_lane_events_) {
+        w.begin_object();
+        w.field("name", "trace data dropped");
+        w.field("cat", "udp");
+        w.field("ph", "i");
+        w.field("ts", cycles_to_us(timeline_end_));
+        w.field("s", "g");
+        w.field("pid", kSchedulerPid);
+        w.field("tid", kWaveTid);
+        w.key("args").begin_object();
+        w.field("dropped_spans", dropped_spans_);
+        w.field("dropped_lane_events", dropped_lane_events_);
+        w.end_object();
+        w.end_object();
+    }
+
+    w.end_array();
+    w.field("displayTimeUnit", "ns");
+    w.end_object();
+}
+
+bool
+SpanTracer::write_file(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    write_chrome_trace(os);
+    os.flush();
+    return bool(os);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder.
+// ---------------------------------------------------------------------------
+
+std::string_view
+flight_event_kind_name(FlightEventKind k)
+{
+    switch (k) {
+      case FlightEventKind::LaneStart: return "lane_start";
+      case FlightEventKind::LaneEnd: return "lane_end";
+      case FlightEventKind::JobRun: return "job_run";
+      case FlightEventKind::WaveClose: return "wave_close";
+      case FlightEventKind::Quarantine: return "quarantine";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Registry of live recorders, so a thread-exit release can tell whether
+/// the recorder its cached slot points at still exists (a TLS holder can
+/// outlive the FlightRecorder it last recorded to).
+std::mutex &
+live_recorders_mu()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+std::set<const void *> &
+live_recorders()
+{
+    static std::set<const void *> live;
+    return live;
+}
+
+} // namespace
+
+/// Per-thread slot cache.  One per thread (thread_local); releases the
+/// slot back to its recorder when the thread exits — under the registry
+/// mutex, so a destroyed recorder is never touched.
+struct FlightRecorderTls {
+    FlightRecorder *owner = nullptr;
+    unsigned slot = 0;
+
+    ~FlightRecorderTls() { release(); }
+
+    void release() {
+        if (!owner)
+            return;
+        std::lock_guard<std::mutex> lk(live_recorders_mu());
+        if (live_recorders().count(owner))
+            owner->release_slot(slot);
+        owner = nullptr;
+    }
+};
+
+namespace {
+thread_local FlightRecorderTls g_flight_tls;
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t ring_capacity)
+    : capacity_(ring_capacity)
+{
+    if (capacity_ == 0)
+        throw UdpError("FlightRecorder: ring capacity must be positive");
+    std::lock_guard<std::mutex> lk(live_recorders_mu());
+    live_recorders().insert(this);
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    std::lock_guard<std::mutex> lk(live_recorders_mu());
+    live_recorders().erase(this);
+    // The calling thread's own cached slot would dangle the moment this
+    // returns; drop it (other threads' caches are guarded by the
+    // registry check above).
+    if (g_flight_tls.owner == this)
+        g_flight_tls.owner = nullptr;
+}
+
+unsigned
+FlightRecorder::acquire_slot()
+{
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    for (unsigned i = 0; i < kFlightRecorderSlots; ++i) {
+        if (!slots_[i].in_use) {
+            slots_[i].in_use = true;
+            return i;
+        }
+    }
+    throw UdpError("FlightRecorder: more concurrent recording threads "
+                   "than slots");
+}
+
+void
+FlightRecorder::release_slot(unsigned slot)
+{
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    // Retained events survive the release: the ring keeps the recent
+    // past; only the write cursor ownership moves to the next thread.
+    slots_[slot].in_use = false;
+}
+
+void
+FlightRecorder::record(FlightEventKind kind, unsigned lane,
+                       std::uint64_t a, std::uint64_t b)
+{
+    if (g_flight_tls.owner != this) {
+        // First record from this thread (or it last recorded elsewhere):
+        // claim a slot under the mutex, then cache it.  Everything past
+        // this branch is lock-free.
+        g_flight_tls.release();
+        g_flight_tls.slot = acquire_slot();
+        g_flight_tls.owner = this;
+    }
+    Slot &s = slots_[g_flight_tls.slot];
+    FlightEvent ev;
+    ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    ev.a = a;
+    ev.b = b;
+    ev.kind = kind;
+    ev.lane = static_cast<std::uint8_t>(lane);
+    if (s.buf.size() < capacity_) {
+        s.buf.push_back(ev);
+    } else {
+        s.buf[s.next] = ev;
+        s.next = (s.next + 1) % capacity_;
+    }
+    ++s.total;
+}
+
+void
+FlightRecorder::on_lane_start(unsigned lane)
+{
+    record(FlightEventKind::LaneStart, lane);
+}
+
+void
+FlightRecorder::on_lane_end(unsigned lane, LaneStatus status, Cycles cycles)
+{
+    record(FlightEventKind::LaneEnd, lane,
+           static_cast<std::uint64_t>(status), cycles);
+}
+
+std::vector<FlightEvent>
+FlightRecorder::snapshot() const
+{
+    std::vector<FlightEvent> out;
+    {
+        std::lock_guard<std::mutex> lk(slots_mu_);
+        for (const Slot &s : slots_)
+            out.insert(out.end(), s.buf.begin(), s.buf.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightEvent &x, const FlightEvent &y) {
+                  return x.seq < y.seq;
+              });
+    return out;
+}
+
+std::uint64_t
+FlightRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lk(slots_mu_);
+    std::uint64_t retained = 0;
+    for (const Slot &s : slots_)
+        retained += s.buf.size();
+    return seq_.load(std::memory_order_relaxed) - retained;
+}
+
+} // namespace udp::runtime
