@@ -56,12 +56,15 @@ same_result(const runtime::JobResult &a, const runtime::JobResult &b)
     return true;
 }
 
-/// The 64-job workload every experiment starts from.
+/// The 64-job workload every experiment starts from.  `samples` lives
+/// in main() across every scheduled run, so the chunks borrow it; a
+/// FaultInjector input mutation copy-on-writes a private arena for the
+/// poisoned job only.
 std::vector<runtime::JobPlan>
 make_jobs(const runtime::KernelSpec &spec, const Bytes &samples)
 {
     return runtime::chunk_jobs(
-        spec, samples,
+        spec, runtime::ArenaSlice::borrow(samples),
         std::max<std::size_t>(1, ceil_div(samples.size(), kNumLanes)));
 }
 

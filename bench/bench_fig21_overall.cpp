@@ -55,7 +55,8 @@ main(int argc, char **argv)
             baselines::Histogram::uniform(10, 41.2, 42.5).edges());
         const Bytes packed = kernels::pack_fp_stream(xs);
         const auto jobs = runtime::chunk_jobs(
-            spec, packed, ceil_div(packed.size() / 8, 64) * 8);
+            spec, runtime::ArenaSlice::borrow(packed),
+            ceil_div(packed.size() / 8, 64) * 8);
         const unsigned pool =
             sim_threads_option()
                 ? sim_threads_option()

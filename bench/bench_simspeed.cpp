@@ -10,11 +10,22 @@
  * Simulated counters are asserted bit-identical between the paths —
  * the same invariant tests/test_predecode.cpp pins per kernel.
  *
+ * It also tracks the *host data path* (docs/PERFORMANCE.md, "Host
+ * data path & ownership"): the scheduler's per-wave phase breakdown
+ * (setup / simulate / harvest host seconds) and a job-construction
+ * study that rebuilds the same chunked workload twice — once slicing a
+ * shared input arena (the current zero-copy model) and once deep-
+ * copying every chunk into a private arena (the pre-arena owned-Bytes
+ * model) — to show chunking cost is O(jobs), not O(bytes).
+ *
  * Flags: --json <path> (BENCH_simspeed.json schema: the standard bench
  * envelope plus metrics.sim_host_mbps_predecode / _legacy /
- * .predecode_speedup), --metrics <path> (Prometheus-style text
- * exposition of the full telemetry registry — every scheduled run in
- * the bench feeds it; docs/OBSERVABILITY.md).
+ * .predecode_speedup, the phase breakdown
+ * metrics.host_{setup,simulate,harvest}_seconds / .host_setup_share,
+ * and the setup study metrics.host_setup_{arena,copy}_seconds /
+ * .setup_speedup), --metrics <path> (Prometheus-style text exposition
+ * of the full telemetry registry — every scheduled run in the bench
+ * feeds it; docs/OBSERVABILITY.md).
  */
 #include "support.hpp"
 
@@ -48,6 +59,9 @@ main(int argc, char **argv)
     struct PathResult {
         double host_seconds = 0; ///< best-of-reps simulation time
         double host_mbps = 0;
+        double setup_seconds = 0;   ///< best run: stage+assign phase
+        double simulate_seconds = 0; ///< best run: lane interpreter phase
+        double harvest_seconds = 0; ///< best run: unstage+bookkeeping
         LaneStats total;
         Cycles wall = 0;
     };
@@ -59,11 +73,16 @@ main(int argc, char **argv)
             // Rebuild the jobs inside the toggle so JobPlan::decoded
             // reflects the path under test.
             const auto jobs = runtime::chunk_jobs(
-                spec, data, chunk, runtime::align_after_delim('\n'));
+                spec, runtime::ArenaSlice::borrow(data), chunk,
+                runtime::align_after_delim('\n'));
             runtime::Scheduler sched(sched_options());
             const auto rep = sched.run(jobs);
-            if (i == 0 || rep.host_seconds < r.host_seconds)
+            if (i == 0 || rep.host_seconds < r.host_seconds) {
                 r.host_seconds = rep.host_seconds;
+                r.setup_seconds = rep.host_setup_seconds;
+                r.simulate_seconds = rep.host_simulate_seconds;
+                r.harvest_seconds = rep.host_harvest_seconds;
+            }
             r.total = rep.total;
             r.wall = rep.wall_cycles;
         }
@@ -97,10 +116,96 @@ main(int argc, char **argv)
                 "counters bit-identical)\n",
                 speedup);
 
+    // --- Host phase breakdown (best predecode run) -----------------------
+    // Setup = pack + validate + stage + assign; simulate = the lane
+    // interpreter; harvest = unstage + result bookkeeping.  With the
+    // arena data path, setup must stay a small share of the wave loop.
+    const double phase_total =
+        pre.setup_seconds + pre.simulate_seconds + pre.harvest_seconds;
+    const double setup_share =
+        phase_total > 0 ? pre.setup_seconds / phase_total : 0;
+    print_header("Host wave-loop phase breakdown (predecode path)",
+                 {"phase", "host ms", "share"});
+    const auto phase_row = [&](const char *name, double s) {
+        print_row({name, fmt(s * 1e3, 3),
+                   fmt(phase_total > 0 ? 100 * s / phase_total : 0, 1) +
+                       "%"});
+    };
+    phase_row("setup (stage+assign)", pre.setup_seconds);
+    phase_row("simulate", pre.simulate_seconds);
+    phase_row("harvest", pre.harvest_seconds);
+
+    // --- Setup study: arena slicing vs per-chunk deep copies -------------
+    // Same chunked workload, built two ways.  The arena path pins one
+    // shared InputArena and hands out sub-slices; the copy path
+    // materializes a private arena per chunk — exactly what the old
+    // owned-Bytes JobPlan model paid.  A bigger corpus so the copied
+    // bytes dominate fixed per-plan overhead.
+    {
+        const std::string big_text = workloads::crimes_csv(80'000);
+        const Bytes big(big_text.begin(), big_text.end());
+        const auto build_arena = [&] {
+            return runtime::chunk_jobs(
+                spec, runtime::ArenaSlice::borrow(big), chunk,
+                runtime::align_after_delim('\n'));
+        };
+        const auto build_copy = [&] {
+            auto jobs = build_arena();
+            for (auto &pl : jobs) {
+                // The owned-Bytes model deep-copied every chunk into
+                // its plan *and* again into the CSV prepare hook's
+                // staged region ({0, p.input} was a Bytes copy).
+                pl.input = runtime::ArenaSlice::take(
+                    Bytes(pl.input.begin(), pl.input.end()));
+                for (auto &st : pl.stages)
+                    st.data = runtime::ArenaSlice::take(
+                        Bytes(st.data.begin(), st.data.end()));
+            }
+            return jobs;
+        };
+        const auto time_build = [&](const auto &build) {
+            double best = 0;
+            std::size_t jobs = 0;
+            for (int i = 0; i < 7; ++i) { // best-of-7: pure host timing
+                const auto t0 = Clock::now();
+                const auto js = build();
+                const double s =
+                    std::chrono::duration<double>(Clock::now() - t0)
+                        .count();
+                jobs = js.size();
+                if (i == 0 || s < best)
+                    best = s;
+            }
+            return std::make_pair(best, jobs);
+        };
+        const auto [arena_s, njobs] = time_build(build_arena);
+        const auto [copy_s, njobs2] = time_build(build_copy);
+        (void)njobs2;
+        const double setup_speedup = arena_s > 0 ? copy_s / arena_s : 0;
+
+        print_header("Job construction: arena slices vs chunk copies",
+                     {"data path", "host ms", "jobs", "MB chunked"});
+        print_row({"arena slices", fmt(arena_s * 1e3, 3),
+                   std::to_string(njobs), fmt(big.size() / 1e6, 1)});
+        print_row({"per-chunk copies", fmt(copy_s * 1e3, 3),
+                   std::to_string(njobs), fmt(big.size() / 1e6, 1)});
+        std::printf("\nsetup speedup: %.2fx (chunking %zu jobs without "
+                    "copying payload bytes)\n",
+                    setup_speedup, njobs);
+        rec.add_metric("host_setup_arena_seconds", arena_s);
+        rec.add_metric("host_setup_copy_seconds", copy_s);
+        rec.add_metric("setup_jobs", double(njobs));
+        rec.add_metric("setup_speedup", setup_speedup);
+    }
+
     rec.add_metric("input_bytes", double(data.size()));
     rec.add_metric("sim_cycles", double(pre.wall));
     rec.add_metric("sim_host_mbps_predecode", pre.host_mbps);
     rec.add_metric("sim_host_mbps_legacy", leg.host_mbps);
     rec.add_metric("predecode_speedup", speedup);
+    rec.add_metric("host_setup_seconds", pre.setup_seconds);
+    rec.add_metric("host_simulate_seconds", pre.simulate_seconds);
+    rec.add_metric("host_harvest_seconds", pre.harvest_seconds);
+    rec.add_metric("host_setup_share", setup_share);
     return rec.finish();
 }

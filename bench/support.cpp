@@ -459,9 +459,10 @@ measure_csv_parsing()
     attach_sim(p, res.stats);
 
     // Full machine: the same text row-chunked over all 32 two-bank
-    // windows and run through the wave scheduler.
+    // windows and run through the wave scheduler.  `data` outlives the
+    // run, so the chunks borrow it — no per-chunk copies.
     const auto jobs = runtime::chunk_jobs(
-        csv_kernel_spec(), data,
+        csv_kernel_spec(), runtime::ArenaSlice::borrow(data),
         std::max<std::size_t>(1, ceil_div(data.size(), 32)),
         runtime::align_after_delim('\n'));
     runtime::Scheduler sched(sched_options());
@@ -486,9 +487,11 @@ measure_huffman_encode()
     p.udp_lane_mbps = lane_rate_mbps(res.stats);
     attach_sim(p, res.stats);
 
-    // Full machine: byte-chunk the corpus over all 64 lanes.
+    // Full machine: byte-chunk the corpus over all 64 lanes (borrowed:
+    // `data` outlives the run).
     const auto jobs = runtime::chunk_jobs(
-        spec, data, std::max<std::size_t>(1, ceil_div(data.size(), 64)));
+        spec, runtime::ArenaSlice::borrow(data),
+        std::max<std::size_t>(1, ceil_div(data.size(), 64)));
     runtime::Scheduler sched(sched_options());
     attach_schedule(p, sched.run(jobs), data.size());
     return p;
@@ -566,9 +569,12 @@ measure_pattern_matching(bool complex_set)
     const auto specs = pattern_group_specs(
         pats, complex_set ? FaModel::Nfa : FaModel::Adfa,
         complex_set ? 16 : 8);
+    // Every group scans the same payload: one borrowed arena, N pins —
+    // the payload used to be copied once per group here.
+    const auto payload_arena = runtime::ArenaSlice::borrow(payload);
     std::vector<runtime::JobPlan> set_jobs;
     for (const auto &s : specs)
-        set_jobs.push_back(s.make_job(payload));
+        set_jobs.push_back(s.make_job(payload_arena));
     runtime::Scheduler sched(sched_options());
     const auto set_rep = sched.run(set_jobs);
     p.udp_lane_mbps =
@@ -586,8 +592,7 @@ measure_pattern_matching(bool complex_set)
     for (std::size_t off = 0; off < payload.size(); off += piece) {
         const std::size_t n = std::min(piece, payload.size() - off);
         for (const auto &s : specs)
-            jobs.push_back(s.make_job(
-                Bytes(payload.begin() + off, payload.begin() + off + n)));
+            jobs.push_back(s.make_job(payload_arena.subslice(off, n)));
     }
     attach_schedule(p, sched.run(jobs), payload.size());
     return p;
@@ -663,7 +668,8 @@ measure_histogram()
     const std::size_t values = packed.size() / 8;
     const std::size_t shard =
         std::max<std::size_t>(1, ceil_div(values, 64)) * 8;
-    const auto jobs = runtime::chunk_jobs(spec, packed, shard);
+    const auto jobs = runtime::chunk_jobs(
+        spec, runtime::ArenaSlice::borrow(packed), shard);
     runtime::Scheduler sched(sched_options());
     attach_schedule(p, sched.run(jobs), packed.size());
     return p;
@@ -688,7 +694,8 @@ measure_snappy_compress()
 
     // Full machine: block-chunk the 512 KiB corpus; 33 max-size blocks
     // over 32 two-bank windows makes this a two-wave run.
-    const auto jobs = runtime::chunk_jobs(spec, big, kSnapMaxInput);
+    const auto jobs = runtime::chunk_jobs(
+        spec, runtime::ArenaSlice::borrow(big), kSnapMaxInput);
     runtime::Scheduler sched(sched_options());
     attach_schedule(p, sched.run(jobs), big.size());
     return p;
@@ -758,7 +765,7 @@ measure_trigger()
 
     // Full machine: sample-chunk the waveform over all 64 lanes.
     const auto jobs = runtime::chunk_jobs(
-        spec, samples,
+        spec, runtime::ArenaSlice::borrow(samples),
         std::max<std::size_t>(1, ceil_div(samples.size(), 64)));
     runtime::Scheduler sched(sched_options());
     attach_schedule(p, sched.run(jobs), samples.size());

@@ -58,10 +58,17 @@ Machine::stage(ByteAddr phys, BytesView data)
 Bytes
 Machine::unstage(ByteAddr phys, std::size_t len) const
 {
+    Bytes out;
+    unstage(phys, len, out);
+    return out;
+}
+
+void
+Machine::unstage(ByteAddr phys, std::size_t len, Bytes &out) const
+{
     if (std::uint64_t{phys} + len > mem_.raw().size())
         throw UdpError("Machine: unstage outside local memory");
-    return Bytes(mem_.raw().begin() + phys,
-                 mem_.raw().begin() + phys + len);
+    out.assign(mem_.raw().begin() + phys, mem_.raw().begin() + phys + len);
 }
 
 unsigned

@@ -31,7 +31,12 @@ namespace udp {
 /// Work assignment for one lane.
 struct JobSpec {
     const Program *program = nullptr; ///< nullptr = lane idle
-    BytesView input{};                ///< stream contents
+    /// Stream contents.  Non-owning: the lane's StreamBuffer reads these
+    /// bytes in place for the whole run, so the caller keeps the backing
+    /// storage alive until the run's results are collected.  The runtime
+    /// layer pins this with a ref-counted InputArena and checks the pin
+    /// at stage/harvest time (runtime/arena.hpp).
+    BytesView input{};
     ByteAddr window_base = 0;         ///< restricted-addressing window
     bool nfa_mode = false;            ///< run with multi-state activation
     std::vector<std::pair<unsigned, Word>> init_regs; ///< (reg, value)
@@ -108,6 +113,11 @@ class Machine
 
     /// Read back a region of local memory.
     Bytes unstage(ByteAddr phys, std::size_t len) const;
+
+    /// Read back a region of local memory into `out`, replacing its
+    /// contents but retaining its capacity — the allocation-free path
+    /// the runtime's BufferPool recycling uses (runtime/arena.hpp).
+    void unstage(ByteAddr phys, std::size_t len, Bytes &out) const;
 
     /// Assign one job per lane (at most kNumLanes entries).  Every lane
     /// — assigned or idle — is architecturally hard-reset first, so a

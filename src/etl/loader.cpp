@@ -237,6 +237,10 @@ load_udp_offload(Machine &m, BytesView compressed, Table &table,
     // One job per compressed frame; the scheduler waves them over the
     // deployed lanes and charges the wave-summed machine time.
     const runtime::KernelSpec dec_spec = kernels::snappy_decompress_spec();
+    // One arena over the whole compressed stream; every frame job is a
+    // slice of it (the caller's buffer outlives the scheduled run).
+    const runtime::ArenaSlice comp_arena =
+        runtime::ArenaSlice::borrow(compressed);
     std::vector<runtime::JobPlan> dec_jobs;
     for_frames(compressed, [&](BytesView frame, std::uint32_t) {
         // Strip the varint preamble.
@@ -244,8 +248,10 @@ load_udp_offload(Machine &m, BytesView compressed, Table &table,
         while (frame[p] & 0x80)
             ++p;
         ++p;
-        dec_jobs.push_back(dec_spec.make_job(
-            Bytes(frame.begin() + p, frame.end())));
+        const std::size_t off =
+            static_cast<std::size_t>(frame.data() - compressed.data()) + p;
+        dec_jobs.push_back(
+            dec_spec.make_job(comp_arena.subslice(off, frame.size() - p)));
     });
     const runtime::ScheduleReport dec_rep = sched.run(dec_jobs);
     std::string csv;
@@ -259,10 +265,13 @@ load_udp_offload(Machine &m, BytesView compressed, Table &table,
 
     // --- Stage 2: CSV parse + tokenize on UDP lanes ----------------------
     // Chunk on row boundaries so every lane parses whole rows.
+    // `csv` stays alive across the scheduled run, so the chunk jobs
+    // borrow it through one arena — no per-chunk copies.
     const std::vector<runtime::JobPlan> csv_jobs = runtime::chunk_jobs(
         kernels::csv_kernel_spec(),
-        BytesView(reinterpret_cast<const std::uint8_t *>(csv.data()),
-                  csv.size()),
+        runtime::ArenaSlice::borrow(BytesView(
+            reinterpret_cast<const std::uint8_t *>(csv.data()),
+            csv.size())),
         kFrameRaw, runtime::align_after_delim('\n'));
     const runtime::ScheduleReport csv_rep = sched.run(csv_jobs);
     std::string fields;

@@ -186,8 +186,10 @@ CsvKernelResult
 run_csv_kernel(Machine &m, unsigned lane_idx, BytesView data,
                ByteAddr window_base)
 {
+    // `data` outlives this call, so the single-lane harness borrows it
+    // instead of copying (runtime/arena.hpp).
     const runtime::JobPlan job =
-        csv_kernel_spec().make_job(Bytes(data.begin(), data.end()));
+        csv_kernel_spec().make_job(runtime::ArenaSlice::borrow(data));
     return decode_csv_result(
         runtime::run_job_on(m, lane_idx, window_base, job));
 }

@@ -178,8 +178,9 @@ run_dict_kernel(Machine &m, unsigned lane_idx, const Program &prog,
     spec.name = rle ? "dictionary-rle" : "dictionary";
     spec.program = runtime::borrow_program(prog);
     spec.init_regs = dict_init_regs(rle);
+    // Caller-owned column outlives the run: borrow, don't copy.
     const runtime::JobPlan job =
-        spec.make_job(Bytes(input.begin(), input.end()));
+        spec.make_job(runtime::ArenaSlice::borrow(input));
     return decode_dict_result(
         runtime::run_job_on(m, lane_idx, 0, job), rle);
 }

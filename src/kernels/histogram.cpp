@@ -184,8 +184,9 @@ run_histogram_kernel(Machine &m, unsigned lane_idx, const Program &prog,
     spec.prepare = [bins](runtime::JobPlan &p) {
         prepare_histogram_job(p, bins);
     };
+    // Caller-owned stream outlives the run: borrow, don't copy.
     const runtime::JobPlan job =
-        spec.make_job(Bytes(packed.begin(), packed.end()));
+        spec.make_job(runtime::ArenaSlice::borrow(packed));
     return decode_histogram_result(
         runtime::run_job_on(m, lane_idx, window_base, job));
 }

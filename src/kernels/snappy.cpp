@@ -343,8 +343,9 @@ run_snappy_decompress(Machine &m, unsigned lane_idx, const Program &prog,
 {
     runtime::KernelSpec spec = snappy_decompress_spec();
     spec.program = runtime::borrow_program(prog);
+    // Caller-owned block outlives the run: borrow, don't copy.
     const runtime::JobPlan job =
-        spec.make_job(Bytes(block.begin(), block.end()));
+        spec.make_job(runtime::ArenaSlice::borrow(block));
     return decode_snappy_decompress_result(
         runtime::run_job_on(m, lane_idx, window_base, job));
 }
@@ -355,8 +356,9 @@ run_snappy_compress(Machine &m, unsigned lane_idx, const Program &prog,
 {
     runtime::KernelSpec spec = snappy_compress_spec();
     spec.program = runtime::borrow_program(prog);
+    // Caller-owned input outlives the run: borrow, don't copy.
     const runtime::JobPlan job =
-        spec.make_job(Bytes(input.begin(), input.end()));
+        spec.make_job(runtime::ArenaSlice::borrow(input));
     return decode_snappy_compress_result(
         runtime::run_job_on(m, lane_idx, window_base, job));
 }

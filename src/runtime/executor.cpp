@@ -27,8 +27,13 @@ stage_job(Machine &m, unsigned lane, ByteAddr window_base,
           const JobPlan &plan)
 {
     validate_job(plan, window_base);
-    for (const MemStage &s : plan.stages)
+    // The lane streams straight from arena memory: enforce the pin now,
+    // before any bytes are read (see executor.hpp lifetime contract).
+    plan.input.check_pinned("stage_job", plan.name);
+    for (const MemStage &s : plan.stages) {
+        s.data.check_pinned("stage_job", plan.name);
         m.stage(window_base + s.offset, s.data);
+    }
     Lane &ln = m.lane(lane);
     ln.load(*plan.program, plan.decoded);
     ln.set_input(plan.input);
@@ -42,8 +47,11 @@ stage_job(Machine &m, unsigned lane, ByteAddr window_base,
 
 JobResult
 harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
-            const JobPlan &plan, LaneStatus status)
+            const JobPlan &plan, LaneStatus status, BufferPool *pool)
 {
+    // The lane streamed from the plan's arena for the whole run; catch
+    // a pin that was dropped between staging and harvesting.
+    plan.input.check_pinned("harvest_job", plan.name);
     Lane &ln = m.lane(lane);
     ln.finish_output();
 
@@ -53,7 +61,14 @@ harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
     res.stats = ln.stats();
     for (unsigned r = 0; r < kNumScalarRegs; ++r)
         res.regs[r] = ln.reg(r);
-    res.output = ln.output();
+    if (pool) {
+        // Pooled buffers retain capacity across waves: the assign below
+        // copies bytes but — once the pool is warm — allocates nothing.
+        res.output = pool->acquire();
+        res.output.assign(ln.output().begin(), ln.output().end());
+    } else {
+        res.output = ln.output();
+    }
     res.accepts = ln.accepts();
     res.lane = lane;
 
@@ -70,8 +85,10 @@ harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
         if (std::uint64_t{e.offset} + len > plan.window_bytes)
             throw UdpError("runtime: job '" + plan.name +
                            "' extract outside its window");
-        res.extracts.push_back(
-            m.unstage(window_base + e.offset, static_cast<std::size_t>(len)));
+        Bytes buf = pool ? pool->acquire() : Bytes{};
+        m.unstage(window_base + e.offset, static_cast<std::size_t>(len),
+                  buf);
+        res.extracts.push_back(std::move(buf));
     }
     return res;
 }

@@ -22,8 +22,15 @@ void validate_job(const JobPlan &plan, ByteAddr window_base);
 
 /**
  * Stage the plan's memory regions and bind the lane: load the program,
- * attach the input, set the window base and initial registers.  The plan
- * must outlive the run (the lane streams from `plan.input`).
+ * attach the input, set the window base and initial registers.
+ *
+ * Lifetime: the lane streams *directly from the plan's arena memory*
+ * (no copy), so the arena pinned by `plan.input` must stay alive until
+ * the run is harvested.  This is enforced, not assumed: staging runs an
+ * arena generation/canary check (`ArenaSlice::check_pinned`) on the
+ * input and every stage slice, and `harvest_job` re-checks after the
+ * run — a plan (or arena) that died mid-run throws UdpError instead of
+ * silently streaming freed memory.
  */
 void stage_job(Machine &m, unsigned lane, ByteAddr window_base,
                const JobPlan &plan);
@@ -32,9 +39,15 @@ void stage_job(Machine &m, unsigned lane, ByteAddr window_base,
  * Collect the JobResult of a lane that finished running `plan` at
  * `window_base` with terminal status `status`.  Flushes the output
  * bitstream and copies registers, output, accepts and extract regions.
+ *
+ * When `pool` is non-null the result's output and extract buffers are
+ * acquired from it, so a recycled steady state copies into retained
+ * capacity instead of allocating per attempt (runtime/arena.hpp).
+ * Contents are byte-identical either way.
  */
 JobResult harvest_job(Machine &m, unsigned lane, ByteAddr window_base,
-                      const JobPlan &plan, LaneStatus status);
+                      const JobPlan &plan, LaneStatus status,
+                      BufferPool *pool = nullptr);
 
 /**
  * Convenience: stage + run + harvest one job on `lane`, without touching

@@ -106,20 +106,27 @@ FaultInjector::corrupt_input(JobPlan &plan, unsigned count)
     if (plan.input.empty())
         throw UdpError("FaultInjector: job '" + plan.name +
                        "' has no input to corrupt");
+    // Copy-on-write: arenas are immutable and shared by sibling chunks,
+    // so the poisoned job materializes a private mutated arena and
+    // re-pins; every other slice of the original stays byte-identical.
+    Bytes mutated(plan.input.begin(), plan.input.end());
     for (unsigned i = 0; i < count; ++i) {
-        const std::size_t at = next_below(plan.input.size());
+        const std::size_t at = next_below(mutated.size());
         // Non-zero mask so every pick really changes the byte.
         const auto mask =
             static_cast<std::uint8_t>(1 + next_below(255));
-        plan.input[at] = static_cast<std::uint8_t>(plan.input[at] ^ mask);
+        mutated[at] = static_cast<std::uint8_t>(mutated[at] ^ mask);
     }
+    plan.input = ArenaSlice::take(std::move(mutated));
 }
 
 void
 FaultInjector::truncate_input(JobPlan &plan, std::size_t keep_bytes)
 {
+    // Truncation needs no copy at all: a shorter view of the same
+    // arena, same pin.
     if (keep_bytes < plan.input.size())
-        plan.input.resize(keep_bytes);
+        plan.input = plan.input.subslice(0, keep_bytes);
 }
 
 void

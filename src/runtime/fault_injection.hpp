@@ -13,6 +13,13 @@
  * `Program` (and a freshly resolved predecoded image, keyed by the new
  * content fingerprint), so other plans sharing the original program are
  * untouched — which is exactly what the containment proof measures.
+ *
+ * Input mutations follow the same discipline against the arena model
+ * (runtime/arena.hpp): arenas are immutable and shared by sibling
+ * chunks, so `corrupt_input` materializes a *private* mutated arena for
+ * the poisoned job only, and `truncate_input` just narrows the view
+ * (same arena, no copy).  Sibling slices stay byte-identical — pinned
+ * by Arena.FaultInjectorCopyOnWrite.
  */
 #pragma once
 

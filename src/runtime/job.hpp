@@ -3,19 +3,31 @@
  * The runtime job model (docs/RUNTIME.md).
  *
  * A `JobPlan` is everything needed to run one kernel invocation on one
- * lane: the program, the owned input bytes, the size of the local-memory
+ * lane: the program, a *non-owning* view of the input bytes pinned by
+ * its `InputArena` (runtime/arena.hpp), the size of the local-memory
  * window the job occupies, regions to stage into that window before the
  * run (`MemStage`), registers to initialize, and regions to read back
  * after the run (`MemExtract`).  Kernels build plans once (see
  * runtime/kernel_spec.hpp) instead of open-coding a
  * load/set_input/run/unstage harness per call site.
  *
+ * Ownership rules: a plan never owns payload bytes.  `input` (and every
+ * `MemStage::data`) is an `ArenaSlice` — a view plus the shared_ptr
+ * lifetime token that keeps the backing arena alive.  Chunking a stream
+ * slices one arena instead of copying per chunk, retries re-pin the
+ * same arena, and copying a plan copies pointers, never payloads.  The
+ * lanes stream straight from arena memory, so the arena must stay
+ * pinned until the run is harvested — enforced (not just documented) by
+ * the `check_pinned` canary check in `stage_job`/`harvest_job`.
+ *
  * A `JobResult` is the complete architectural outcome of one job: the
  * terminal status, the simulated counters, the final scalar registers,
  * the lane output buffer, recorded accepts, and the extracted memory
  * regions.  Results are host-side values only; they never alias machine
  * state, so a result stays valid after the lane is reassigned to the
- * next wave.
+ * next wave.  Result buffers may come from (and return to) a
+ * `BufferPool`, so steady-state serving loops recycle instead of
+ * reallocating (see Scheduler::recycle).
  */
 #pragma once
 
@@ -24,6 +36,7 @@
 #include "core/program.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
+#include "runtime/arena.hpp"
 
 #include <array>
 #include <memory>
@@ -34,9 +47,11 @@
 namespace udp::runtime {
 
 /// Bytes staged into the job's window before the run (host/DLT side).
+/// The data is an arena slice: staging the job's own input (the common
+/// `{0, p.input}` pattern) pins the same arena instead of copying it.
 struct MemStage {
     ByteAddr offset = 0; ///< window-relative byte offset
-    Bytes data;
+    ArenaSlice data;
 };
 
 /// A window region read back after the run.
@@ -53,7 +68,9 @@ struct JobPlan {
     /// Shared predecoded image of `program`, resolved once per job (not
     /// once per lane) by KernelSpec::make_job; null on the legacy path.
     std::shared_ptr<const DecodedProgram> decoded;
-    Bytes input;                            ///< owned stream contents
+    /// Stream contents: a non-owning view pinned by its InputArena.
+    /// Assigning a `Bytes` materializes a private arena (one move).
+    ArenaSlice input;
     std::size_t window_bytes = kBankBytes;  ///< local-memory footprint
     bool nfa_mode = false;                  ///< run with Lane::run_nfa
     std::vector<std::pair<unsigned, Word>> init_regs;

@@ -9,7 +9,7 @@
 namespace udp::runtime {
 
 JobPlan
-KernelSpec::make_job(Bytes input) const
+KernelSpec::make_job(ArenaSlice input) const
 {
     if (!program)
         throw UdpError("KernelSpec '" + name + "': no program");
@@ -42,7 +42,7 @@ align_after_delim(std::uint8_t delim)
 }
 
 std::vector<JobPlan>
-chunk_jobs(const KernelSpec &spec, BytesView input, std::size_t chunk_bytes,
+chunk_jobs(const KernelSpec &spec, ArenaSlice input, std::size_t chunk_bytes,
            const ChunkAlign &align)
 {
     if (chunk_bytes == 0)
@@ -55,13 +55,13 @@ chunk_jobs(const KernelSpec &spec, BytesView input, std::size_t chunk_bytes,
     while (off < input.size()) {
         std::size_t end = std::min(off + chunk_bytes, input.size());
         if (align && end < input.size()) {
-            end = align(input, off, end);
+            end = align(input.view(), off, end);
             if (end <= off)
                 throw UdpError("chunk_jobs: no legal split point in '" +
                                spec.name + "' chunk");
         }
-        jobs.push_back(spec.make_job(
-            Bytes(input.begin() + off, input.begin() + end)));
+        // A chunk is a sub-slice of the shared arena, not a copy.
+        jobs.push_back(spec.make_job(input.subslice(off, end - off)));
         off = end;
     }
     return jobs;

@@ -31,7 +31,11 @@ struct KernelSpec {
     std::function<void(JobPlan &)> prepare;
 
     /// Build one job over `input` (throws when the cap is exceeded).
-    JobPlan make_job(Bytes input) const;
+    /// Takes an ArenaSlice — a pinned view, cheap to pass by value.
+    /// `Bytes` still converts implicitly (a private single-job arena is
+    /// materialized from it), but multi-job call sites should build one
+    /// arena and slice it: the bytes are then never copied at all.
+    JobPlan make_job(ArenaSlice input) const;
 };
 
 /**
@@ -50,8 +54,13 @@ ChunkAlign align_after_delim(std::uint8_t delim);
  * Split `input` into jobs of at most `chunk_bytes` each (clamped to the
  * spec's per-job cap), aligning every split with `align` when given.
  * Chunks cover the input exactly, in order.
+ *
+ * Zero-copy: every chunk is a sub-slice pinning `input`'s arena — no
+ * chunk ever copies payload bytes.  Callers with a view they do not
+ * own wrap it first (`ArenaSlice::copy_of` — one copy total — or
+ * `ArenaSlice::borrow` when the storage provably outlives the jobs).
  */
-std::vector<JobPlan> chunk_jobs(const KernelSpec &spec, BytesView input,
+std::vector<JobPlan> chunk_jobs(const KernelSpec &spec, ArenaSlice input,
                                 std::size_t chunk_bytes,
                                 const ChunkAlign &align = nullptr);
 

@@ -156,9 +156,11 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                                 : Cycles{0};
         }
         machine_->assign(std::move(specs));
+        const auto t_staged = std::chrono::steady_clock::now();
         // Budgets are carried per JobSpec (they grow per retry), so the
         // machine-wide cap stays wide open here.
         const MachineResult mr = machine_->run_parallel();
+        const auto t_simulated = std::chrono::steady_clock::now();
 
         WaveReport wr;
         wr.jobs = static_cast<unsigned>(wave.size());
@@ -174,7 +176,8 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                 static_cast<ByteAddr>(pl.start_bank) *
                 static_cast<ByteAddr>(kBankBytes);
             JobResult jr = harvest_job(*machine_, pl.start_bank, base,
-                                       plan, mr.status[pl.start_bank]);
+                                       plan, mr.status[pl.start_bank],
+                                       &pool_);
             jr.wave = wave_index;
             jr.attempts = pl.attempt;
             jr.queue_wait_cycles = queue_wait;
@@ -287,16 +290,27 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                 }
             }
             // Always the latest attempt's result; a retried job's entry
-            // is overwritten when its final attempt lands.
+            // is overwritten when its final attempt lands — its buffers
+            // go back to the pool instead of being freed.
+            recycle(std::move(report.jobs[pl.job]));
             report.jobs[pl.job] = std::move(jr);
         }
 
         report.wall_cycles += wr.wall_cycles;
         report.energy_j += wr.energy_j;
         report.total.add(wr.total);
-        wr.host_seconds = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t_wave)
-                              .count();
+        const auto t_done = std::chrono::steady_clock::now();
+        wr.host_seconds =
+            std::chrono::duration<double>(t_done - t_wave).count();
+        wr.host_setup_seconds =
+            std::chrono::duration<double>(t_staged - t_wave).count();
+        wr.host_simulate_seconds =
+            std::chrono::duration<double>(t_simulated - t_staged).count();
+        wr.host_harvest_seconds =
+            std::chrono::duration<double>(t_done - t_simulated).count();
+        report.host_setup_seconds += wr.host_setup_seconds;
+        report.host_simulate_seconds += wr.host_simulate_seconds;
+        report.host_harvest_seconds += wr.host_harvest_seconds;
         if (opts_.telemetry || opts_.spans || opts_.recorder) {
             WaveEvent ev;
             ev.index = wave_index;
@@ -333,6 +347,24 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                               std::chrono::steady_clock::now() - t0)
                               .count();
     return report;
+}
+
+void
+Scheduler::recycle(JobResult &&r)
+{
+    if (r.output.capacity() > 0)
+        pool_.release(std::move(r.output));
+    for (Bytes &e : r.extracts)
+        if (e.capacity() > 0)
+            pool_.release(std::move(e));
+    r.extracts.clear();
+}
+
+void
+Scheduler::recycle(ScheduleReport &&rep)
+{
+    for (JobResult &jr : rep.jobs)
+        recycle(std::move(jr));
 }
 
 JobLatencySummary

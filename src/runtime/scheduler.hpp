@@ -20,6 +20,13 @@
  * LaneFault (docs/ROBUSTNESS.md).  Fault-free runs are packed and
  * executed exactly as before the retry layer existed — bit-identical
  * reports (pinned by test_runtime).
+ *
+ * Host data path (runtime/arena.hpp): job inputs are arena-pinned views
+ * — staging and retrying never copy payload bytes (a retry re-pins the
+ * same arena via the plan it re-reads) — and results are harvested
+ * through the scheduler's BufferPool, so recycled steady-state loops
+ * allocate O(jobs) per wave, not O(bytes).  Each WaveReport breaks its
+ * host time into setup / simulate / harvest phases.
  */
 #pragma once
 
@@ -96,6 +103,11 @@ struct WaveReport {
     Cycles wall_cycles = 0; ///< machine time of this wave
     double energy_j = 0;
     double host_seconds = 0; ///< host time to stage+simulate+harvest it
+    // Host-side phase breakdown of host_seconds (docs/PERFORMANCE.md,
+    // "Host data path & ownership"): where the wave's wall time went.
+    double host_setup_seconds = 0;    ///< pack + validate + stage + assign
+    double host_simulate_seconds = 0; ///< run_parallel
+    double host_harvest_seconds = 0;  ///< harvest + retry bookkeeping
     LaneStats total;        ///< summed lane counters of this wave
     unsigned completed = 0;   ///< jobs that finished cleanly this wave
     unsigned retried = 0;     ///< faulted jobs requeued into later waves
@@ -111,6 +123,12 @@ struct ScheduleReport {
     double energy_j = 0;         ///< summed over waves
     unsigned sim_threads = 1;    ///< host threads the backend used
     double host_seconds = 0;     ///< host wall-clock of the simulation
+    // Summed per-wave phase breakdown (see WaveReport): at steady state
+    // setup should be a small share — the arena data path stages views,
+    // it never copies job payloads on the host (runtime/arena.hpp).
+    double host_setup_seconds = 0;
+    double host_simulate_seconds = 0;
+    double host_harvest_seconds = 0;
     unsigned faulted_runs = 0;   ///< job runs that ended Faulted/TimedOut
     unsigned retries = 0;        ///< faulted runs requeued per policy
     unsigned quarantined = 0;    ///< jobs given up on (JobResult::fault)
@@ -133,7 +151,9 @@ class Scheduler
 
     Machine &machine() { return *machine_; }
 
-    /// Run all jobs; plans must stay alive until this returns.
+    /// Run all jobs; plans (and the arenas their inputs pin) must stay
+    /// alive until this returns — enforced per job by the executor's
+    /// arena canary check (runtime/arena.hpp).
     ScheduleReport run(const std::vector<JobPlan> &jobs);
 
     /// The last-N post-mortem reports captured across runs, oldest
@@ -143,11 +163,24 @@ class Scheduler
         return postmortems_;
     }
 
+    /// The output/extract buffer pool this scheduler harvests through.
+    /// Warm across run() calls: a steady-state serving loop that
+    /// recycles its results makes the wave loop's allocation count
+    /// O(jobs), not O(bytes) (pinned by Arena.SteadyStateAllocationBound).
+    BufferPool &pool() { return pool_; }
+
+    /// Hand a consumed result's buffers back for reuse by later waves.
+    void recycle(JobResult &&r);
+
+    /// Recycle every result buffer of a consumed report.
+    void recycle(ScheduleReport &&rep);
+
   private:
     SchedulerOptions opts_;
     std::unique_ptr<Machine> owned_;
     Machine *machine_;
     std::deque<FaultReport> postmortems_;
+    BufferPool pool_;
 };
 
 /**
