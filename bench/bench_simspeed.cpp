@@ -1,14 +1,22 @@
 /**
  * @file
- * Host simulation speed: predecoded fast path vs. the legacy
- * decode-per-step interpreter (docs/PERFORMANCE.md).
+ * Host simulation speed: the three interpreter tiers — threaded-code,
+ * predecoded, and the legacy decode-per-step loop
+ * (docs/PERFORMANCE.md, "Backend tiers").
  *
  * This bench tracks the *simulator's* performance trajectory, not the
  * modeled hardware's: it runs the Figure 13 CSV workload (scaled up so
  * the interpreter loop dominates host time) through the wave scheduler
- * serially, once per interpreter path, and reports host MB/s for each.
- * Simulated counters are asserted bit-identical between the paths —
- * the same invariant tests/test_predecode.cpp pins per kernel.
+ * serially, once per backend, and reports host MB/s for each.
+ * Simulated counters are asserted bit-identical between the tiers —
+ * the same invariant tests/test_predecode.cpp and
+ * tests/test_threaded.cpp pin per kernel.
+ *
+ * The threaded tier pays a one-time compile (DecodedProgram lowering to
+ * the flat micro-op stream): `compile_seconds` measures a cold build,
+ * and the amortization study converts it into the input bytes a lane
+ * must stream before the faster loop has paid for the compile — with
+ * the shared image cache, the whole multi-wave run pays it once.
  *
  * It also tracks the *host data path* (docs/PERFORMANCE.md, "Host
  * data path & ownership"): the scheduler's per-wave phase breakdown
@@ -19,22 +27,29 @@
  * model) — to show chunking cost is O(jobs), not O(bytes).
  *
  * Flags: --json <path> (BENCH_simspeed.json schema: the standard bench
- * envelope plus metrics.sim_host_mbps_predecode / _legacy /
- * .predecode_speedup, the phase breakdown
- * metrics.host_{setup,simulate,harvest}_seconds / .host_setup_share,
- * and the setup study metrics.host_setup_{arena,copy}_seconds /
- * .setup_speedup), --metrics <path> (Prometheus-style text exposition
- * of the full telemetry registry — every scheduled run in the bench
- * feeds it; docs/OBSERVABILITY.md).
+ * envelope plus metrics.sim_host_mbps_threaded / _predecode / _legacy,
+ * .threaded_speedup (threaded vs predecode), .predecode_speedup
+ * (predecode vs legacy), .compile_seconds / .compile_amortize_kib, the
+ * phase breakdown metrics.host_{setup,simulate,harvest}_seconds /
+ * .host_setup_share, and the setup study
+ * metrics.host_setup_{arena,copy}_seconds / .setup_speedup),
+ * --metrics <path> (Prometheus-style text exposition of the full
+ * telemetry registry; docs/OBSERVABILITY.md), --dump-compiled (print
+ * the threaded-code image of the CSV kernel — the flat micro-op stream
+ * and resolved arc tables next to the disassembler's per-state listing
+ * — then exit).
  */
 #include "support.hpp"
 
+#include "assembler/disasm.hpp"
 #include "core/decoded_program.hpp"
+#include "core/threaded_program.hpp"
 #include "kernels/csv.hpp"
 #include "runtime/kernel_spec.hpp"
 #include "workloads/generators.hpp"
 
 #include <chrono>
+#include <cstring>
 
 int
 main(int argc, char **argv)
@@ -43,13 +58,30 @@ main(int argc, char **argv)
     using namespace udp::bench;
     using Clock = std::chrono::steady_clock;
 
+    const auto spec = kernels::csv_kernel_spec();
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dump-compiled") == 0) {
+            // Debug view: the compiled image, eyeballable next to the
+            // source-level state listing when backends diverge.
+            const auto cp = shared_compiled(*spec.program);
+            std::printf("== threaded-code image: %s ==\n%s\n",
+                        spec.name.c_str(),
+                        disassemble_compiled(*cp).c_str());
+            std::printf("== source state @entry (disassemble_state) ==\n%s",
+                        disassemble_state(*spec.program,
+                                          spec.program->entry)
+                            .c_str());
+            return 0;
+        }
+    }
+
     MetricsRecorder rec("bench_simspeed", argc, argv);
     set_sim_threads(1); // serial: measure the interpreter, not the pool
 
     // ~3.8 MB of CSV so one measured run simulates a few million cycles.
     const std::string text = workloads::crimes_csv(20'000);
     const Bytes data(text.begin(), text.end());
-    const auto spec = kernels::csv_kernel_spec();
 
     // 8 KiB rows-aligned chunks: half the per-job input cap, so the
     // extracted field region cannot overflow the output half-window.
@@ -65,13 +97,14 @@ main(int argc, char **argv)
         LaneStats total;
         Cycles wall = 0;
     };
-    const auto measure = [&](bool predecode) {
-        set_predecode_enabled(predecode);
+    const auto measure = [&](SimBackend backend) {
+        set_sim_backend(backend);
         PathResult r;
         const int reps = 5; // best-of-5 absorbs host scheduling noise
         for (int i = 0; i < reps; ++i) {
-            // Rebuild the jobs inside the toggle so JobPlan::decoded
-            // reflects the path under test.
+            // Rebuild the jobs inside the toggle so the plans' resolved
+            // images (JobPlan::decoded/compiled) reflect the tier under
+            // test.
             const auto jobs = runtime::chunk_jobs(
                 spec, runtime::ArenaSlice::borrow(data), chunk,
                 runtime::align_after_delim('\n'));
@@ -92,48 +125,86 @@ main(int argc, char **argv)
         return r;
     };
 
-    // Warm both paths (decode cache, page faults) before timing.
-    measure(true);
-    measure(false);
-    const auto pre = measure(true);
-    const auto leg = measure(false);
-    set_predecode_enabled(true); // restore the default for finish()
+    // Warm every tier (image caches, page faults) before timing.
+    measure(SimBackend::Threaded);
+    measure(SimBackend::Predecode);
+    measure(SimBackend::Legacy);
+    const auto thr = measure(SimBackend::Threaded);
+    const auto pre = measure(SimBackend::Predecode);
+    const auto leg = measure(SimBackend::Legacy);
+    set_sim_backend(SimBackend::Threaded); // restore default for finish()
 
-    if (pre.total != leg.total || pre.wall != leg.wall)
+    if (thr.total != pre.total || thr.wall != pre.wall ||
+        pre.total != leg.total || pre.wall != leg.wall)
         throw UdpError("bench_simspeed: simulated counters diverge "
-                       "between interpreter paths");
+                       "between interpreter tiers");
 
-    const double speedup =
+    const double pre_speedup =
         leg.host_mbps > 0 ? pre.host_mbps / leg.host_mbps : 0;
+    const double thr_speedup =
+        pre.host_mbps > 0 ? thr.host_mbps / pre.host_mbps : 0;
 
     print_header("Host simulation speed (serial, CSV x20000 rows)",
-                 {"path", "host MB/s", "host s/run", "sim cycles"});
+                 {"backend", "host MB/s", "host s/run", "sim cycles"});
+    print_row({"threaded", fmt(thr.host_mbps), fmt(thr.host_seconds, 4),
+               fmt(double(thr.wall), 0)});
     print_row({"predecode", fmt(pre.host_mbps), fmt(pre.host_seconds, 4),
                fmt(double(pre.wall), 0)});
     print_row({"legacy", fmt(leg.host_mbps), fmt(leg.host_seconds, 4),
                fmt(double(leg.wall), 0)});
-    std::printf("\npredecode speedup: %.2fx (host time; simulated "
-                "counters bit-identical)\n",
-                speedup);
+    std::printf("\nthreaded speedup:  %.2fx over predecode (host time; "
+                "simulated counters bit-identical)\n"
+                "predecode speedup: %.2fx over legacy\n",
+                thr_speedup, pre_speedup);
 
-    // --- Host phase breakdown (best predecode run) -----------------------
+    // --- Compile cost and its amortization -------------------------------
+    // A cold threaded-code build: Program -> DecodedProgram -> flat
+    // micro-op stream + resolved arc tables (no caches involved).  The
+    // shared_compiled() cache pays this once per program content; every
+    // lane, wave and rep above reused one image.
+    double compile_s = 0;
+    for (int i = 0; i < 5; ++i) {
+        const auto t0 = Clock::now();
+        const CompiledProgram cold(*spec.program, nullptr);
+        const double s =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (i == 0 || s < compile_s)
+            compile_s = s;
+    }
+    // Input bytes at which the faster loop has repaid the compile:
+    // compile_s == bytes * (1/thr_rate - 1/pre_rate).
+    const double rate_gain =
+        thr.host_seconds > 0 && pre.host_seconds > 0
+            ? (pre.host_seconds - thr.host_seconds) / double(data.size())
+            : 0;
+    const double amortize_kib =
+        rate_gain > 0 ? compile_s / rate_gain / 1024.0 : 0;
+    print_header("Threaded-code compile cost (cold, best of 5)",
+                 {"metric", "value"});
+    print_row({"compile ms", fmt(compile_s * 1e3, 3)});
+    print_row({"amortized after KiB", fmt(amortize_kib, 1)});
+    print_row({"this run's input KiB", fmt(data.size() / 1024.0, 1)});
+    std::printf("\none compile serves all lanes and waves via the "
+                "shared image cache\n");
+
+    // --- Host phase breakdown (best threaded run) ------------------------
     // Setup = pack + validate + stage + assign; simulate = the lane
     // interpreter; harvest = unstage + result bookkeeping.  With the
     // arena data path, setup must stay a small share of the wave loop.
     const double phase_total =
-        pre.setup_seconds + pre.simulate_seconds + pre.harvest_seconds;
+        thr.setup_seconds + thr.simulate_seconds + thr.harvest_seconds;
     const double setup_share =
-        phase_total > 0 ? pre.setup_seconds / phase_total : 0;
-    print_header("Host wave-loop phase breakdown (predecode path)",
+        phase_total > 0 ? thr.setup_seconds / phase_total : 0;
+    print_header("Host wave-loop phase breakdown (threaded backend)",
                  {"phase", "host ms", "share"});
     const auto phase_row = [&](const char *name, double s) {
         print_row({name, fmt(s * 1e3, 3),
                    fmt(phase_total > 0 ? 100 * s / phase_total : 0, 1) +
                        "%"});
     };
-    phase_row("setup (stage+assign)", pre.setup_seconds);
-    phase_row("simulate", pre.simulate_seconds);
-    phase_row("harvest", pre.harvest_seconds);
+    phase_row("setup (stage+assign)", thr.setup_seconds);
+    phase_row("simulate", thr.simulate_seconds);
+    phase_row("harvest", thr.harvest_seconds);
 
     // --- Setup study: arena slicing vs per-chunk deep copies -------------
     // Same chunked workload, built two ways.  The arena path pins one
@@ -199,13 +270,17 @@ main(int argc, char **argv)
     }
 
     rec.add_metric("input_bytes", double(data.size()));
-    rec.add_metric("sim_cycles", double(pre.wall));
+    rec.add_metric("sim_cycles", double(thr.wall));
+    rec.add_metric("sim_host_mbps_threaded", thr.host_mbps);
     rec.add_metric("sim_host_mbps_predecode", pre.host_mbps);
     rec.add_metric("sim_host_mbps_legacy", leg.host_mbps);
-    rec.add_metric("predecode_speedup", speedup);
-    rec.add_metric("host_setup_seconds", pre.setup_seconds);
-    rec.add_metric("host_simulate_seconds", pre.simulate_seconds);
-    rec.add_metric("host_harvest_seconds", pre.harvest_seconds);
+    rec.add_metric("threaded_speedup", thr_speedup);
+    rec.add_metric("predecode_speedup", pre_speedup);
+    rec.add_metric("compile_seconds", compile_s);
+    rec.add_metric("compile_amortize_kib", amortize_kib);
+    rec.add_metric("host_setup_seconds", thr.setup_seconds);
+    rec.add_metric("host_simulate_seconds", thr.simulate_seconds);
+    rec.add_metric("host_harvest_seconds", thr.harvest_seconds);
     rec.add_metric("host_setup_share", setup_share);
     return rec.finish();
 }

@@ -174,31 +174,66 @@ DecodedProgram::DecodedProgram(const Program &prog)
 }
 
 // ---------------------------------------------------------------------------
-// Predecode switch and the shared cache.
+// Backend switch and the shared cache.
 // ---------------------------------------------------------------------------
 
 namespace {
 
-// 0 = unresolved (consult the environment), 1 = on, 2 = off.
-std::atomic<int> g_predecode{0};
+// 0 = unresolved (consult the environment), else 1 + SimBackend value.
+std::atomic<int> g_backend{0};
 
 } // namespace
+
+std::string_view
+sim_backend_name(SimBackend b)
+{
+    switch (b) {
+      case SimBackend::Legacy: return "legacy";
+      case SimBackend::Predecode: return "predecode";
+      case SimBackend::Threaded: return "threaded";
+    }
+    return "<bad>";
+}
+
+SimBackend
+sim_backend()
+{
+    int v = g_backend.load(std::memory_order_relaxed);
+    if (v == 0) {
+        SimBackend b = SimBackend::Threaded;
+        if (const char *env = std::getenv("UDP_SIM_BACKEND")) {
+            const std::string_view s(env);
+            if (s == "legacy")
+                b = SimBackend::Legacy;
+            else if (s == "predecode")
+                b = SimBackend::Predecode;
+            else if (s == "threaded")
+                b = SimBackend::Threaded;
+        } else if (std::getenv("UDP_SIM_NO_PREDECODE")) {
+            b = SimBackend::Legacy; // the PR 3 spelling of "legacy"
+        }
+        v = 1 + static_cast<int>(b);
+        g_backend.store(v, std::memory_order_relaxed);
+    }
+    return static_cast<SimBackend>(v - 1);
+}
+
+void
+set_sim_backend(SimBackend b)
+{
+    g_backend.store(1 + static_cast<int>(b), std::memory_order_relaxed);
+}
 
 bool
 predecode_enabled()
 {
-    int v = g_predecode.load(std::memory_order_relaxed);
-    if (v == 0) {
-        v = std::getenv("UDP_SIM_NO_PREDECODE") ? 2 : 1;
-        g_predecode.store(v, std::memory_order_relaxed);
-    }
-    return v == 1;
+    return sim_backend() != SimBackend::Legacy;
 }
 
 void
 set_predecode_enabled(bool on)
 {
-    g_predecode.store(on ? 1 : 2, std::memory_order_relaxed);
+    set_sim_backend(on ? SimBackend::Predecode : SimBackend::Legacy);
 }
 
 std::shared_ptr<const DecodedProgram>

@@ -36,6 +36,7 @@
 #include "program.hpp"
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 namespace udp {
@@ -140,12 +141,40 @@ std::uint64_t program_fingerprint(const Program &prog);
  */
 std::shared_ptr<const DecodedProgram> shared_decoded(const Program &prog);
 
-/// Whether lanes predecode on load.  Defaults to true unless the
-/// UDP_SIM_NO_PREDECODE environment variable is set (read once).
-bool predecode_enabled();
+/**
+ * Host interpreter tier (docs/PERFORMANCE.md, "Backend tiers").  Every
+ * tier produces bit-identical simulated results; they differ only in
+ * host speed:
+ *  - Legacy: decode-per-step reference interpreter;
+ *  - Predecode: shared DecodedProgram fast path;
+ *  - Threaded: flat threaded-code micro-op stream compiled from the
+ *    DecodedProgram (core/threaded_program.hpp).
+ */
+enum class SimBackend : std::uint8_t {
+    Legacy = 0,
+    Predecode = 1,
+    Threaded = 2,
+};
+
+/// Stable lower-case backend name ("legacy", "predecode", "threaded").
+std::string_view sim_backend_name(SimBackend b);
+
+/// The active backend.  Defaults to Threaded; the UDP_SIM_BACKEND
+/// environment variable (legacy|predecode|threaded) overrides the
+/// default, and the older UDP_SIM_NO_PREDECODE=1 still selects Legacy
+/// (both read once, on first query).
+SimBackend sim_backend();
 
 /// Process-wide override of the environment default (benches and the
 /// equivalence tests toggle this around whole runs).
+void set_sim_backend(SimBackend b);
+
+/// Whether lanes predecode on load: sim_backend() != Legacy.  Kept as
+/// the PR 3 API surface — the differential tests toggle this pair.
+bool predecode_enabled();
+
+/// set_sim_backend(Predecode) when `on`, set_sim_backend(Legacy)
+/// otherwise — the PR 3 two-way toggle, now a view over the tiers.
 void set_predecode_enabled(bool on);
 
 } // namespace udp

@@ -22,6 +22,7 @@
 
 #include "decoded_program.hpp"
 #include "profile.hpp"
+#include "threaded_program.hpp"
 #include "trace.hpp"
 
 #include <algorithm>
@@ -68,20 +69,39 @@ Lane::Lane(unsigned id, LocalMemory &mem) : id_(id), mem_(mem)
 void
 Lane::load(const Program &prog)
 {
-    load(prog, nullptr);
+    load(prog, nullptr, nullptr);
 }
 
 void
 Lane::load(const Program &prog,
            std::shared_ptr<const DecodedProgram> decoded)
 {
+    load(prog, std::move(decoded), nullptr);
+}
+
+void
+Lane::load(const Program &prog,
+           std::shared_ptr<const DecodedProgram> decoded,
+           std::shared_ptr<const CompiledProgram> compiled)
+{
     prog_ = &prog;
-    if (!predecode_enabled())
+    const SimBackend backend = sim_backend();
+    compiled_ = nullptr;
+    if (backend == SimBackend::Legacy) {
         decoded_ = nullptr;
-    else if (decoded)
-        decoded_ = std::move(decoded);
-    else
-        decoded_ = shared_decoded(prog);
+    } else {
+        if (backend == SimBackend::Threaded)
+            compiled_ = compiled ? std::move(compiled)
+                                 : shared_compiled(prog);
+        // The decoded image stays bound on the threaded backend too:
+        // NFA mode and the instrumented loops run on it.
+        if (decoded)
+            decoded_ = std::move(decoded);
+        else if (compiled_)
+            decoded_ = compiled_->decoded_shared();
+        else
+            decoded_ = shared_decoded(prog);
+    }
     reset();
 }
 
@@ -130,6 +150,7 @@ Lane::reset()
     accepts_.clear();
     cur_state_ = 0;
     resume_ds_ = nullptr;
+    resume_cs_ = ThreadedEngine::kNoResume;
     started_ = false;
     halted_ = false;
     halt_status_ = LaneStatus::Done;
@@ -168,6 +189,7 @@ Lane::trap(FaultCode code, std::string detail)
 {
     halted_ = true;
     resume_ds_ = nullptr;
+    resume_cs_ = ThreadedEngine::kNoResume;
     halt_status_ = code == FaultCode::WatchdogTimeout
                        ? LaneStatus::TimedOut
                        : LaneStatus::Faulted;
@@ -1033,7 +1055,12 @@ Lane::run_steps(std::uint64_t n)
         started_ = true;
     }
     resume_ds_ = nullptr; // step_once owns the carry-over
+    resume_cs_ = ThreadedEngine::kNoResume;
     return run_guarded([&] {
+        if (compiled_ && !tracer_ && !profiler_) {
+            std::int32_t carry = ThreadedEngine::kNoResume;
+            return ThreadedEngine::run_steps_body(*this, n, carry);
+        }
         if (!decoded_)
             return run_steps_legacy(n);
         return (tracer_ || profiler_) ? run_steps_fast<true>(n)
@@ -1055,8 +1082,18 @@ Lane::step_once()
         cur_state_ = prog_->entry;
         started_ = true;
         resume_ds_ = nullptr;
+        resume_cs_ = ThreadedEngine::kNoResume;
     }
     return run_guarded([&] {
+        if (compiled_ && !tracer_ && !profiler_) {
+            const LaneStatus st =
+                ThreadedEngine::run_steps_body(*this, 1, resume_cs_);
+            // An unknown next state leaves a negative carry and faults
+            // on the *next* step, exactly like the decoded path.
+            if (st != LaneStatus::Running)
+                resume_cs_ = ThreadedEngine::kNoResume;
+            return st;
+        }
         if (!decoded_)
             return run_steps_legacy(1);
         const DecodedState *ds = resume_ds_;

@@ -42,10 +42,12 @@
 
 namespace udp {
 
-class Tracer;         // trace.hpp
-class Profiler;       // profile.hpp
-class DecodedProgram; // decoded_program.hpp
+class Tracer;          // trace.hpp
+class Profiler;        // profile.hpp
+class DecodedProgram;  // decoded_program.hpp
 struct DecodedState;
+class CompiledProgram; // threaded_program.hpp
+class ThreadedEngine;  // threaded_program.hpp
 
 /// Terminal status of a lane run.
 enum class LaneStatus : std::uint8_t {
@@ -79,8 +81,8 @@ class Lane
     Lane(unsigned id, LocalMemory &mem);
 
     /// Bind the program (kept by reference; caller owns it).  Fetches
-    /// the shared predecoded image from the process-wide cache unless
-    /// predecoding is disabled (UDP_SIM_NO_PREDECODE).
+    /// the shared predecoded/compiled images from the process-wide
+    /// caches as the active backend requires (see sim_backend()).
     void load(const Program &prog);
 
     /// Bind the program together with an already-resolved predecoded
@@ -89,8 +91,19 @@ class Lane
     void load(const Program &prog,
               std::shared_ptr<const DecodedProgram> decoded);
 
+    /// Bind the program with both shared images pre-resolved (the
+    /// runtime's JobPlan path under the Threaded backend).  Either may
+    /// be null; images the active backend does not need are dropped.
+    void load(const Program &prog,
+              std::shared_ptr<const DecodedProgram> decoded,
+              std::shared_ptr<const CompiledProgram> compiled);
+
     /// The predecoded image in use (null on the legacy path).
     const DecodedProgram *decoded() const { return decoded_.get(); }
+
+    /// The threaded-code image in use (null unless the Threaded
+    /// backend was active at load()).
+    const CompiledProgram *compiled() const { return compiled_.get(); }
 
     /// Attach the input stream (not copied).
     void set_input(BytesView data);
@@ -180,6 +193,10 @@ class Lane
     Profiler *profiler() const { return profiler_; }
 
   private:
+    /// The threaded-code backend is the lane's inner loop when a
+    /// compiled image is bound (core/threaded_program.hpp).
+    friend class ThreadedEngine;
+
     // Dispatch outcome for one step of one active state.
     struct StepResult {
         bool took_transition = false;
@@ -250,7 +267,10 @@ class Lane
     LocalMemory &mem_;
     const Program *prog_ = nullptr;
     std::shared_ptr<const DecodedProgram> decoded_; ///< null = legacy path
+    std::shared_ptr<const CompiledProgram> compiled_; ///< threaded backend
     const DecodedState *resume_ds_ = nullptr; ///< step_once carry-over
+    std::int32_t resume_cs_ = -2; ///< threaded step_once carry-over
+                                  ///< (ThreadedEngine::kNoResume)
     StreamBuffer sb_;
 
     std::array<Word, kNumScalarRegs> regs_{};

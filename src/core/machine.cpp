@@ -5,6 +5,7 @@
 #include "machine.hpp"
 
 #include "profile.hpp"
+#include "threaded_program.hpp"
 #include "trace.hpp"
 
 #include <algorithm>
@@ -186,7 +187,28 @@ Machine::run_parallel(std::uint64_t max_cycles_per_lane)
         threads, static_cast<unsigned>(std::max<std::size_t>(
                      runnable.size(), 1)));
     if (threads <= 1) {
-        for (const std::size_t i : runnable)
+        // Batch the block-eligible lanes (threaded image bound, DFA
+        // mode, no per-lane instrumentation or observer hooks) through
+        // the struct-of-arrays runner; everything else runs per-lane.
+        LaneBlock blk;
+        std::vector<std::size_t> rest;
+        for (const std::size_t i : runnable) {
+            Lane &ln = *lanes_[i];
+            if (!run_observer_ && !jobs_[i].nfa_mode && ln.compiled() &&
+                !ln.tracer() && !ln.profiler()) {
+                blk.add(&ln, static_cast<std::uint32_t>(i),
+                        std::min(max_cycles_per_lane,
+                                 jobs_[i].max_cycles),
+                        ln.forced_trap_cycle());
+            } else {
+                rest.push_back(i);
+            }
+        }
+        if (blk.size() != 0)
+            ThreadedEngine::run_block(blk);
+        for (std::size_t k = 0; k < blk.size(); ++k)
+            status[blk.slot[k]] = blk.status[k];
+        for (const std::size_t i : rest)
             run_lane(i);
     } else {
         // Lanes are trace-independent and their windows disjoint, so

@@ -65,6 +65,9 @@ class StreamBuffer
     BytesView data() const { return data_; }
 
   private:
+    /// The threaded-code backend reads byte-aligned whole-byte symbols
+    /// directly (core/threaded_program.hpp) — same values as read(8).
+    friend class ThreadedEngine;
     BytesView data_{};
     std::uint64_t size_bits_ = 0;
     std::uint64_t pos_bits_ = 0;

@@ -1,0 +1,1100 @@
+/**
+ * @file
+ * Threaded-code backend: the CompiledProgram lowering pass, the op
+ * handler table, the single-lane resumable engine and the LaneBlock
+ * batch runner.
+ *
+ * Equivalence discipline: every counter charge, fault message and
+ * side-effect order below is transcribed from the reference interpreter
+ * in lane.cpp (`step_fast` / `exec_actions_impl`).  The chain walker
+ * charges the fetch costs unconditionally and the two trap ops
+ * (undecodable word, out-of-range fetch) *undo* the charges the legacy
+ * path would not have made before throwing the identical error —
+ * keeping the hot loop free of per-op bounds and validity checks.
+ */
+#include "threaded_program.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+namespace udp {
+
+namespace {
+
+/// CRC32-C (Castagnoli) byte-step table — same contents as the lane
+/// interpreter's (the polynomial is the contract, not the object).
+const std::array<Word, 256> &
+crc32c_table()
+{
+    static const std::array<Word, 256> table = [] {
+        std::array<Word, 256> t{};
+        for (Word i = 0; i < 256; ++i) {
+            Word c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : (c >> 1);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+/// Snappy-style multiplicative hash (Section 3.2.5 "hash action").
+Word
+hash_mix(Word v, unsigned table_log2)
+{
+    const Word h = v * 0x1E35A7BDu;
+    if (table_log2 == 0 || table_log2 >= 32)
+        return h;
+    return h >> (32 - table_log2);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Op handlers.
+//
+// Each handler is one lowered `case` of Lane::exec_actions_impl's switch.
+// They are members of a struct nested in ThreadedEngine so they inherit
+// its friend access to Lane and StreamBuffer.
+// ---------------------------------------------------------------------------
+
+#define UDP_THREADED_OP(name)                                              \
+    static OpExit name([[maybe_unused]] Lane &ln,                          \
+                       [[maybe_unused]] ThreadedCtx &c,                    \
+                       [[maybe_unused]] const CompiledOp &o)
+
+struct ThreadedEngine::Ops {
+    static Word rs(const Lane &ln, const CompiledOp &o) {
+        return o.src == kRegStreamIdx
+                   ? static_cast<Word>(ln.sb_.pos_bytes())
+                   : ln.regs_[o.src];
+    }
+    static Word rr(const Lane &ln, const CompiledOp &o) {
+        return o.ref == kRegStreamIdx
+                   ? static_cast<Word>(ln.sb_.pos_bytes())
+                   : ln.regs_[o.ref];
+    }
+    static void wr(Lane &ln, const CompiledOp &o, Word v) {
+        // set_reg without the range check: decoded dst is a 4-bit field.
+        if (o.dst == kRegStreamIdx) {
+            ln.sb_.seek_bits(std::uint64_t{v} * 8);
+            return;
+        }
+        ln.regs_[o.dst] = v;
+    }
+
+    // --- ALU, immediate forms ---
+    UDP_THREADED_OP(addi) { wr(ln, o, rs(ln, o) + o.imm_w); return OpExit::Next; }
+    UDP_THREADED_OP(subi) { wr(ln, o, rs(ln, o) - o.imm_w); return OpExit::Next; }
+    UDP_THREADED_OP(andi) { wr(ln, o, rs(ln, o) & o.imm_w); return OpExit::Next; }
+    UDP_THREADED_OP(ori) { wr(ln, o, rs(ln, o) | o.imm_w); return OpExit::Next; }
+    UDP_THREADED_OP(xori) { wr(ln, o, rs(ln, o) ^ o.imm_w); return OpExit::Next; }
+    UDP_THREADED_OP(shli) {
+        wr(ln, o, rs(ln, o) << (o.imm & 31));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(shri) {
+        wr(ln, o, rs(ln, o) >> (o.imm & 31));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(sari) {
+        wr(ln, o,
+           static_cast<Word>(static_cast<std::int32_t>(rs(ln, o)) >>
+                             (o.imm & 31)));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(movi) { wr(ln, o, o.imm_w); return OpExit::Next; }
+    UDP_THREADED_OP(lui) {
+        wr(ln, o, (ln.regs_[o.dst] & 0xFFFFu) | (o.imm_w << 16));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(cmpeqi) {
+        wr(ln, o, rs(ln, o) == o.imm_w);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(cmplti) {
+        wr(ln, o, static_cast<std::int32_t>(rs(ln, o)) < o.imm);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(cmpltui) {
+        wr(ln, o, rs(ln, o) < o.imm_w);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(muli) { wr(ln, o, rs(ln, o) * o.imm_w); return OpExit::Next; }
+
+    // --- ALU, register forms ---
+    UDP_THREADED_OP(add) { wr(ln, o, rr(ln, o) + rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(sub) { wr(ln, o, rr(ln, o) - rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(and_) { wr(ln, o, rr(ln, o) & rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(or_) { wr(ln, o, rr(ln, o) | rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(xor_) { wr(ln, o, rr(ln, o) ^ rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(shl) {
+        wr(ln, o, rr(ln, o) << (rs(ln, o) & 31));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(shr) {
+        wr(ln, o, rr(ln, o) >> (rs(ln, o) & 31));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(mov) { wr(ln, o, rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(not_) { wr(ln, o, ~rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(neg) { wr(ln, o, 0u - rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(mul) { wr(ln, o, rr(ln, o) * rs(ln, o)); return OpExit::Next; }
+    UDP_THREADED_OP(min) {
+        wr(ln, o, std::min(rr(ln, o), rs(ln, o)));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(max) {
+        wr(ln, o, std::max(rr(ln, o), rs(ln, o)));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(cmpeq) {
+        wr(ln, o, rr(ln, o) == rs(ln, o));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(cmplt) {
+        wr(ln, o, rr(ln, o) < rs(ln, o));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(select) {
+        wr(ln, o, ln.regs_[o.dst] ? rr(ln, o) : rs(ln, o));
+        return OpExit::Next;
+    }
+
+    // --- Memory ---
+    UDP_THREADED_OP(ldw) {
+        wr(ln, o, ln.mem_read32(rs(ln, o) + o.imm_w));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(stw) {
+        ln.mem_write32(rs(ln, o) + o.imm_w, ln.regs_[o.dst]);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(ldb) {
+        wr(ln, o, ln.mem_read8(rs(ln, o) + o.imm_w));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(stb) {
+        ln.mem_write8(rs(ln, o) + o.imm_w,
+                      static_cast<std::uint8_t>(ln.regs_[o.dst]));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(bininc) {
+        const Word addr_b = rs(ln, o) * 4 + o.imm_w;
+        const Word v = ln.mem_read32(addr_b) + 1;
+        ln.mem_write32(addr_b, v);
+        return OpExit::Next;
+    }
+
+    // --- Stream / configuration ---
+    UDP_THREADED_OP(setss) {
+        if (o.imm < 1 || o.imm > 32)
+            throw UdpFaultError(FaultCode::BadAction,
+                                "Lane: setss width must be 1..32");
+        ln.symbol_bits_ = static_cast<unsigned>(o.imm);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(setssr) {
+        const Word v = rs(ln, o);
+        if (v < 1 || v > 32)
+            throw UdpFaultError(FaultCode::BadAction,
+                                "Lane: setssr width must be 1..32");
+        ln.symbol_bits_ = v;
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(setbase) {
+        if (o.dst == 0)
+            ln.window_base_ = rs(ln, o) + o.imm_w;
+        else
+            ln.dispatch_base_ = rs(ln, o) + o.imm_w;
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(setab) {
+        ln.action_base_ = rs(ln, o) + o.imm_w;
+        ln.action_scale_ = o.imm1;
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(skip) {
+        ln.sb_.skip(static_cast<std::uint64_t>(o.imm));
+        c.stream_bits += static_cast<std::uint64_t>(o.imm);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(refill) {
+        ln.sb_.refill(static_cast<std::uint64_t>(o.imm));
+        c.stream_bits -= static_cast<std::uint64_t>(o.imm);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(peek) {
+        wr(ln, o,
+           ln.sb_.exhausted(static_cast<unsigned>(o.imm))
+               ? 0u
+               : ln.sb_.peek(static_cast<unsigned>(o.imm)));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(read) {
+        // An action-unit read; does not disturb the dispatch unit's
+        // latched symbol (Lastsym).
+        c.stream_bits += static_cast<unsigned>(o.imm);
+        wr(ln, o, ln.sb_.read(static_cast<unsigned>(o.imm)));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(tell) {
+        wr(ln, o, static_cast<Word>(ln.sb_.pos_bits()));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(lastsym) {
+        wr(ln, o, ln.last_symbol_);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(setstream) {
+        const std::uint64_t bit_pos =
+            std::uint64_t{rs(ln, o)} + static_cast<std::uint64_t>(o.imm);
+        const std::uint64_t old = ln.sb_.pos_bits();
+        ln.sb_.seek_bits(bit_pos);
+        c.stream_bits += bit_pos - old; // net consumption delta
+        return OpExit::Next;
+    }
+
+    // --- Specialized ---
+    UDP_THREADED_OP(emitlut) {
+        const Word entry =
+            rs(ln, o) + ((o.imm_w << 8) | ln.last_symbol_) * 16;
+        const std::uint8_t count = ln.mem_read8(entry);
+        if (count > 15)
+            throw UdpFaultError(FaultCode::BadAction,
+                                "Lane: emitlut entry count exceeds 15");
+        ++c.cycles; // table fetch pipeline stage
+        for (unsigned i = 0; i < count; ++i)
+            ln.out_byte(ln.mem_.read8(ln.mem_translate(entry + 1 + i)));
+        ++ln.stats_.mem_reads; // one 8-byte-wide entry fetch
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(hash) {
+        wr(ln, o, hash_mix(rs(ln, o), static_cast<unsigned>(o.imm)));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(hash2) {
+        wr(ln, o, hash_mix(rr(ln, o) ^ (rs(ln, o) * 0x85EBCA6Bu), 0));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(loopcmp) {
+        const Word rrv = rr(ln, o);
+        const Word rsv = rs(ln, o);
+        const Word bound = ln.regs_[o.dst];
+        Word n = 0;
+        while (n < bound && ln.mem_read8(rrv + n) == ln.mem_read8(rsv + n))
+            ++n;
+        c.cycles += ceil_div(std::max<Word>(n, 1), 8) - 1;
+        wr(ln, o, n);
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(loopcpy) {
+        const Word rrv = rr(ln, o);
+        const Word rsv = rs(ln, o);
+        const Word n = ln.regs_[o.dst];
+        // Forward byte order: overlapping copies replicate the prefix.
+        for (Word i = 0; i < n; ++i) {
+            const std::uint8_t b = ln.mem_read8(rsv + i);
+            ln.mem_write8(rrv + i, b);
+        }
+        c.cycles += n ? ceil_div(n, 8) - 1 : 0;
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(loopcpyo) {
+        const Word rsv = rs(ln, o);
+        const Word n = ln.regs_[o.dst];
+        for (Word i = 0; i < n; ++i)
+            ln.out_byte(ln.mem_read8(rsv + i));
+        c.cycles += n ? ceil_div(n, 8) - 1 : 0;
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(crc) {
+        wr(ln, o, crc32c_table()[(ln.regs_[o.dst] ^ rs(ln, o)) & 0xFF] ^
+                      (ln.regs_[o.dst] >> 8));
+        return OpExit::Next;
+    }
+
+    // --- Output ---
+    UDP_THREADED_OP(outb) {
+        ln.out_byte(static_cast<std::uint8_t>(rs(ln, o)));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(outw) {
+        const Word v = rs(ln, o);
+        ln.out_byte(static_cast<std::uint8_t>(v));
+        ln.out_byte(static_cast<std::uint8_t>(v >> 8));
+        ln.out_byte(static_cast<std::uint8_t>(v >> 16));
+        ln.out_byte(static_cast<std::uint8_t>(v >> 24));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(outbits) {
+        ln.out_bits(rs(ln, o), static_cast<unsigned>(o.imm));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(outflush) {
+        ln.out_flush();
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(outi) {
+        ln.out_byte(static_cast<std::uint8_t>(o.imm));
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(outbitsr) {
+        const Word w = ln.regs_[o.dst];
+        if (w >= 1 && w <= 32)
+            ln.out_bits(rs(ln, o), w);
+        else if (w != 0)
+            throw UdpFaultError(FaultCode::BadAction,
+                                "Lane: outbitsr width must be 0..32");
+        return OpExit::Next;
+    }
+
+    // --- Control ---
+    UDP_THREADED_OP(accept) {
+        ++ln.stats_.accepts;
+        if (ln.accepts_.size() < ln.accept_capacity_)
+            ln.accepts_.push_back({ln.sb_.pos_bits(), o.imm_w});
+        return OpExit::Next;
+    }
+    UDP_THREADED_OP(halt) { return OpExit::Done; }
+    UDP_THREADED_OP(fail) { return OpExit::Reject; }
+    UDP_THREADED_OP(gotoact) { return OpExit::Next; } // next = target
+    UDP_THREADED_OP(nop) { return OpExit::Next; }
+
+    // --- Trap ops ---
+
+    /// Undecodable action word.  The chain walker charged the fetch
+    /// unconditionally; the legacy path throws after charging only the
+    /// dispatch read, so undo the action/cycle charges then re-decode
+    /// the raw word to raise the identical error.
+    UDP_THREADED_OP(invalid) {
+        --c.actions;
+        --c.cycles;
+        decode_action(o.raw); // throws the legacy error
+        throw UdpFaultError(FaultCode::BadAction,
+                            "Lane: undecodable action word");
+    }
+
+    /// Out-of-range fetch sentinel: the legacy path throws before any
+    /// charge, so undo all three.
+    UDP_THREADED_OP(oob) {
+        --c.dispatch_reads;
+        --c.actions;
+        --c.cycles;
+        throw UdpFaultError(FaultCode::FetchOutOfRange,
+                            "Lane: action fetch out of range");
+    }
+
+    /// Defined-but-unhandled opcode (legacy `default:` — charges stay).
+    UDP_THREADED_OP(unimpl) {
+        throw UdpFaultError(FaultCode::UnimplementedOpcode,
+                            "Lane: unimplemented opcode");
+    }
+
+    static const std::array<OpFn, 128> &table();
+};
+
+#undef UDP_THREADED_OP
+
+const std::array<OpFn, 128> &
+ThreadedEngine::Ops::table()
+{
+    static const std::array<OpFn, 128> t = [] {
+        std::array<OpFn, 128> a{};
+        a.fill(&Ops::unimpl);
+        const auto set = [&](Opcode op, OpFn f) {
+            a[static_cast<std::size_t>(op)] = f;
+        };
+        set(Opcode::Addi, &Ops::addi);
+        set(Opcode::Subi, &Ops::subi);
+        set(Opcode::Andi, &Ops::andi);
+        set(Opcode::Ori, &Ops::ori);
+        set(Opcode::Xori, &Ops::xori);
+        set(Opcode::Shli, &Ops::shli);
+        set(Opcode::Shri, &Ops::shri);
+        set(Opcode::Sari, &Ops::sari);
+        set(Opcode::Movi, &Ops::movi);
+        set(Opcode::Lui, &Ops::lui);
+        set(Opcode::Cmpeqi, &Ops::cmpeqi);
+        set(Opcode::Cmplti, &Ops::cmplti);
+        set(Opcode::Cmpltui, &Ops::cmpltui);
+        set(Opcode::Muli, &Ops::muli);
+        set(Opcode::Add, &Ops::add);
+        set(Opcode::Sub, &Ops::sub);
+        set(Opcode::And, &Ops::and_);
+        set(Opcode::Or, &Ops::or_);
+        set(Opcode::Xor, &Ops::xor_);
+        set(Opcode::Shl, &Ops::shl);
+        set(Opcode::Shr, &Ops::shr);
+        set(Opcode::Mov, &Ops::mov);
+        set(Opcode::Not, &Ops::not_);
+        set(Opcode::Neg, &Ops::neg);
+        set(Opcode::Mul, &Ops::mul);
+        set(Opcode::Min, &Ops::min);
+        set(Opcode::Max, &Ops::max);
+        set(Opcode::Cmpeq, &Ops::cmpeq);
+        set(Opcode::Cmplt, &Ops::cmplt);
+        set(Opcode::Select, &Ops::select);
+        set(Opcode::Ldw, &Ops::ldw);
+        set(Opcode::Stw, &Ops::stw);
+        set(Opcode::Ldb, &Ops::ldb);
+        set(Opcode::Stb, &Ops::stb);
+        set(Opcode::Bininc, &Ops::bininc);
+        set(Opcode::Setss, &Ops::setss);
+        set(Opcode::Setssr, &Ops::setssr);
+        set(Opcode::Setbase, &Ops::setbase);
+        set(Opcode::Setab, &Ops::setab);
+        set(Opcode::Skip, &Ops::skip);
+        set(Opcode::Refill, &Ops::refill);
+        set(Opcode::Peek, &Ops::peek);
+        set(Opcode::Read, &Ops::read);
+        set(Opcode::Tell, &Ops::tell);
+        set(Opcode::Setstream, &Ops::setstream);
+        set(Opcode::Lastsym, &Ops::lastsym);
+        set(Opcode::Emitlut, &Ops::emitlut);
+        set(Opcode::Hash, &Ops::hash);
+        set(Opcode::Hash2, &Ops::hash2);
+        set(Opcode::Loopcmp, &Ops::loopcmp);
+        set(Opcode::Loopcpy, &Ops::loopcpy);
+        set(Opcode::Loopcpyo, &Ops::loopcpyo);
+        set(Opcode::Crc, &Ops::crc);
+        set(Opcode::Outb, &Ops::outb);
+        set(Opcode::Outw, &Ops::outw);
+        set(Opcode::Outbits, &Ops::outbits);
+        set(Opcode::Outflush, &Ops::outflush);
+        set(Opcode::Outi, &Ops::outi);
+        set(Opcode::Outbitsr, &Ops::outbitsr);
+        set(Opcode::Accept, &Ops::accept);
+        set(Opcode::Halt, &Ops::halt);
+        set(Opcode::Fail, &Ops::fail);
+        set(Opcode::Gotoact, &Ops::gotoact);
+        set(Opcode::Nop, &Ops::nop);
+        return a;
+    }();
+    return t;
+}
+
+OpFn
+ThreadedEngine::op_fn(Opcode op)
+{
+    return Ops::table()[static_cast<std::size_t>(op) & 127];
+}
+
+OpFn
+ThreadedEngine::invalid_fn()
+{
+    return &Ops::invalid;
+}
+
+OpFn
+ThreadedEngine::oob_fn()
+{
+    return &Ops::oob;
+}
+
+// ---------------------------------------------------------------------------
+// CompiledProgram: the lowering pass.
+// ---------------------------------------------------------------------------
+
+CompiledProgram::CompiledProgram(const Program &prog,
+                                 std::shared_ptr<const DecodedProgram> dec)
+    : decoded_(std::move(dec))
+{
+    if (!decoded_)
+        decoded_ = std::make_shared<const DecodedProgram>(prog);
+    const DecodedProgram &d = *decoded_;
+
+    fingerprint_ = d.fingerprint();
+    init_dispatch_base_ = prog.init_dispatch_base;
+    init_action_base_ = prog.init_action_base;
+    init_action_scale_ = prog.init_action_scale;
+    nops_ = static_cast<std::uint32_t>(d.action_words());
+
+    // Dynamic-base scan: a Setbase into the dispatch window invalidates
+    // the compiled next-state links; a Setab invalidates static
+    // scaled-offset attach resolution.  Either forces the (cheap)
+    // run-time re-resolution for the whole program.
+    for (std::size_t a = 0; a < d.action_words(); ++a) {
+        const Action &act = d.action(a);
+        if (act.op == kInvalidOpcode)
+            continue;
+        if (act.op == Opcode::Setbase && act.dst != 0)
+            dyn_dispatch_ = true;
+        else if (act.op == Opcode::Setab)
+            dyn_action_ = true;
+    }
+
+    // Lower every action word into the flat op stream; one extra trap
+    // sentinel terminates it so the chain walker needs no bounds check.
+    ops_.resize(std::size_t{nops_} + 1);
+    for (std::uint32_t a = 0; a < nops_; ++a) {
+        const Action &act = d.action(a);
+        CompiledOp &o = ops_[a];
+        o.raw = prog.actions[a];
+        if (act.op == kInvalidOpcode) {
+            o.fn = ThreadedEngine::invalid_fn();
+            o.op = kInvalidOpcode;
+            o.last = 1;
+            o.next = nops_;
+            continue;
+        }
+        o.fn = ThreadedEngine::op_fn(act.op);
+        o.op = act.op;
+        o.dst = act.dst;
+        o.ref = act.ref;
+        o.src = act.src;
+        o.imm = act.imm;
+        o.imm_w = static_cast<Word>(act.imm);
+        o.imm1 = static_cast<std::uint8_t>(act.imm1);
+        if (act.op == Opcode::Gotoact) {
+            // The jump is the `next` link; out-of-range targets fall on
+            // the sentinel, raising the fetch fault at the right moment.
+            const std::size_t t = static_cast<std::size_t>(act.imm);
+            o.next = t < nops_ ? static_cast<std::uint32_t>(t) : nops_;
+            o.last = 0;
+        } else {
+            o.last = act.last ? 1 : 0;
+            o.next = a + 1; // == sentinel for the final word
+        }
+    }
+    CompiledOp &s = ops_[nops_];
+    s.fn = ThreadedEngine::oob_fn();
+    s.op = kInvalidOpcode;
+    s.last = 1;
+    s.next = nops_;
+
+    // Pass 1: the base -> compiled-index map (bases are unique; the
+    // DecodedProgram constructor validated them).
+    slot_state_.assign(prog.dispatch.size(), -1);
+    for (std::size_t i = 0; i < prog.states.size(); ++i)
+        slot_state_[prog.states[i].base] = static_cast<std::int32_t>(i);
+
+    // Pass 2: per-state arc tables (forward next-state links resolve
+    // against the complete map).
+    states_.reserve(prog.states.size());
+    for (const StateMeta &sm : prog.states) {
+        const DecodedState &ds = *d.state_at(sm.base);
+        CompiledState cs;
+        cs.base = ds.base;
+        cs.max_symbol = ds.max_symbol;
+        cs.reg_source = ds.reg_source ? 1 : 0;
+        cs.has_common = ds.has_common ? 1 : 0;
+        cs.miss_arc = resolve_miss(ds, 0);
+        cs.arc_base = static_cast<std::uint32_t>(arcs_.size());
+        if (ds.has_common) {
+            // Common replaces the labeled table: one arc, and the step
+            // loop charges its single dispatch read explicitly.
+            cs.common_arc = resolve_take(ds.common, 0, 0);
+        } else {
+            for (std::uint32_t sym = 0; sym <= ds.max_symbol; ++sym) {
+                const std::size_t slot = std::size_t{ds.base} + sym;
+                ResolvedArc arc;
+                if (slot >= d.dispatch_words()) {
+                    arc = resolve_miss(ds, 0);
+                } else {
+                    const Transition &t = d.transition(slot);
+                    if (t.type == kInvalidTransitionType) {
+                        arc.kind = ResolvedArc::Invalid;
+                        arc.add_reads = 1; // charged before the re-decode
+                        arc.raw_slot = static_cast<std::uint32_t>(slot);
+                    } else if (t.signature == ds.signature &&
+                               (t.type == TransitionType::Labeled ||
+                                t.type == TransitionType::Refill ||
+                                t.type == TransitionType::Flagged)) {
+                        arc = resolve_take(t, 0, 1);
+                    } else {
+                        arc = resolve_miss(ds, 1);
+                    }
+                }
+                arcs_.push_back(arc);
+            }
+        }
+        states_.push_back(cs);
+    }
+}
+
+ResolvedArc
+CompiledProgram::resolve_take(const Transition &t, std::uint8_t miss,
+                              std::uint16_t add_reads) const
+{
+    ResolvedArc r;
+    r.kind = ResolvedArc::Take;
+    r.miss = miss;
+    r.add_reads = add_reads;
+    r.target = t.target;
+    r.next_full = init_dispatch_base_ + t.target;
+    r.next_state = r.next_full < slot_state_.size()
+                       ? slot_state_[r.next_full]
+                       : -1;
+
+    std::uint8_t ref = t.attach;
+    bool none = false;
+    if (t.type == TransitionType::Refill) {
+        // Refill attach ABI: high 3 bits = push-back count, low 5 bits
+        // = action ref (31 = none).
+        r.refill_bits = static_cast<std::uint8_t>(t.attach >> 5);
+        ref = t.attach & 0x1F;
+        none = (ref == 0x1F);
+    } else {
+        none = (ref == kNoActions && t.attach_mode == AttachMode::Direct);
+    }
+    if (!none) {
+        r.has_act = 1;
+        if (t.attach_mode == AttachMode::Direct) {
+            r.act = ref < nops_ ? ref : nops_;
+        } else if (!dyn_action_) {
+            const std::size_t addr =
+                std::size_t{init_action_base_} +
+                (std::size_t{ref} << init_action_scale_);
+            r.act = addr < nops_ ? static_cast<std::uint32_t>(addr) : nops_;
+        } else {
+            r.act_dynamic = 1;
+            r.att_ref = ref;
+        }
+    }
+    return r;
+}
+
+ResolvedArc
+CompiledProgram::resolve_miss(const DecodedState &d,
+                              std::uint16_t extra_reads) const
+{
+    if (d.has_miss)
+        return resolve_take(
+            d.miss, 1,
+            static_cast<std::uint16_t>(extra_reads + d.miss_reads));
+    ResolvedArc r;
+    r.kind = ResolvedArc::Reject;
+    r.miss = 1;
+    r.add_reads = static_cast<std::uint16_t>(extra_reads + d.miss_reads);
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+void
+ThreadedEngine::flush(Lane &ln, ThreadedCtx &c)
+{
+    ln.stats_.cycles += c.cycles;
+    ln.stats_.dispatches += c.dispatches;
+    ln.stats_.dispatch_reads += c.dispatch_reads;
+    ln.stats_.sig_misses += c.sig_misses;
+    ln.stats_.actions += c.actions;
+    ln.stats_.stream_bits += c.stream_bits;
+    c.cycles = 0;
+    c.dispatches = 0;
+    c.dispatch_reads = 0;
+    c.sig_misses = 0;
+    c.actions = 0;
+    c.stream_bits = 0;
+}
+
+Word
+ThreadedEngine::read_sym(StreamBuffer &sb, unsigned width)
+{
+    // Byte-aligned whole-byte symbols (the overwhelmingly common case)
+    // skip the MSB-first bit-gather loop.  The caller already checked
+    // exhausted(width).
+    if (width == 8 && (sb.pos_bits_ & 7) == 0) {
+        const Word v = sb.data_[static_cast<std::size_t>(sb.pos_bits_ >> 3)];
+        sb.pos_bits_ += 8;
+        return v;
+    }
+    return sb.read(width);
+}
+
+LaneStatus
+ThreadedEngine::exec_chain(Lane &ln, ThreadedCtx &c, std::uint32_t ix)
+{
+    const CompiledOp *const ops = c.ops;
+    for (;;) {
+        const CompiledOp &o = ops[ix];
+        // Fetch charges, unconditional: the trap ops undo what the
+        // legacy path would not have charged.
+        ++c.dispatch_reads;
+        ++c.actions;
+        ++c.cycles;
+        const OpExit e = o.fn(ln, c, o);
+        if (e == OpExit::Next) {
+            if (o.last)
+                return LaneStatus::Running;
+            ix = o.next;
+            continue;
+        }
+        return e == OpExit::Done ? LaneStatus::Done : LaneStatus::Reject;
+    }
+}
+
+LaneStatus
+ThreadedEngine::run_steps_body(Lane &ln, std::uint64_t n,
+                               std::int32_t &carry)
+{
+    const CompiledProgram &cp = *ln.compiled_;
+    const Program &prog = *ln.prog_;
+    ThreadedCtx c;
+    c.ops = cp.ops();
+    c.nops = cp.op_count();
+    c.sentinel = cp.sentinel();
+
+    // With no base-rewriting actions and the architectural dispatch
+    // base, every arc's compiled next-state link is valid as-is;
+    // otherwise re-resolve against the live base each step.
+    const bool static_next =
+        !cp.dyn_dispatch() &&
+        ln.dispatch_base_ == cp.init_dispatch_base();
+
+    std::int32_t ix = carry;
+    if (ix == kNoResume)
+        ix = cp.state_index(ln.cur_state_);
+
+    LaneStatus out = LaneStatus::Running;
+    try {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (ix < 0)
+                throw UdpFaultError(
+                    FaultCode::BadDispatch,
+                    "Lane: dispatch into unknown state base " +
+                        std::to_string(ln.cur_state_));
+            const CompiledState &cs =
+                cp.state(static_cast<std::size_t>(ix));
+            const ResolvedArc *arc;
+            if (cs.has_common) {
+                if (!cs.reg_source) {
+                    const unsigned width = ln.symbol_bits_;
+                    if (ln.sb_.exhausted(width)) {
+                        out = LaneStatus::Done;
+                        ln.halted_ = true;
+                        ln.halt_status_ = out;
+                        break;
+                    }
+                    c.stream_bits += width;
+                    ln.last_symbol_ = read_sym(ln.sb_, width);
+                }
+                ++c.dispatches;
+                ++c.cycles;
+                ++c.dispatch_reads;
+                arc = &cs.common_arc;
+            } else {
+                const unsigned width = ln.symbol_bits_;
+                Word sym;
+                if (cs.reg_source) {
+                    const Word mask = width >= 32
+                                          ? ~Word{0}
+                                          : ((Word{1} << width) - 1);
+                    sym = ln.regs_[kRegDispatch] & mask;
+                    ln.last_symbol_ = sym;
+                } else {
+                    if (ln.sb_.exhausted(width)) {
+                        out = LaneStatus::Done;
+                        ln.halted_ = true;
+                        ln.halt_status_ = out;
+                        break;
+                    }
+                    c.stream_bits += width;
+                    sym = ln.last_symbol_ = read_sym(ln.sb_, width);
+                }
+                ++c.dispatches;
+                ++c.cycles;
+                arc = sym <= cs.max_symbol
+                          ? cp.arcs() + (cs.arc_base + sym)
+                          : &cs.miss_arc;
+                c.cycles += arc->miss;
+                c.sig_misses += arc->miss;
+                c.dispatch_reads += arc->add_reads;
+                if (arc->kind != ResolvedArc::Take) {
+                    if (arc->kind == ResolvedArc::Invalid)
+                        decode_transition(
+                            prog.dispatch[arc->raw_slot]); // throws
+                    out = LaneStatus::Reject;
+                    ln.halted_ = true;
+                    ln.halt_status_ = out;
+                    break;
+                }
+            }
+
+            // Refill: push back over-consumed bits before actions
+            // observe r15.
+            if (arc->refill_bits != 0) {
+                ln.sb_.refill(arc->refill_bits);
+                c.stream_bits -= arc->refill_bits;
+            }
+
+            if (arc->has_act) {
+                std::uint32_t a0 = arc->act;
+                if (arc->act_dynamic) {
+                    const std::size_t addr =
+                        static_cast<std::size_t>(ln.action_base_) +
+                        (std::size_t{arc->att_ref} << ln.action_scale_);
+                    a0 = addr < c.nops ? static_cast<std::uint32_t>(addr)
+                                       : c.sentinel;
+                }
+                const LaneStatus st = exec_chain(ln, c, a0);
+                if (st != LaneStatus::Running) {
+                    out = st;
+                    ln.halted_ = true;
+                    ln.halt_status_ = st;
+                    break;
+                }
+            }
+
+            // 12-bit targets are window-relative; rebase into the
+            // current dispatch window.
+            if (static_next) {
+                ln.cur_state_ = arc->next_full;
+                ix = arc->next_state;
+            } else {
+                ln.cur_state_ = ln.dispatch_base_ + arc->target;
+                ix = cp.state_index(ln.cur_state_);
+            }
+        }
+    } catch (...) {
+        // The fault record reads stats_.cycles at trap time.
+        flush(ln, c);
+        throw;
+    }
+    flush(ln, c);
+    carry = ix;
+    return out;
+}
+
+void
+ThreadedEngine::run_block(LaneBlock &blk)
+{
+    // Replicates Lane::run's chunk/trap/watchdog boundaries per lane,
+    // but interleaves the chunks across the whole block so one host
+    // thread keeps every resident lane's hot state in play.
+    std::size_t live = 0;
+    for (std::size_t k = 0; k < blk.size(); ++k)
+        live += blk.live[k];
+    while (live != 0) {
+        for (std::size_t k = 0; k < blk.size(); ++k) {
+            if (!blk.live[k])
+                continue;
+            Lane &ln = *blk.lanes[k];
+            LaneStatus st;
+            if (ln.halted_) {
+                st = ln.halt_status_;
+            } else {
+                if (!ln.started_) {
+                    ln.cur_state_ = ln.prog_->entry;
+                    ln.started_ = true;
+                }
+                ln.resume_ds_ = nullptr;
+                ln.resume_cs_ = kNoResume;
+                const std::uint64_t chunk =
+                    blk.trap_at[k] != 0 ? 1 : 1024;
+                // The same conversion boundary as Lane::run_guarded
+                // (a private template; its catch order is the contract).
+                try {
+                    st = run_steps_body(ln, chunk, blk.state_ix[k]);
+                } catch (const UdpFaultError &e) {
+                    st = ln.trap(e.code(), e.what());
+                } catch (const UdpError &e) {
+                    st = ln.trap(FaultCode::BadAction, e.what());
+                }
+            }
+            if (st == LaneStatus::Running) {
+                if (blk.trap_at[k] != 0 &&
+                    ln.stats_.cycles >= blk.trap_at[k]) {
+                    st = ln.trap(FaultCode::ForcedTrap,
+                                 "Lane: forced trap (fault injection)");
+                } else if (ln.stats_.cycles >= blk.budget[k]) {
+                    st = ln.trip_watchdog(
+                        "Lane: cycle budget (" +
+                        std::to_string(blk.budget[k]) +
+                        ") exhausted before completion");
+                }
+            }
+            if (st != LaneStatus::Running) {
+                blk.live[k] = 0;
+                blk.status[k] = st;
+                --live;
+            }
+        }
+    }
+}
+
+void
+LaneBlock::add(Lane *ln, std::uint32_t lane_slot, std::uint64_t cycles,
+               Cycles trap_cycle)
+{
+    lanes.push_back(ln);
+    slot.push_back(lane_slot);
+    state_ix.push_back(ThreadedEngine::kNoResume);
+    budget.push_back(cycles);
+    trap_at.push_back(trap_cycle);
+    live.push_back(1);
+    status.push_back(LaneStatus::Done);
+}
+
+// ---------------------------------------------------------------------------
+// The shared compiled-image cache.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const CompiledProgram>
+shared_compiled(const Program &prog)
+{
+    static std::mutex mu;
+    static std::unordered_map<std::uint64_t,
+                              std::shared_ptr<const CompiledProgram>>
+        cache;
+
+    const std::uint64_t key = program_fingerprint(prog);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        const auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+    // Build outside the lock (same discipline as shared_decoded): the
+    // lowering cost scales with the image, and concurrent builders of
+    // the same program are harmless.
+    auto cp = std::make_shared<const CompiledProgram>(prog,
+                                                      shared_decoded(prog));
+    std::lock_guard<std::mutex> lk(mu);
+    if (cache.size() >= 128)
+        cache.clear(); // crude bound; lanes recompile after a burst
+    return cache.emplace(key, std::move(cp)).first->second;
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler (--dump-compiled).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string
+arc_desc(const ResolvedArc &a)
+{
+    char buf[160];
+    switch (a.kind) {
+      case ResolvedArc::Reject:
+        std::snprintf(buf, sizeof buf, "reject (miss, +%u reads)",
+                      unsigned{a.add_reads});
+        return buf;
+      case ResolvedArc::Invalid:
+        std::snprintf(buf, sizeof buf,
+                      "trap (undecodable slot 0x%x)", a.raw_slot);
+        return buf;
+      case ResolvedArc::Take:
+      default:
+        break;
+    }
+    std::string s;
+    std::snprintf(buf, sizeof buf, "take -> @0x%x", a.next_full);
+    s += buf;
+    if (a.next_state < 0)
+        s += " (unknown state)";
+    if (a.miss)
+        s += " via miss-chain";
+    if (a.add_reads) {
+        std::snprintf(buf, sizeof buf, " +%u reads", unsigned{a.add_reads});
+        s += buf;
+    }
+    if (a.refill_bits) {
+        std::snprintf(buf, sizeof buf, " refill %u bits",
+                      unsigned{a.refill_bits});
+        s += buf;
+    }
+    if (a.has_act) {
+        if (a.act_dynamic)
+            std::snprintf(buf, sizeof buf, " act dyn[ref=%u]",
+                          unsigned{a.att_ref});
+        else
+            std::snprintf(buf, sizeof buf, " act [%u]", a.act);
+        s += buf;
+    }
+    return s;
+}
+
+bool
+same_arc(const ResolvedArc &a, const ResolvedArc &b)
+{
+    return a.kind == b.kind && a.miss == b.miss &&
+           a.add_reads == b.add_reads && a.refill_bits == b.refill_bits &&
+           a.has_act == b.has_act && a.act_dynamic == b.act_dynamic &&
+           a.att_ref == b.att_ref && a.target == b.target &&
+           a.act == b.act && a.raw_slot == b.raw_slot;
+}
+
+} // namespace
+
+std::string
+disassemble_compiled(const CompiledProgram &cp)
+{
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "compiled image: %u micro-ops (+1 trap sentinel), "
+                  "%zu states, dyn-dispatch=%d, dyn-action=%d\n",
+                  cp.op_count(), cp.num_states(), cp.dyn_dispatch() ? 1 : 0,
+                  cp.dyn_action() ? 1 : 0);
+    out += buf;
+
+    for (std::size_t s = 0; s < cp.num_states(); ++s) {
+        const CompiledState &cs = cp.state(s);
+        std::snprintf(buf, sizeof buf, "state @0x%x (ix %zu)%s:\n",
+                      cs.base, s,
+                      cs.reg_source ? " reg-source" : "");
+        out += buf;
+        if (cs.has_common) {
+            out += "  common: " + arc_desc(cs.common_arc) + "\n";
+        } else {
+            // Collapse runs of identical consecutive arcs.
+            const ResolvedArc *arcs = cp.arcs() + cs.arc_base;
+            for (std::uint32_t lo = 0; lo <= cs.max_symbol;) {
+                std::uint32_t hi = lo;
+                while (hi + 1 <= cs.max_symbol &&
+                       same_arc(arcs[hi + 1], arcs[lo]))
+                    ++hi;
+                if (lo == hi)
+                    std::snprintf(buf, sizeof buf, "  sym 0x%02x: ", lo);
+                else
+                    std::snprintf(buf, sizeof buf, "  sym 0x%02x..0x%02x: ",
+                                  lo, hi);
+                out += buf;
+                out += arc_desc(arcs[lo]) + "\n";
+                lo = hi + 1;
+            }
+        }
+        out += "  miss: " + arc_desc(cs.miss_arc) + "\n";
+    }
+
+    out += "ops:\n";
+    for (std::uint32_t i = 0; i < cp.op_count(); ++i) {
+        const CompiledOp &o = cp.ops()[i];
+        if (o.op == kInvalidOpcode) {
+            std::snprintf(buf, sizeof buf,
+                          "  [%u] <undecodable 0x%08x>\n", i, o.raw);
+            out += buf;
+            continue;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "  [%u] %s dst=r%u ref=r%u src=r%u imm=%d imm1=%u",
+                      i, std::string(opcode_name(o.op)).c_str(),
+                      unsigned{o.dst}, unsigned{o.ref}, unsigned{o.src},
+                      o.imm, unsigned{o.imm1});
+        out += buf;
+        if (o.op == Opcode::Gotoact) {
+            std::snprintf(buf, sizeof buf, " ; goto [%u]\n", o.next);
+            out += buf;
+        } else if (o.last) {
+            out += " ; last\n";
+        } else {
+            std::snprintf(buf, sizeof buf, " ; next [%u]\n", o.next);
+            out += buf;
+        }
+    }
+    std::snprintf(buf, sizeof buf, "  [%u] <trap: fetch out of range>\n",
+                  cp.sentinel());
+    out += buf;
+    return out;
+}
+
+} // namespace udp

@@ -5,6 +5,7 @@
 #include "fault_injection.hpp"
 
 #include "core/decoded_program.hpp"
+#include "core/threaded_program.hpp"
 
 namespace udp::runtime {
 
@@ -52,10 +53,16 @@ FaultInjector::own_program(JobPlan &plan)
 void
 FaultInjector::refresh_decoded(JobPlan &plan)
 {
-    // The predecoded image is keyed by program content; after a mutation
-    // the plan must not keep running the stale (clean) image.
-    plan.decoded =
-        predecode_enabled() ? shared_decoded(*plan.program) : nullptr;
+    // The shared images are keyed by program content; after a mutation
+    // the plan must not keep running the stale (clean) ones.
+    const SimBackend backend = sim_backend();
+    plan.compiled = backend == SimBackend::Threaded
+                        ? shared_compiled(*plan.program)
+                        : nullptr;
+    plan.decoded = backend == SimBackend::Legacy
+                       ? nullptr
+                       : (plan.compiled ? plan.compiled->decoded_shared()
+                                        : shared_decoded(*plan.program));
 }
 
 void

@@ -33,6 +33,7 @@
 
 #include "core/decoded_program.hpp"
 #include "core/lane.hpp"
+#include "core/threaded_program.hpp"
 #include "core/program.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
@@ -68,6 +69,9 @@ struct JobPlan {
     /// Shared predecoded image of `program`, resolved once per job (not
     /// once per lane) by KernelSpec::make_job; null on the legacy path.
     std::shared_ptr<const DecodedProgram> decoded;
+    /// Shared threaded-code image (core/threaded_program.hpp), resolved
+    /// the same way; null unless the Threaded backend is active.
+    std::shared_ptr<const CompiledProgram> compiled;
     /// Stream contents: a non-owning view pinned by its InputArena.
     /// Assigning a `Bytes` materializes a private arena (one move).
     ArenaSlice input;

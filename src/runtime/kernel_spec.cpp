@@ -19,9 +19,15 @@ KernelSpec::make_job(ArenaSlice input) const
     JobPlan p;
     p.name = name;
     p.program = program;
-    // Resolve the shared decoded image once per job; every lane the
-    // scheduler assigns this job to reuses it without a cache lookup.
-    p.decoded = predecode_enabled() ? shared_decoded(*program) : nullptr;
+    // Resolve the shared images once per job; every lane the scheduler
+    // assigns this job to reuses them without a cache lookup.
+    const SimBackend backend = sim_backend();
+    p.compiled = backend == SimBackend::Threaded ? shared_compiled(*program)
+                                                 : nullptr;
+    p.decoded = backend == SimBackend::Legacy
+                    ? nullptr
+                    : (p.compiled ? p.compiled->decoded_shared()
+                                  : shared_decoded(*program));
     p.input = std::move(input);
     p.window_bytes = window_bytes;
     p.nfa_mode = nfa_mode;
