@@ -176,6 +176,7 @@ lane_status_name(LaneStatus st)
       case LaneStatus::Running: return "running";
       case LaneStatus::Faulted: return "faulted";
       case LaneStatus::TimedOut: return "timed-out";
+      case LaneStatus::Cancelled: return "cancelled";
     }
     return "<bad>";
 }

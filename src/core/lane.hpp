@@ -56,6 +56,10 @@ enum class LaneStatus : std::uint8_t {
     Running,  ///< still active (used internally)
     Faulted,  ///< trapped on an interpreter fault (see Lane::fault())
     TimedOut, ///< watchdog: cycle budget exhausted before completion
+    /// Host-side disposition, never produced by the interpreter: the
+    /// run's owner cancelled the job (runtime JobControl / udp_service)
+    /// before it was staged or while its wave was in flight.
+    Cancelled,
 };
 
 /// Stable lower-case name of a lane status ("done", "timed-out", ...).

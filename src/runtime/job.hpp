@@ -81,6 +81,12 @@ struct JobPlan {
     std::vector<MemStage> stages;
     std::vector<MemExtract> extracts;
 
+    /// Per-job cycle budget: overrides the scheduler-wide
+    /// `max_cycles_per_lane` when nonzero (0, the default, inherits it).
+    /// How udp_service degrades overloaded tenants to smaller budgets
+    /// without touching other tenants' jobs (docs/SERVICE.md).
+    std::uint64_t max_cycles = 0;
+
     // Deterministic fault injection (runtime/fault_injection.hpp): arm
     // a ForcedTrap at this simulated cycle (0 = off), for the first
     // `trap_attempts` scheduler attempts only — so a transient fault is
@@ -109,6 +115,10 @@ struct JobResult {
     LaneFault fault;
     unsigned attempts = 1;    ///< runs the Scheduler gave this job
     bool quarantined = false; ///< faulted on every attempt; gave up
+    /// Ended by JobControl::cancel: either never staged (attempts
+    /// counts only real runs) or its last run's payload was discarded.
+    /// When set, `status` is LaneStatus::Cancelled.
+    bool cancelled = false;
 
     // Latency of the final attempt, in *simulated* cycles — so the
     // numbers are deterministic and independent of host thread count

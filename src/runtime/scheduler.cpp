@@ -14,6 +14,7 @@
 #include "executor.hpp"
 #include "spantrace.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <map>
@@ -36,6 +37,24 @@ struct Pending {
     unsigned attempt = 1;
     std::uint64_t budget = ~std::uint64_t{0};
 };
+
+/// A retry held back by RetryPolicy::backoff_waves: eligible to rejoin
+/// the pending queue once `not_before` waves have closed.
+struct Delayed {
+    Pending pending;
+    unsigned not_before = 0;
+};
+
+/// splitmix64 step (same generator family as runtime/FaultInjector):
+/// deterministic backoff jitter from (seed, job, attempt).
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
 
 /// Detaches the flight recorder from the machine on scope exit, so a
 /// borrowed machine never keeps observing after run() returns (or
@@ -93,7 +112,11 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
 
     std::deque<Pending> pending;
     for (std::size_t i = 0; i < jobs.size(); ++i)
-        pending.push_back({i, 1, opts_.max_cycles_per_lane});
+        pending.push_back({i, 1,
+                           jobs[i].max_cycles ? jobs[i].max_cycles
+                                              : opts_.max_cycles_per_lane});
+    // Retries serving a backoff delay (RetryPolicy::backoff_waves).
+    std::vector<Delayed> delayed;
 
     if (opts_.spans)
         opts_.spans->begin_schedule(jobs.size());
@@ -109,9 +132,34 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
     std::map<std::size_t, std::vector<AttemptOutcome>> fault_history;
     std::size_t postmortem_files_written = 0;
 
+    // Move delayed retries whose backoff has elapsed (<= `upto` waves)
+    // back into the pending queue, preserving insertion order.
+    const auto release_delayed = [&](unsigned upto) {
+        for (auto it = delayed.begin(); it != delayed.end();) {
+            if (it->not_before <= upto) {
+                pending.push_back(it->pending);
+                it = delayed.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
     const auto t0 = std::chrono::steady_clock::now();
     unsigned wave_index = 0;
-    while (!pending.empty()) {
+    while (!pending.empty() || !delayed.empty()) {
+        if (!delayed.empty()) {
+            release_delayed(wave_index);
+            if (pending.empty()) {
+                // The queue would idle waiting out a backoff: release
+                // the earliest delayed group instead — empty waves do
+                // not exist, so the delay has no simulated-time cost.
+                unsigned lo = delayed.front().not_before;
+                for (const Delayed &d : delayed)
+                    lo = std::min(lo, d.not_before);
+                release_delayed(lo);
+            }
+        }
         const auto t_wave = std::chrono::steady_clock::now();
         // Machine time already spent on earlier waves: the queue wait
         // of every job running in this wave (submission is at t = 0).
@@ -122,6 +170,21 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
         unsigned cum_banks = 0;
         while (!pending.empty()) {
             const Pending &p = pending.front();
+            if (opts_.control && opts_.control->cancelled(p.job)) {
+                // Cancel-before-stage: drop the (re)run without staging
+                // it.  attempts counts only runs the job actually got.
+                JobResult jr;
+                jr.status = LaneStatus::Cancelled;
+                jr.cancelled = true;
+                jr.attempts = p.attempt - 1;
+                jr.queue_wait_cycles = report.wall_cycles;
+                jr.e2e_cycles = report.wall_cycles;
+                ++report.cancelled;
+                recycle(std::move(report.jobs[p.job]));
+                report.jobs[p.job] = std::move(jr);
+                pending.pop_front();
+                continue;
+            }
             const unsigned banks = jobs[p.job].banks();
             if (!wave.empty() &&
                 (cum_banks + banks > kNumBanks ||
@@ -131,6 +194,8 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
             cum_banks += banks;
             pending.pop_front();
         }
+        if (wave.empty())
+            continue; // every queued entry was cancelled
 
         // Stage and assign: lane index == the window's first bank.
         std::vector<JobSpec> specs(wave.back().start_bank + 1);
@@ -185,9 +250,31 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
             jr.e2e_cycles = queue_wait + wr.wall_cycles;
 
             bool retried_now = false;
-            const bool faulted = jr.status == LaneStatus::Faulted ||
-                                 jr.status == LaneStatus::TimedOut;
-            if (faulted) {
+            const bool cancelled_now =
+                opts_.control && opts_.control->cancelled(pl.job);
+            const bool faulted = !cancelled_now &&
+                                 (jr.status == LaneStatus::Faulted ||
+                                  jr.status == LaneStatus::TimedOut);
+            if (cancelled_now) {
+                // Cancel-mid-wave: the attempt ran, but its payload is
+                // discarded (buffers recycled) and any retry it would
+                // have earned is suppressed.  Counters stay for
+                // accounting; architectural outputs do not survive.
+                if (jr.output.capacity() > 0)
+                    pool_.release(std::move(jr.output));
+                for (Bytes &e : jr.extracts)
+                    if (e.capacity() > 0)
+                        pool_.release(std::move(e));
+                jr.output = Bytes{};
+                jr.extracts.clear();
+                jr.accepts.clear();
+                jr.regs = {};
+                jr.status = LaneStatus::Cancelled;
+                jr.cancelled = true;
+                jr.fault = LaneFault{};
+                ++wr.cancelled;
+                ++report.cancelled;
+            } else if (faulted) {
                 ++report.faulted_runs;
                 if (pl.attempt < opts_.retry.max_attempts) {
                     // Requeue into a later wave, growing the watchdog
@@ -200,7 +287,35 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                                      ? ~std::uint64_t{0}
                                      : budget * 2;
                     }
-                    pending.push_back({pl.job, pl.attempt + 1, budget});
+                    // Exponential backoff (RetryPolicy::backoff_waves):
+                    // attempt n's retry waits backoff << (n-1) waves,
+                    // plus deterministic seeded jitter, before it may
+                    // rejoin the queue.  delay 0 requeues immediately —
+                    // the bit-identical pre-backoff behavior.
+                    std::uint64_t delay = 0;
+                    if (opts_.retry.backoff_waves) {
+                        const unsigned shift =
+                            pl.attempt > 16 ? 16u : pl.attempt - 1;
+                        delay = std::uint64_t{opts_.retry.backoff_waves}
+                                << shift;
+                        if (opts_.retry.backoff_jitter)
+                            delay +=
+                                mix64(opts_.retry.backoff_seed ^
+                                      (std::uint64_t(pl.job) << 20) ^
+                                      pl.attempt) %
+                                (std::uint64_t{
+                                     opts_.retry.backoff_jitter} +
+                                 1);
+                    }
+                    const Pending next{pl.job, pl.attempt + 1, budget};
+                    if (delay == 0)
+                        pending.push_back(next);
+                    else
+                        delayed.push_back(
+                            {next,
+                             wave_index + 1 +
+                                 static_cast<unsigned>(std::min<
+                                     std::uint64_t>(delay, 1u << 20))});
                     retried_now = true;
                     ++wr.retried;
                     ++report.retries;
@@ -273,6 +388,7 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
                 ev.final_disposition = !retried_now;
                 ev.retried = retried_now;
                 ev.quarantined = jr.quarantined;
+                ev.cancelled = jr.cancelled;
                 if (opts_.telemetry)
                     opts_.telemetry->on_job_run(ev);
                 if (opts_.spans)
@@ -319,6 +435,7 @@ Scheduler::run(const std::vector<JobPlan> &jobs)
             ev.completed = wr.completed;
             ev.retried = wr.retried;
             ev.quarantined = wr.quarantined;
+            ev.cancelled = wr.cancelled;
             ev.wall_cycles = wr.wall_cycles;
             ev.host_seconds = wr.host_seconds;
             if (opts_.telemetry)

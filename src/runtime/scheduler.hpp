@@ -56,6 +56,79 @@ struct RetryPolicy {
     /// Double the per-lane cycle budget on each TimedOut retry (only
     /// meaningful when max_cycles_per_lane is finite).
     bool grow_cycle_budget = true;
+    /**
+     * Exponential retry backoff in *waves*: a job whose attempt n
+     * faults re-enters the queue no earlier than `backoff_waves << (n-1)`
+     * waves after the failing one (plus jitter, below), so one tenant's
+     * transient-fault retries stop clustering in the very next wave.
+     * 0 (the default) requeues immediately — bit-identical to the
+     * pre-backoff scheduler (pinned by Scheduler.BackoffZeroBitIdentical).
+     * When the queue would otherwise go idle, the earliest delayed
+     * group is released early: waves only exist while jobs run, so an
+     * empty-machine delay has no simulated-time meaning.
+     */
+    unsigned backoff_waves = 0;
+    /// Max extra delay waves added per retry, drawn deterministically
+    /// from `backoff_seed`, the job index and the attempt number
+    /// (splitmix64) — same seed, same plans, same schedule.  Inert
+    /// while `backoff_waves` is 0: jitter modifies a backoff, it never
+    /// introduces one.
+    unsigned backoff_jitter = 0;
+    std::uint64_t backoff_seed = 0x9E3779B97F4A7C15ull;
+};
+
+/**
+ * Thread-safe cancellation handle for one Scheduler::run batch
+ * (docs/SERVICE.md).  Any thread may cancel a job by its submission
+ * index at any time; the Scheduler checks the flag at its two requeue
+ * points:
+ *
+ *  - before staging (initial dispatch or retry): the job is dropped
+ *    from the queue without running and its JobResult comes back with
+ *    status LaneStatus::Cancelled and `cancelled == true`;
+ *  - after a wave it ran in: the attempt's payload is discarded
+ *    (buffers recycled) and any retry it would have earned is
+ *    suppressed — the result is Cancelled even if the run completed.
+ *
+ * A null SchedulerOptions::control (the default) costs one branch per
+ * job and leaves results bit-identical.
+ */
+class JobControl
+{
+  public:
+    explicit JobControl(std::size_t jobs)
+        : flags_(std::make_unique<std::atomic<std::uint8_t>[]>(jobs)),
+          size_(jobs)
+    {
+        for (std::size_t i = 0; i < jobs; ++i)
+            flags_[i].store(0, std::memory_order_relaxed);
+    }
+
+    /// Request cancellation of job `job` (idempotent; out-of-range is
+    /// ignored so racing a late cancel against a smaller batch is safe).
+    void cancel(std::size_t job) {
+        if (job < size_)
+            flags_[job].store(1, std::memory_order_release);
+    }
+
+    bool cancelled(std::size_t job) const {
+        return job < size_ &&
+               flags_[job].load(std::memory_order_acquire) != 0;
+    }
+
+    /// Re-arm the handle for a new batch (clears every flag).  Must not
+    /// race a Scheduler::run that is still reading the flags — callers
+    /// reset between runs (udp_service does so under its own mutex).
+    void reset() {
+        for (std::size_t i = 0; i < size_; ++i)
+            flags_[i].store(0, std::memory_order_relaxed);
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    std::unique_ptr<std::atomic<std::uint8_t>[]> flags_;
+    std::size_t size_;
 };
 
 /// Scheduler construction knobs.
@@ -66,8 +139,14 @@ struct SchedulerOptions {
     /// Cap on concurrent jobs per wave (models a partial deployment).
     unsigned max_jobs_per_wave = kNumLanes;
     AddressingMode mode = AddressingMode::Restricted;
+    /// Default per-lane cycle budget; a plan's own `JobPlan::max_cycles`
+    /// (when nonzero) overrides it per job.
     std::uint64_t max_cycles_per_lane = ~std::uint64_t{0};
     RetryPolicy retry;
+    /// Cancellation handle shared with submitting threads (see
+    /// JobControl).  nullptr (the default) costs one branch per job and
+    /// never changes results.
+    JobControl *control = nullptr;
     /// Lifecycle-event receiver (telemetry.hpp).  nullptr (the default)
     /// costs one branch per job/wave — the Tracer's zero-overhead
     /// discipline — and never changes simulated results either way.
@@ -112,6 +191,7 @@ struct WaveReport {
     unsigned completed = 0;   ///< jobs that finished cleanly this wave
     unsigned retried = 0;     ///< faulted jobs requeued into later waves
     unsigned quarantined = 0; ///< faulted jobs that exhausted retries
+    unsigned cancelled = 0;   ///< runs of this wave discarded by cancel
 };
 
 /// Accounting for a whole scheduled run.
@@ -132,6 +212,7 @@ struct ScheduleReport {
     unsigned faulted_runs = 0;   ///< job runs that ended Faulted/TimedOut
     unsigned retries = 0;        ///< faulted runs requeued per policy
     unsigned quarantined = 0;    ///< jobs given up on (JobResult::fault)
+    unsigned cancelled = 0;      ///< jobs ended by JobControl::cancel
 
     /// Aggregate simulated throughput in MB/s at the nominal clock.
     double throughput_mbps() const {

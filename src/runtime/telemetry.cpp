@@ -11,6 +11,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 namespace udp::runtime {
@@ -278,37 +279,121 @@ fmt_double(double v)
     return buf;
 }
 
+/// A registry name split at its optional label block: `base{k="v"}` →
+/// family `base` (sanitized for the exposition) + labels `k="v"`
+/// (emitted verbatim).  Labeled series of one family share one # TYPE
+/// line (tools/check_exposition.py verifies label-set consistency).
+struct SplitName {
+    std::string family; ///< prometheus_name() of the part before '{'
+    std::string labels; ///< inner label list, "" when unlabeled
+};
+
+SplitName
+split_name(const std::string &name)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos || name.back() != '}')
+        return {prometheus_name(name), ""};
+    return {prometheus_name(std::string_view(name).substr(0, brace)),
+            name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+/// `{a="b"}` / `{a="b",quantile="0.5"}` / `{quantile="0.5"}` / ``.
+std::string
+label_block(const std::string &labels, const char *quantile = nullptr)
+{
+    if (labels.empty() && !quantile)
+        return "";
+    std::string out = "{" + labels;
+    if (quantile) {
+        if (!labels.empty())
+            out += ',';
+        out += "quantile=\"";
+        out += quantile;
+        out += '"';
+    }
+    return out + "}";
+}
+
+/// Families in first-seen order with their samples grouped, so every
+/// family gets exactly one # TYPE line ahead of all its series.
+class FamilyWriter
+{
+  public:
+    explicit FamilyWriter(std::ostringstream &os) : os_(os) {}
+
+    void type_line(const std::string &family, const char *kind) {
+        if (seen_.insert(family).second)
+            os_ << "# TYPE " << family << ' ' << kind << '\n';
+    }
+
+  private:
+    std::ostringstream &os_;
+    std::set<std::string> seen_;
+};
+
 } // namespace
 
 std::string
 MetricRegistry::prometheus_text() const
 {
+    // Group each kind's samples by family so labeled series (one
+    // registry entry per label set) emit contiguously under one # TYPE.
     std::ostringstream os;
+    FamilyWriter fams(os);
+
+    std::map<std::string, std::vector<std::string>> counter_rows;
     for (const auto &[name, v] : counters()) {
-        const std::string n = prometheus_name(name);
-        os << "# TYPE " << n << " counter\n";
-        os << n << ' ' << v << '\n';
+        const SplitName sn = split_name(name);
+        counter_rows[sn.family].push_back(sn.family +
+                                          label_block(sn.labels) + ' ' +
+                                          std::to_string(v));
     }
+    for (const auto &[family, rows] : counter_rows) {
+        fams.type_line(family, "counter");
+        for (const std::string &r : rows)
+            os << r << '\n';
+    }
+
+    std::map<std::string, std::vector<std::string>> gauge_rows;
     for (const auto &[name, v] : gauges()) {
-        const std::string n = prometheus_name(name);
-        os << "# TYPE " << n << " gauge\n";
-        os << n << ' ' << fmt_double(v) << '\n';
+        const SplitName sn = split_name(name);
+        gauge_rows[sn.family].push_back(sn.family + label_block(sn.labels) +
+                                        ' ' + fmt_double(v));
     }
+    for (const auto &[family, rows] : gauge_rows) {
+        fams.type_line(family, "gauge");
+        for (const std::string &r : rows)
+            os << r << '\n';
+    }
+
+    std::map<std::string, std::vector<std::string>> summary_rows;
     for (const auto &[name, h] : histograms()) {
-        const std::string n = prometheus_name(name);
-        os << "# TYPE " << n << " summary\n";
+        const SplitName sn = split_name(name);
+        auto &rows = summary_rows[sn.family];
+        const std::string &n = sn.family;
         if (h.count) {
             static constexpr std::pair<const char *, double> kQuantiles[] = {
                 {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
             for (const auto &[label, q] : kQuantiles)
-                os << n << "{quantile=\"" << label << "\"} "
-                   << h.percentile(q) << '\n';
-            os << n << "_min " << h.min << '\n';
-            os << n << "_max " << h.max << '\n';
-            os << n << "_mean " << fmt_double(h.mean()) << '\n';
+                rows.push_back(n + label_block(sn.labels, label) + ' ' +
+                               std::to_string(h.percentile(q)));
+            rows.push_back(n + "_min" + label_block(sn.labels) + ' ' +
+                           std::to_string(h.min));
+            rows.push_back(n + "_max" + label_block(sn.labels) + ' ' +
+                           std::to_string(h.max));
+            rows.push_back(n + "_mean" + label_block(sn.labels) + ' ' +
+                           fmt_double(h.mean()));
         }
-        os << n << "_sum " << h.sum << '\n';
-        os << n << "_count " << h.count << '\n';
+        rows.push_back(n + "_sum" + label_block(sn.labels) + ' ' +
+                       std::to_string(h.sum));
+        rows.push_back(n + "_count" + label_block(sn.labels) + ' ' +
+                       std::to_string(h.count));
+    }
+    for (const auto &[family, rows] : summary_rows) {
+        fams.type_line(family, "summary");
+        for (const std::string &r : rows)
+            os << r << '\n';
     }
     return os.str();
 }
@@ -323,6 +408,7 @@ RegistryTelemetry::RegistryTelemetry(MetricRegistry &reg)
       runs_faulted_(reg.counter("scheduler.runs.faulted")),
       jobs_completed_(reg.counter("scheduler.jobs.completed")),
       jobs_quarantined_(reg.counter("scheduler.jobs.quarantined")),
+      jobs_cancelled_(reg.counter("scheduler.jobs.cancelled")),
       retries_(reg.counter("scheduler.retries")),
       waves_(reg.counter("scheduler.waves")),
       occupancy_(reg.gauge("wave.occupancy")),
@@ -359,7 +445,9 @@ RegistryTelemetry::on_job_run(const JobRunEvent &e)
     runs_.add();
     queue_wait_.record(e.queue_wait_cycles);
     service_.record(e.service_cycles);
-    if (e.status == LaneStatus::Done)
+    if (e.cancelled)
+        jobs_cancelled_.add();
+    else if (e.status == LaneStatus::Done)
         jobs_completed_.add();
     else
         runs_faulted_.add();

@@ -188,6 +188,15 @@ class MetricRegistry
      * 0.999"}` sample lines (monotone by construction) plus `_min`,
      * `_max`, `_sum` and `_count`.  Empty histograms emit only
      * `_sum 0` / `_count 0` — never a NaN sample.
+     *
+     * Labeled series: a registry name may carry a trailing label block
+     * — `service.jobs.submitted{tenant="alice"}` — one registry entry
+     * per label set.  The part before '{' is the metric *family*:
+     * every series of a family emits under a single `# TYPE` line,
+     * with the label block passed through verbatim (summary quantile
+     * labels are merged into it).  Families should keep one consistent
+     * label key set across their series — udp_service does, and
+     * tools/check_exposition.py enforces it.
      */
     std::string prometheus_text() const;
 
@@ -237,6 +246,7 @@ struct JobRunEvent {
     bool final_disposition = false; ///< completed or quarantined (won't rerun)
     bool retried = false;           ///< requeued into a later wave
     bool quarantined = false;       ///< gave up after max_attempts
+    bool cancelled = false;         ///< run discarded by JobControl::cancel
 };
 
 /// One closed scheduler wave.
@@ -247,6 +257,7 @@ struct WaveEvent {
     unsigned completed = 0;
     unsigned retried = 0;
     unsigned quarantined = 0;
+    unsigned cancelled = 0;  ///< runs discarded mid-wave by cancellation
     Cycles wall_cycles = 0;
     double host_seconds = 0; ///< host time to stage+simulate+harvest it
 };
@@ -271,6 +282,7 @@ class TelemetrySink
  * Well-known names (see docs/OBSERVABILITY.md):
  *   counters   scheduler.runs, scheduler.runs.faulted,
  *              scheduler.jobs.completed, scheduler.jobs.quarantined,
+ *              scheduler.jobs.cancelled,
  *              scheduler.retries, scheduler.waves,
  *              scheduler.fault.<code> (one per FaultCode),
  *              kernel.<name>.runs, kernel.<name>.input_bytes
@@ -304,6 +316,7 @@ class RegistryTelemetry final : public TelemetrySink
     Counter &runs_faulted_;
     Counter &jobs_completed_;
     Counter &jobs_quarantined_;
+    Counter &jobs_cancelled_;
     Counter &retries_;
     Counter &waves_;
     std::array<Counter *, kNumFaultCodes> fault_counters_{};

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Admission-control primitives for udp_service (docs/SERVICE.md):
+ * per-tenant token buckets and quarantine-rate circuit breakers.
+ *
+ * Both are plain value types driven by an explicit caller-supplied
+ * clock (seconds as double, any monotone origin): no hidden syscalls,
+ * so tests can script time exactly, and a bucket with `rate == 0`
+ * never refills — a deterministic "burst quota" for reproducible
+ * admission tests.  Neither type locks; the Service mutates them under
+ * its own mutex.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+namespace udp::service {
+
+/**
+ * Token-bucket rate limiter: capacity `burst` tokens, refilled
+ * continuously at `rate` tokens/second.  One token admits one job, so
+ * a tenant's sustained submission rate is capped at `rate` with bursts
+ * of up to `burst` jobs passing unthrottled.
+ */
+class TokenBucket
+{
+  public:
+    TokenBucket() = default;
+    TokenBucket(double rate_per_s, double burst, double now_s)
+        : rate_(rate_per_s), burst_(burst < 0 ? 0 : burst),
+          tokens_(burst_), last_(now_s)
+    {
+    }
+
+    /// Take one token if available; refills from elapsed time first.
+    bool try_take(double now_s) {
+        refill(now_s);
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    /// Current token count (after refilling to `now_s`).
+    double tokens(double now_s) {
+        refill(now_s);
+        return tokens_;
+    }
+
+    /// Seconds until the next token exists (0 when one is available,
+    /// a large sentinel when rate == 0 and the bucket is dry).
+    double seconds_to_token(double now_s) {
+        refill(now_s);
+        if (tokens_ >= 1.0)
+            return 0.0;
+        if (rate_ <= 0.0)
+            return 1e9;
+        return (1.0 - tokens_) / rate_;
+    }
+
+  private:
+    void refill(double now_s) {
+        if (now_s > last_ && rate_ > 0.0)
+            tokens_ = std::min(burst_, tokens_ + (now_s - last_) * rate_);
+        last_ = std::max(last_, now_s);
+    }
+
+    double rate_ = 0.0;
+    double burst_ = 0.0;
+    double tokens_ = 0.0;
+    double last_ = 0.0;
+};
+
+/**
+ * Quarantine-rate circuit breaker: watches a tenant's last
+ * `window` final job dispositions; when `trip_quarantines` of them are
+ * quarantines, the breaker *trips* — the tenant goes into a cool-down
+ * for `cooldown_s` seconds during which the Service neither admits its
+ * submissions nor dispatches its queued jobs (drain excepted), so a
+ * poisoned corpus cannot monopolize the retry budget.  After the
+ * cool-down the breaker closes with a cleared window (one trip's
+ * evidence is not recycled into the next).
+ */
+class CircuitBreaker
+{
+  public:
+    struct Options {
+        unsigned window = 32;            ///< dispositions remembered
+        unsigned trip_quarantines = 4;   ///< quarantines in window to trip
+        double cooldown_s = 0.5;         ///< open duration per trip
+    };
+
+    CircuitBreaker() = default;
+    explicit CircuitBreaker(const Options &opt) : opt_(opt) {}
+
+    /// Record one final disposition (true = quarantined).
+    void record(bool quarantined, double now_s) {
+        if (open(now_s))
+            return; // dispositions of the trip batch don't re-trip
+        window_.push_back(quarantined);
+        if (quarantined)
+            ++quarantined_in_window_;
+        while (window_.size() > opt_.window) {
+            if (window_.front())
+                --quarantined_in_window_;
+            window_.pop_front();
+        }
+        if (opt_.trip_quarantines > 0 &&
+            quarantined_in_window_ >= opt_.trip_quarantines) {
+            open_until_ = now_s + opt_.cooldown_s;
+            ++trips_;
+            window_.clear();
+            quarantined_in_window_ = 0;
+        }
+    }
+
+    /// Is the tenant in cool-down at `now_s`?  (Closes automatically
+    /// when the cool-down has elapsed.)
+    bool open(double now_s) const { return now_s < open_until_; }
+
+    /// Seconds of cool-down remaining (0 when closed).
+    double remaining(double now_s) const {
+        return open(now_s) ? open_until_ - now_s : 0.0;
+    }
+
+    unsigned trips() const { return trips_; }
+
+  private:
+    Options opt_;
+    std::deque<bool> window_;
+    unsigned quarantined_in_window_ = 0;
+    double open_until_ = 0.0;
+    unsigned trips_ = 0;
+};
+
+} // namespace udp::service

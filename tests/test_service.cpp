@@ -1,0 +1,753 @@
+/**
+ * @file
+ * udp_service tests (docs/SERVICE.md): retry backoff determinism and
+ * the backoff=0 bit-identity pin, JobControl cancellation at both
+ * scheduler requeue points, admission control (token buckets, circuit
+ * breakers, overflow policies), deadlines, graceful drain, per-tenant
+ * labeled metrics and post-mortem routing — plus the cancellation-race
+ * and concurrent-client coverage the sanitizer jobs run.
+ */
+#include "kernels/trigger.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/kernel_spec.hpp"
+#include "runtime/scheduler.hpp"
+#include "service/service.hpp"
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace udp;
+using namespace udp::runtime;
+using namespace udp::service;
+
+namespace {
+
+/// Complete architectural equality of two job results (the bench's
+/// fault-containment definition: status, counters, registers, bytes).
+void
+expect_results_eq(const JobResult &a, const JobResult &b)
+{
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.dispatches, b.stats.dispatches);
+    EXPECT_EQ(a.stats.actions, b.stats.actions);
+    EXPECT_EQ(a.stats.stream_bits, b.stats.stream_bits);
+    EXPECT_EQ(a.stats.output_bytes, b.stats.output_bytes);
+    EXPECT_EQ(a.regs, b.regs);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.extracts, b.extracts);
+    ASSERT_EQ(a.accepts.size(), b.accepts.size());
+    for (std::size_t i = 0; i < a.accepts.size(); ++i)
+        EXPECT_EQ(a.accepts[i].stream_bit_pos,
+                  b.accepts[i].stream_bit_pos);
+}
+
+/// Shared trigger-sample stream; static so the arena the chunks pin
+/// outlives every scheduled run in this binary.
+const Bytes &
+samples()
+{
+    static const Bytes s =
+        kernels::samples_from_bits(workloads::waveform(200'000, 13));
+    return s;
+}
+
+/// `n` trigger jobs of >= 2 KB each (so a forced trap at cycle 300
+/// always lands inside the run).
+std::vector<JobPlan>
+trigger_jobs(std::size_t n)
+{
+    const auto spec = kernels::trigger_kernel_spec(6);
+    const std::size_t chunk =
+        std::max<std::size_t>(2048, ceil_div(samples().size(), n));
+    auto jobs = chunk_jobs(spec, ArenaSlice::borrow(samples()), chunk);
+    jobs.resize(std::min(jobs.size(), n));
+    return jobs;
+}
+
+/// One deliberately long job (the whole stream as a single chunk) —
+/// parks the service run loop for a few tens of milliseconds so tests
+/// can fill queues / expire deadlines / cancel before staging
+/// deterministically.
+JobPlan
+slow_job()
+{
+    static const Bytes big =
+        kernels::samples_from_bits(workloads::waveform(3'000'000, 13));
+    return kernels::trigger_kernel_spec(6).make_job(
+        ArenaSlice::borrow(big));
+}
+
+/// Telemetry sink that cancels `cancel_job` the moment `trigger_job`'s
+/// run event is emitted (mid-harvest, same wave: the deterministic
+/// cancel-mid-wave window).
+struct JobCancelSink final : TelemetrySink {
+    JobControl *control = nullptr;
+    std::size_t trigger_job = ~std::size_t{0};
+    std::size_t cancel_job = ~std::size_t{0};
+    void on_job_run(const JobRunEvent &e) override {
+        if (e.job_index == trigger_job)
+            control->cancel(cancel_job);
+    }
+    void on_wave(const WaveEvent &) override {}
+};
+
+/// Telemetry sink that cancels `job` when wave `wave` closes — after
+/// that wave's retries were requeued, before the next wave stages
+/// (the deterministic cancel-while-queued-for-retry window).
+struct WaveCancelSink final : TelemetrySink {
+    JobControl *control = nullptr;
+    unsigned wave = 0;
+    std::size_t job = ~std::size_t{0};
+    void on_wave(const WaveEvent &e) override {
+        if (e.index == wave)
+            control->cancel(job);
+    }
+    void on_job_run(const JobRunEvent &) override {}
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Scheduler: retry backoff.
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, BackoffZeroBitIdentical)
+{
+    // 65 jobs (two waves), two transient faulters recovered by retry.
+    auto jobs = trigger_jobs(65);
+    ASSERT_GT(jobs.size(), std::size_t{kNumLanes});
+    FaultInjector inj(0xBEEF);
+    inj.force_trap(jobs[3], 300, 1);
+    inj.force_trap(jobs[40], 350, 1);
+
+    SchedulerOptions a;
+    a.retry.max_attempts = 3;
+    Scheduler sa(a);
+    const auto ra = sa.run(jobs);
+
+    // backoff_waves == 0 must take the exact pre-backoff path no
+    // matter what the other backoff knobs say.
+    SchedulerOptions b;
+    b.retry.max_attempts = 3;
+    b.retry.backoff_waves = 0;
+    b.retry.backoff_jitter = 7;       // ignored while backoff_waves == 0
+    b.retry.backoff_seed = 0x12345;   // ignored while backoff_waves == 0
+    Scheduler sb(b);
+    const auto rb = sb.run(jobs);
+
+    ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+    EXPECT_EQ(ra.waves.size(), rb.waves.size());
+    EXPECT_EQ(ra.wall_cycles, rb.wall_cycles);
+    EXPECT_EQ(ra.retries, rb.retries);
+    for (std::size_t i = 0; i < ra.jobs.size(); ++i) {
+        expect_results_eq(ra.jobs[i], rb.jobs[i]);
+        EXPECT_EQ(ra.jobs[i].wave, rb.jobs[i].wave);
+        EXPECT_EQ(ra.jobs[i].attempts, rb.jobs[i].attempts);
+    }
+}
+
+TEST(Scheduler, BackoffDelaysRetryToLaterWave)
+{
+    auto jobs = trigger_jobs(65);
+    ASSERT_GT(jobs.size(), std::size_t{kNumLanes});
+    FaultInjector inj(0xBEEF);
+    inj.force_trap(jobs[10], 300, 1);
+
+    SchedulerOptions imm;
+    imm.retry.max_attempts = 3;
+    Scheduler si(imm);
+    const auto ri = si.run(jobs);
+    // Immediate retry joins the leftover job in wave 1.
+    ASSERT_EQ(ri.waves.size(), 2u);
+    EXPECT_EQ(ri.jobs[10].status, LaneStatus::Done);
+    EXPECT_EQ(ri.jobs[10].wave, 1u);
+
+    SchedulerOptions back = imm;
+    back.retry.backoff_waves = 1; // retry no earlier than wave 2
+    Scheduler sb(back);
+    const auto rb = sb.run(jobs);
+    ASSERT_EQ(rb.waves.size(), 3u);
+    EXPECT_EQ(rb.jobs[10].status, LaneStatus::Done);
+    EXPECT_EQ(rb.jobs[10].wave, 2u);
+    EXPECT_EQ(rb.jobs[10].attempts, 2u);
+    // The delay is host scheduling only — no simulated-time padding
+    // beyond the extra wave's own work.
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (i != 10)
+            expect_results_eq(ri.jobs[i], rb.jobs[i]);
+}
+
+TEST(Scheduler, BackoffReleasesEarlyWhenQueueWouldIdle)
+{
+    // 3 jobs, one wave; the faulter's backoff of 50 waves would idle
+    // the queue, so the retry is released immediately instead.
+    auto jobs = trigger_jobs(3);
+    ASSERT_EQ(jobs.size(), 3u);
+    FaultInjector inj(0xBEEF);
+    inj.force_trap(jobs[1], 300, 1);
+
+    SchedulerOptions o;
+    o.retry.max_attempts = 2;
+    o.retry.backoff_waves = 50;
+    Scheduler s(o);
+    const auto r = s.run(jobs);
+    EXPECT_EQ(r.waves.size(), 2u); // not 51
+    EXPECT_EQ(r.jobs[1].status, LaneStatus::Done);
+    EXPECT_EQ(r.jobs[1].attempts, 2u);
+}
+
+TEST(Scheduler, BackoffJitterDeterministic)
+{
+    auto jobs = trigger_jobs(65);
+    FaultInjector inj(0xBEEF);
+    inj.force_trap(jobs[3], 300, 1);
+    inj.force_trap(jobs[40], 350, 1);
+
+    SchedulerOptions o;
+    o.retry.max_attempts = 4;
+    o.retry.backoff_waves = 1;
+    o.retry.backoff_jitter = 3;
+    o.retry.backoff_seed = 0xD15EA5E;
+
+    Scheduler s1(o), s2(o);
+    const auto r1 = s1.run(jobs);
+    const auto r2 = s2.run(jobs);
+    EXPECT_EQ(r1.waves.size(), r2.waves.size());
+    EXPECT_EQ(r1.wall_cycles, r2.wall_cycles);
+    ASSERT_EQ(r1.jobs.size(), r2.jobs.size());
+    for (std::size_t i = 0; i < r1.jobs.size(); ++i) {
+        expect_results_eq(r1.jobs[i], r2.jobs[i]);
+        EXPECT_EQ(r1.jobs[i].wave, r2.jobs[i].wave);
+    }
+    for (const auto &jr : r1.jobs)
+        EXPECT_EQ(jr.status, LaneStatus::Done);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: JobControl cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, IdleControlBitIdentical)
+{
+    const auto jobs = trigger_jobs(65);
+    Scheduler plain;
+    const auto ref = plain.run(jobs);
+
+    JobControl control(jobs.size());
+    SchedulerOptions o;
+    o.control = &control;
+    Scheduler s(o);
+    const auto rep = s.run(jobs);
+
+    ASSERT_EQ(ref.jobs.size(), rep.jobs.size());
+    EXPECT_EQ(ref.wall_cycles, rep.wall_cycles);
+    EXPECT_EQ(rep.cancelled, 0u);
+    for (std::size_t i = 0; i < ref.jobs.size(); ++i)
+        expect_results_eq(ref.jobs[i], rep.jobs[i]);
+}
+
+TEST(Scheduler, CancelBeforeStageSkipsJob)
+{
+    const auto jobs = trigger_jobs(8);
+    Scheduler plain;
+    const auto ref = plain.run(jobs);
+
+    JobControl control(jobs.size());
+    control.cancel(5); // before run(): never staged at all
+    SchedulerOptions o;
+    o.control = &control;
+    Scheduler s(o);
+    const auto rep = s.run(jobs);
+
+    EXPECT_EQ(rep.cancelled, 1u);
+    EXPECT_EQ(rep.jobs[5].status, LaneStatus::Cancelled);
+    EXPECT_TRUE(rep.jobs[5].cancelled);
+    EXPECT_EQ(rep.jobs[5].attempts, 0u); // counts only real runs
+    EXPECT_TRUE(rep.jobs[5].output.empty());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (i != 5)
+            expect_results_eq(ref.jobs[i], rep.jobs[i]);
+}
+
+TEST(Scheduler, CancelMidWaveDiscardsAttempt)
+{
+    const auto jobs = trigger_jobs(3);
+    ASSERT_EQ(jobs.size(), 3u);
+    Scheduler plain;
+    const auto ref = plain.run(jobs);
+
+    // Job 0's harvest event fires before job 1's harvest check: the
+    // cancel lands after job 1 ran but before its payload is kept.
+    JobControl control(jobs.size());
+    JobCancelSink sink;
+    sink.control = &control;
+    sink.trigger_job = 0;
+    sink.cancel_job = 1;
+    SchedulerOptions o;
+    o.control = &control;
+    o.telemetry = &sink;
+    Scheduler s(o);
+    const auto rep = s.run(jobs);
+
+    EXPECT_EQ(rep.cancelled, 1u);
+    EXPECT_EQ(rep.waves.size(), 1u);
+    EXPECT_EQ(rep.waves[0].cancelled, 1u);
+    const auto &jr = rep.jobs[1];
+    EXPECT_EQ(jr.status, LaneStatus::Cancelled);
+    EXPECT_TRUE(jr.cancelled);
+    EXPECT_EQ(jr.attempts, 1u); // it ran; the payload was discarded
+    EXPECT_TRUE(jr.output.empty());
+    EXPECT_TRUE(jr.extracts.empty());
+    EXPECT_TRUE(jr.accepts.empty());
+    expect_results_eq(ref.jobs[0], rep.jobs[0]);
+    expect_results_eq(ref.jobs[2], rep.jobs[2]);
+}
+
+TEST(Scheduler, CancelWhileQueuedForRetryDropsRetry)
+{
+    auto jobs = trigger_jobs(3);
+    FaultInjector inj(0xBEEF);
+    inj.force_trap(jobs[1], 300, 1); // transient: a retry would succeed
+
+    // Cancel job 1 when wave 0 closes — its retry is already queued,
+    // and must be dropped at the next pack without staging.
+    JobControl control(jobs.size());
+    WaveCancelSink sink;
+    sink.control = &control;
+    sink.wave = 0;
+    sink.job = 1;
+    SchedulerOptions o;
+    o.control = &control;
+    o.telemetry = &sink;
+    o.retry.max_attempts = 3;
+    Scheduler s(o);
+    const auto rep = s.run(jobs);
+
+    EXPECT_EQ(rep.waves.size(), 1u); // the retry wave never materializes
+    EXPECT_EQ(rep.cancelled, 1u);
+    EXPECT_EQ(rep.jobs[1].status, LaneStatus::Cancelled);
+    EXPECT_TRUE(rep.jobs[1].cancelled);
+    EXPECT_EQ(rep.jobs[1].attempts, 1u); // the faulted first run only
+    EXPECT_EQ(rep.jobs[0].status, LaneStatus::Done);
+    EXPECT_EQ(rep.jobs[2].status, LaneStatus::Done);
+}
+
+// ---------------------------------------------------------------------------
+// Admission primitives.
+// ---------------------------------------------------------------------------
+
+TEST(Admission, TokenBucketIsDeterministicWithScriptedClock)
+{
+    TokenBucket b(/*rate=*/2.0, /*burst=*/2.0, /*now=*/0.0);
+    EXPECT_TRUE(b.try_take(0.0));
+    EXPECT_TRUE(b.try_take(0.0));
+    EXPECT_FALSE(b.try_take(0.0)); // burst exhausted
+    EXPECT_NEAR(b.seconds_to_token(0.0), 0.5, 1e-9);
+    EXPECT_TRUE(b.try_take(0.6)); // 0.6 s * 2/s = 1.2 tokens refilled
+    EXPECT_FALSE(b.try_take(0.6));
+    // rate == 0: a pure burst quota, never refills.
+    TokenBucket q(0.0, 1.0, 0.0);
+    EXPECT_TRUE(q.try_take(0.0));
+    EXPECT_FALSE(q.try_take(1e6));
+    EXPECT_GT(q.seconds_to_token(1e6), 1e6);
+}
+
+TEST(Admission, CircuitBreakerTripsAndCoolsDown)
+{
+    CircuitBreaker::Options o;
+    o.window = 8;
+    o.trip_quarantines = 2;
+    o.cooldown_s = 1.0;
+    CircuitBreaker br(o);
+    EXPECT_FALSE(br.open(0.0));
+    br.record(true, 0.0);
+    EXPECT_FALSE(br.open(0.0));
+    br.record(true, 0.1); // second quarantine in window: trip
+    EXPECT_TRUE(br.open(0.1));
+    EXPECT_EQ(br.trips(), 1u);
+    EXPECT_NEAR(br.remaining(0.1), 1.0, 1e-9);
+    EXPECT_FALSE(br.open(1.2)); // cooled down
+    // The window was cleared on trip: one quarantine doesn't re-trip.
+    br.record(true, 1.2);
+    EXPECT_FALSE(br.open(1.2));
+    br.record(true, 1.3);
+    EXPECT_TRUE(br.open(1.3));
+    EXPECT_EQ(br.trips(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Service.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TenantOptions
+open_tenant(const std::string &name)
+{
+    TenantOptions t;
+    t.name = name;
+    t.rate_jobs_per_s = 0;
+    t.burst = 1e9; // effectively unthrottled
+    t.queue_capacity = 1 << 12;
+    return t;
+}
+
+} // namespace
+
+TEST(Service, ResultsBitIdenticalToDirectScheduler)
+{
+    const auto jobs = trigger_jobs(40);
+    Scheduler direct;
+    const auto ref = direct.run(jobs);
+
+    Service svc;
+    auto client = svc.client(svc.register_tenant(open_tenant("alice")));
+    std::vector<JobId> ids;
+    for (const auto &j : jobs)
+        ids.push_back(client.submit(j));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        auto out = client.wait(ids[i], 60.0);
+        ASSERT_TRUE(out.has_value());
+        ASSERT_EQ(out->state, JobState::Done);
+        EXPECT_GT(out->attempts, 0u);
+        expect_results_eq(ref.jobs[i], out->result);
+        svc.recycle(std::move(*out));
+    }
+    // Consumed: the ids are forgotten.
+    EXPECT_FALSE(svc.poll(ids[0]).has_value());
+}
+
+TEST(Service, ShedsWhenOverRate)
+{
+    Service svc;
+    TenantOptions t;
+    t.name = "bursty";
+    t.rate_jobs_per_s = 0; // no refill: a 4-job quota
+    t.burst = 4;
+    t.overflow = OverflowPolicy::Shed;
+    auto client = svc.client(svc.register_tenant(t));
+
+    const auto jobs = trigger_jobs(8);
+    unsigned admitted = 0, rate_limited = 0;
+    for (const auto &j : jobs) {
+        auto out = svc.poll(client.submit(j));
+        ASSERT_TRUE(out.has_value());
+        if (out->state == JobState::Rejected) {
+            EXPECT_EQ(out->reject, RejectReason::RateLimited);
+            ++rate_limited;
+        } else {
+            ++admitted;
+        }
+    }
+    EXPECT_EQ(admitted, 4u);
+    EXPECT_EQ(rate_limited, 4u);
+    const auto st = svc.stats();
+    EXPECT_EQ(st.tenants[0].rejected_rate_limited, 4u);
+    EXPECT_EQ(st.tenants[0].admitted, 4u);
+}
+
+TEST(Service, QueueFullShedsWhileLoopIsBusy)
+{
+    Service svc;
+    TenantOptions t = open_tenant("filler");
+    t.queue_capacity = 3;
+    auto client = svc.client(svc.register_tenant(t));
+
+    // Park the run loop on a long job, then overfill the queue.
+    const JobId blocker = client.submit(slow_job());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto jobs = trigger_jobs(8);
+    unsigned queue_full = 0;
+    std::vector<JobId> ids;
+    for (const auto &j : jobs) {
+        const JobId id = client.submit(j);
+        auto out = svc.poll(id);
+        ASSERT_TRUE(out.has_value());
+        if (out->state == JobState::Rejected) {
+            EXPECT_EQ(out->reject, RejectReason::QueueFull);
+            ++queue_full;
+        } else {
+            ids.push_back(id);
+        }
+    }
+    EXPECT_GE(queue_full, 5u); // capacity 3 of 8 submissions
+    for (auto id : ids)
+        EXPECT_TRUE(client.wait(id, 60.0).has_value());
+    EXPECT_TRUE(client.wait(blocker, 60.0).has_value());
+}
+
+TEST(Service, DegradeAdmitsOverflowWithSmallerBudget)
+{
+    Service svc;
+    TenantOptions t;
+    t.name = "elastic";
+    t.rate_jobs_per_s = 0;
+    t.burst = 2; // everything past 2 jobs is over-rate
+    t.overflow = OverflowPolicy::Degrade;
+    t.degraded_max_cycles = 1 << 22; // still plenty to finish
+    auto client = svc.client(svc.register_tenant(t));
+
+    const auto jobs = trigger_jobs(6);
+    std::vector<JobId> ids;
+    for (const auto &j : jobs)
+        ids.push_back(client.submit(j));
+    for (auto id : ids) {
+        auto out = client.wait(id, 60.0);
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->state, JobState::Done); // degraded, not refused
+    }
+    const auto st = svc.stats();
+    EXPECT_EQ(st.tenants[0].admitted, 6u);
+    EXPECT_EQ(st.tenants[0].degraded, 4u);
+    EXPECT_EQ(st.tenants[0].rejected_total(), 0u);
+}
+
+TEST(Service, DegradedBudgetActuallyLimitsCycles)
+{
+    Service svc;
+    TenantOptions t;
+    t.name = "starved";
+    t.rate_jobs_per_s = 0;
+    t.burst = 0; // every job is over-rate -> degraded
+    t.overflow = OverflowPolicy::Degrade;
+    t.degraded_max_cycles = 64; // far below what the job needs
+    auto client = svc.client(svc.register_tenant(t));
+
+    auto out = client.wait(client.submit(trigger_jobs(4)[0]), 60.0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->state, JobState::Quarantined);
+    EXPECT_EQ(out->result.status, LaneStatus::TimedOut);
+}
+
+TEST(Service, BlockPolicyTimesOut)
+{
+    Service svc;
+    TenantOptions t;
+    t.name = "patient";
+    t.rate_jobs_per_s = 0;
+    t.burst = 1;
+    t.overflow = OverflowPolicy::Block;
+    t.block_timeout_s = 0.05;
+    auto client = svc.client(svc.register_tenant(t));
+
+    const auto jobs = trigger_jobs(2);
+    const JobId first = client.submit(jobs[0]);
+    const auto t0 = std::chrono::steady_clock::now();
+    const JobId second = client.submit(jobs[1]); // no token: blocks
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    auto out = svc.poll(second);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->state, JobState::Rejected);
+    EXPECT_EQ(out->reject, RejectReason::Timeout);
+    EXPECT_GE(waited, 0.04);
+    EXPECT_TRUE(client.wait(first, 60.0).has_value());
+}
+
+TEST(Service, DeadlineExpiresQueuedJob)
+{
+    Service svc;
+    auto client = svc.client(svc.register_tenant(open_tenant("dl")));
+    const JobId blocker = client.submit(slow_job());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    SubmitOptions so;
+    so.deadline_s = 0.001; // expires while the blocker still runs
+    auto out = client.wait(client.submit(trigger_jobs(4)[0], so), 60.0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->state, JobState::Expired);
+    EXPECT_EQ(out->attempts, 0u); // never ran
+    EXPECT_TRUE(client.wait(blocker, 60.0).has_value());
+    EXPECT_EQ(svc.stats().tenants[0].expired, 1u);
+}
+
+TEST(Service, CancelBeforeStage)
+{
+    Service svc;
+    auto client = svc.client(svc.register_tenant(open_tenant("cx")));
+    const JobId blocker = client.submit(slow_job());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    const JobId id = client.submit(trigger_jobs(4)[0]);
+    EXPECT_TRUE(client.cancel(id));
+    auto out = client.wait(id, 60.0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->state, JobState::Cancelled);
+    EXPECT_EQ(out->attempts, 0u);
+    EXPECT_TRUE(client.wait(blocker, 60.0).has_value());
+}
+
+TEST(Service, CancelAfterCompletionIsNoOp)
+{
+    Service svc;
+    auto client = svc.client(svc.register_tenant(open_tenant("done")));
+    const JobId id = client.submit(trigger_jobs(4)[0]);
+    auto out = client.wait(id, 60.0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->state, JobState::Done);
+    EXPECT_FALSE(client.cancel(id));        // consumed: unknown id
+    EXPECT_FALSE(client.cancel(id + 999));  // never existed
+}
+
+TEST(Service, ConcurrentCancelAndSubmit)
+{
+    Service svc;
+    auto client = svc.client(svc.register_tenant(open_tenant("racy")));
+    const auto jobs = trigger_jobs(8);
+
+    constexpr unsigned kThreads = 4, kPerThread = 48;
+    std::atomic<std::uint64_t> done{0}, cancelled{0}, other{0};
+    std::vector<std::thread> ts;
+    for (unsigned w = 0; w < kThreads; ++w) {
+        ts.emplace_back([&, w] {
+            for (unsigned i = 0; i < kPerThread; ++i) {
+                const JobId id = client.submit(jobs[i % jobs.size()]);
+                if ((i + w) % 3 == 0)
+                    client.cancel(id); // races the run loop's staging
+                auto out = client.wait(id, 60.0);
+                if (!out)
+                    continue;
+                switch (out->state) {
+                case JobState::Done:
+                    done.fetch_add(1);
+                    svc.recycle(std::move(*out));
+                    break;
+                case JobState::Cancelled:
+                    cancelled.fetch_add(1);
+                    break;
+                default:
+                    other.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    // Every submission resolved to exactly one terminal outcome.
+    EXPECT_EQ(done + cancelled + other, kThreads * kPerThread);
+    EXPECT_EQ(other.load(), 0u);
+    EXPECT_GT(done.load(), 0u);
+    EXPECT_GT(cancelled.load(), 0u);
+    const auto st = svc.stats();
+    EXPECT_EQ(st.tenants[0].submitted, kThreads * kPerThread);
+    EXPECT_EQ(st.tenants[0].completed + st.tenants[0].cancelled,
+              kThreads * kPerThread);
+}
+
+TEST(Service, BreakerIsolatesHostileTenant)
+{
+    Service svc;
+    TenantOptions hostile = open_tenant("hostile");
+    hostile.breaker.window = 8;
+    hostile.breaker.trip_quarantines = 2;
+    hostile.breaker.cooldown_s = 3600; // stays open for the test
+    const TenantId h = svc.register_tenant(hostile);
+    const TenantId g = svc.register_tenant(open_tenant("good"));
+    auto hc = svc.client(h);
+    auto gc = svc.client(g);
+
+    FaultInjector inj(0xF01D);
+    // Two sequential quarantines reach trip_quarantines exactly.
+    for (unsigned i = 0; i < 2; ++i) {
+        auto plan = trigger_jobs(4)[i];
+        inj.force_trap(plan, 300); // faults on every attempt
+        auto out = hc.wait(hc.submit(std::move(plan)), 60.0);
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->state, JobState::Quarantined);
+        EXPECT_TRUE(out->result.fault);
+    }
+
+    // Tripped: further hostile submissions are refused outright...
+    auto rejected = svc.poll(hc.submit(trigger_jobs(4)[0]));
+    ASSERT_TRUE(rejected.has_value());
+    EXPECT_EQ(rejected->state, JobState::Rejected);
+    EXPECT_EQ(rejected->reject, RejectReason::BreakerOpen);
+    EXPECT_GE(svc.stats().tenants[h].breaker_trips, 1u);
+
+    // ...while the well-behaved tenant is untouched.
+    auto out = gc.wait(gc.submit(trigger_jobs(4)[1]), 60.0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->state, JobState::Done);
+}
+
+TEST(Service, PostmortemsRoutedPerTenant)
+{
+    Service svc;
+    const TenantId h = svc.register_tenant(open_tenant("faulty"));
+    const TenantId g = svc.register_tenant(open_tenant("clean"));
+    auto hc = svc.client(h);
+    auto gc = svc.client(g);
+
+    FaultInjector inj(0xF01D);
+    auto bad = trigger_jobs(4)[0];
+    inj.force_trap(bad, 300); // faults on every attempt
+    const JobId bad_id = hc.submit(std::move(bad));
+    const JobId good_id = gc.submit(trigger_jobs(4)[1]);
+    ASSERT_EQ(hc.wait(bad_id, 60.0)->state, JobState::Quarantined);
+    ASSERT_EQ(gc.wait(good_id, 60.0)->state, JobState::Done);
+
+    const auto hpm = svc.postmortems(h);
+    ASSERT_FALSE(hpm.empty()); // the hostile tenant sees its own faults
+    EXPECT_EQ(hpm.back().status, LaneStatus::Faulted);
+    EXPECT_FALSE(hpm.back().disassembly.empty());
+    EXPECT_TRUE(svc.postmortems(g).empty()); // and nobody else's
+}
+
+TEST(Service, DrainCompletesQueuedJobsAndRejectsNewOnes)
+{
+    Service svc;
+    auto client = svc.client(svc.register_tenant(open_tenant("dr")));
+    const auto jobs = trigger_jobs(32);
+    std::vector<JobId> ids;
+    for (const auto &j : jobs)
+        ids.push_back(client.submit(j));
+    svc.drain();
+
+    EXPECT_TRUE(svc.stats().drained);
+    for (auto id : ids) {
+        auto out = svc.poll(id); // outcomes stay pollable after drain
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->state, JobState::Done); // work-conserving drain
+    }
+    auto late = svc.poll(client.submit(jobs[0]));
+    ASSERT_TRUE(late.has_value());
+    EXPECT_EQ(late->state, JobState::Rejected);
+    EXPECT_EQ(late->reject, RejectReason::ShuttingDown);
+}
+
+TEST(Service, LabeledMetricsExposition)
+{
+    MetricRegistry reg;
+    ServiceOptions so;
+    so.registry = &reg;
+    Service svc(so);
+    auto client =
+        svc.client(svc.register_tenant(open_tenant("al\"ice\\")));
+    auto out = client.wait(client.submit(trigger_jobs(4)[0]), 60.0);
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(out->state, JobState::Done);
+
+    const std::string text = svc.prometheus_text();
+    // One TYPE line per family, label value escaped per the format.
+    EXPECT_NE(text.find("# TYPE udp_service_jobs_submitted counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("udp_service_jobs_submitted{tenant=\"al\\\"ice"
+                        "\\\\\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("udp_service_e2e_host_us"), std::string::npos);
+    EXPECT_EQ(text.find("# TYPE udp_service_jobs_submitted counter",
+                        text.find("# TYPE udp_service_jobs_submitted "
+                                  "counter") +
+                            1),
+              std::string::npos);
+
+    const std::string json = svc.metrics_json();
+    EXPECT_NE(json.find("\"tenants\""), std::string::npos);
+    EXPECT_NE(json.find("\"service\""), std::string::npos);
+}

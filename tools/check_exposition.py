@@ -3,14 +3,19 @@
 MetricRegistry::prometheus_text() (src/runtime/telemetry.cpp).
 
 Checks, per docs/OBSERVABILITY.md:
-  - every sample line parses as `name[{labels}] value`;
+  - every sample line parses as `name[{labels}] value` with a
+    well-formed label block (`key="value"` pairs, escaped values);
   - every metric family has exactly one `# TYPE` line, appearing
     before its first sample, with type counter|gauge|summary;
   - every value is finite (no NaN/Inf samples, ever);
   - counter values are non-negative integers;
-  - summaries: quantile samples are monotone in the quantile and lie
-    inside [_min, _max]; `_sum`/`_count` are present; empty summaries
-    (_count 0) expose no quantile samples.
+  - labeled series (udp_service's per-tenant metrics) keep one
+    consistent label key set across every series of a family
+    (`quantile` excepted on summaries), and no family mixes labeled
+    and unlabeled samples;
+  - summaries, per series: quantile samples are monotone in the
+    quantile and lie inside [_min, _max]; `_sum`/`_count` are present;
+    empty series (_count 0) expose no quantile samples.
 
 Usage: check_exposition.py FILE [--require-metric NAME]...
 Exit status 0 on success; 1 with a diagnostic on the first failure.
@@ -25,7 +30,8 @@ SAMPLE_RE = re.compile(
     r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$')
 TYPE_RE = re.compile(
     r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|summary)$')
-QUANTILE_RE = re.compile(r'^\{quantile="([0-9.]+)"\}$')
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)')
 SUFFIXES = ('_min', '_max', '_mean', '_sum', '_count')
 
 
@@ -37,6 +43,31 @@ def family_of(name, types):
         if name.endswith(suffix) and name[: -len(suffix)] in types:
             return name[: -len(suffix)]
     return None
+
+
+def parse_labels(block, lineno, line):
+    """`{k="v",...}` -> dict; fails on malformed blocks."""
+    if not block:
+        return {}
+    inner, pos, labels = block[1:-1], 0, {}
+    while pos < len(inner):
+        m = LABEL_RE.match(inner, pos)
+        if not m:
+            fail(lineno, line, f'malformed label block {block!r}')
+        key, value, sep = m.groups()
+        if key in labels:
+            fail(lineno, line, f'duplicate label key {key!r}')
+        labels[key] = value
+        pos = m.end()
+        if sep == '' and pos != len(inner):
+            fail(lineno, line, f'malformed label block {block!r}')
+    return labels
+
+
+def series_key(labels, *, drop_quantile=False):
+    items = [(k, v) for k, v in sorted(labels.items())
+             if not (drop_quantile and k == 'quantile')]
+    return tuple(items)
 
 
 def fail(lineno, line, why):
@@ -53,8 +84,9 @@ def main():
     with open(args.file, encoding='utf-8') as f:
         lines = f.read().splitlines()
 
-    types = {}          # family -> declared type
-    samples = {}        # family -> [(suffix-or-quantile, value)]
+    types = {}       # family -> declared type
+    samples = {}     # family -> {series key -> [(tag, value)]}
+    label_keys = {}  # family -> frozenset of label keys (quantile-less)
     for lineno, line in enumerate(lines, 1):
         if not line.strip():
             continue
@@ -72,10 +104,11 @@ def main():
         m = SAMPLE_RE.match(line)
         if not m:
             fail(lineno, line, 'unparseable sample line')
-        name, labels, value = m.groups()
+        name, block, value = m.groups()
         family = family_of(name, types)
         if family is None:
             fail(lineno, line, f'sample {name} has no preceding # TYPE')
+        labels = parse_labels(block, lineno, line)
         try:
             v = float(value)
         except ValueError:
@@ -83,67 +116,93 @@ def main():
         if not math.isfinite(v):
             fail(lineno, line, f'non-finite value {value}')
         kind = types[family]
+
+        # One label key set per family: a family either carries labels
+        # on every series (same keys — udp_service's tenant label) or
+        # none at all; `quantile` is the summary mechanism, not identity.
+        keys = frozenset(k for k in labels if k != 'quantile')
+        if family not in label_keys:
+            label_keys[family] = keys
+        elif label_keys[family] != keys:
+            fail(lineno, line,
+                 f'inconsistent label keys for {family}: '
+                 f'{sorted(keys)} vs {sorted(label_keys[family])}')
+
         if kind == 'counter':
-            if labels or name != family:
-                fail(lineno, line, 'counter samples take no labels/suffix')
+            if name != family or 'quantile' in labels:
+                fail(lineno, line, 'counter samples take no suffix/quantile')
             if v < 0 or v != int(v):
                 fail(lineno, line, f'counter value {value} not a count')
+            tag = None
         elif kind == 'gauge':
-            if labels or name != family:
-                fail(lineno, line, 'gauge samples take no labels/suffix')
+            if name != family or 'quantile' in labels:
+                fail(lineno, line, 'gauge samples take no suffix/quantile')
+            tag = None
         else:  # summary
             if name == family:
-                if not labels or not QUANTILE_RE.match(labels):
+                if 'quantile' not in labels:
                     fail(lineno, line, 'summary sample needs quantile label')
-                q = float(QUANTILE_RE.match(labels).group(1))
-                samples.setdefault(family, []).append((q, v))
-                continue
-            suffix = name[len(family):]
-            samples.setdefault(family, []).append((suffix, v))
-            continue
-        samples.setdefault(family, []).append((None, v))
+                try:
+                    tag = float(labels['quantile'])
+                except ValueError:
+                    fail(lineno, line,
+                         f'bad quantile {labels["quantile"]!r}')
+            else:
+                if 'quantile' in labels:
+                    fail(lineno, line,
+                         'quantile label on a summary suffix sample')
+                tag = name[len(family):]
+        key = series_key(labels, drop_quantile=True)
+        series = samples.setdefault(family, {}).setdefault(key, [])
+        if tag is None and any(t is None for t, _ in series):
+            fail(lineno, line, f'duplicate sample for series {name}{block or ""}')
+        series.append((tag, v))
 
     for family, kind in types.items():
+        if family not in samples:
+            sys.exit(f'check_exposition: {family}: TYPE but no sample')
         if kind != 'summary':
-            if family not in samples:
-                sys.exit(f'check_exposition: {family}: TYPE but no sample')
             continue
-        entries = dict()
-        quantiles = []
-        for tag, v in samples.get(family, []):
-            if isinstance(tag, float):
-                quantiles.append((tag, v))
-            else:
-                entries[tag] = v
-        if '_sum' not in entries or '_count' not in entries:
-            sys.exit(f'check_exposition: {family}: missing _sum/_count')
-        count = entries['_count']
-        if count == 0 and quantiles:
-            sys.exit(f'check_exposition: {family}: quantiles on an '
-                     'empty summary')
-        if count > 0:
-            if not quantiles:
-                sys.exit(f'check_exposition: {family}: populated summary '
-                         'without quantile samples')
-            quantiles.sort()
-            vals = [v for _, v in quantiles]
-            if vals != sorted(vals):
-                sys.exit(f'check_exposition: {family}: quantile values '
-                         f'not monotone: {quantiles}')
-            lo, hi = entries.get('_min'), entries.get('_max')
-            if lo is not None and hi is not None:
-                if not all(lo <= v <= hi for v in vals):
-                    sys.exit(f'check_exposition: {family}: quantile '
-                             f'outside [{lo}, {hi}]: {quantiles}')
+        for key, entries_list in samples[family].items():
+            where = family + (
+                '{' + ','.join(f'{k}="{v}"' for k, v in key) + '}'
+                if key else '')
+            entries, quantiles = {}, []
+            for tag, v in entries_list:
+                if isinstance(tag, float):
+                    quantiles.append((tag, v))
+                else:
+                    entries[tag] = v
+            if '_sum' not in entries or '_count' not in entries:
+                sys.exit(f'check_exposition: {where}: missing _sum/_count')
+            count = entries['_count']
+            if count == 0 and quantiles:
+                sys.exit(f'check_exposition: {where}: quantiles on an '
+                         'empty summary')
+            if count > 0:
+                if not quantiles:
+                    sys.exit(f'check_exposition: {where}: populated '
+                             'summary without quantile samples')
+                quantiles.sort()
+                vals = [v for _, v in quantiles]
+                if vals != sorted(vals):
+                    sys.exit(f'check_exposition: {where}: quantile values '
+                             f'not monotone: {quantiles}')
+                lo, hi = entries.get('_min'), entries.get('_max')
+                if lo is not None and hi is not None:
+                    if not all(lo <= v <= hi for v in vals):
+                        sys.exit(f'check_exposition: {where}: quantile '
+                                 f'outside [{lo}, {hi}]: {quantiles}')
 
     for required in args.require_metric:
         if required not in samples:
             sys.exit(f'check_exposition: required metric {required} '
                      'missing from exposition')
 
-    total = sum(len(v) for v in samples.values())
+    nseries = sum(len(s) for s in samples.values())
+    total = sum(len(e) for s in samples.values() for e in s.values())
     print(f'check_exposition: OK ({len(types)} families, '
-          f'{total} samples)')
+          f'{nseries} series, {total} samples)')
 
 
 if __name__ == '__main__':
